@@ -1,0 +1,53 @@
+"""Ablation bench: ILP vs greedy vs exhaustive solver quality, and
+estimated vs profiled block frequencies (the dots of Figure 5)."""
+
+from benchmarks.conftest import print_table
+from repro.codegen import CompileOptions, compile_source
+from repro.beebs import get_benchmark
+from repro.evaluation.pipeline import run_optimized_benchmark
+from repro.placement import FlashRAMOptimizer, PlacementConfig
+
+
+def _solver_energy(name, solver):
+    benchmark = get_benchmark(name)
+    program = compile_source(benchmark.source,
+                             CompileOptions.for_level("O2", program_name=name))
+    optimizer = FlashRAMOptimizer(program, config=PlacementConfig(solver=solver))
+    solution = optimizer.select_blocks()
+    return solution.estimate.energy_j, len(solution.ram_blocks)
+
+
+def test_ablation_solver_quality(benchmark):
+    def sweep():
+        rows = []
+        for name in ("int_matmult", "crc32", "fdct"):
+            for solver in ("ilp", "greedy"):
+                energy, blocks = _solver_energy(name, solver)
+                rows.append({"benchmark": name, "solver": solver,
+                             "model_energy_uJ": energy * 1e6, "blocks": blocks})
+        return rows
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Ablation: solver quality (modelled energy)", rows,
+                ["benchmark", "solver", "model_energy_uJ", "blocks"])
+    by_key = {(r["benchmark"], r["solver"]): r["model_energy_uJ"] for r in rows}
+    for name in ("int_matmult", "crc32", "fdct"):
+        assert by_key[(name, "ilp")] <= by_key[(name, "greedy")] + 1e-9
+
+
+def test_ablation_frequency_estimate_vs_profile(benchmark):
+    def sweep():
+        rows = []
+        for name in ("int_matmult", "fdct"):
+            for mode in ("static", "profile"):
+                run = run_optimized_benchmark(name, "O2", frequency_mode=mode)
+                rows.append({"benchmark": name, "frequency": mode,
+                             "energy_change_%": 100 * run.energy_change,
+                             "time_change_%": 100 * run.time_change})
+        return rows
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("Ablation: estimated vs profiled frequencies", rows,
+                ["benchmark", "frequency", "energy_change_%", "time_change_%"])
+    # The paper's observation: the static estimate is close to the profile.
+    by_key = {(r["benchmark"], r["frequency"]): r["energy_change_%"] for r in rows}
+    for name in ("int_matmult", "fdct"):
+        assert abs(by_key[(name, "static")] - by_key[(name, "profile")]) < 15.0

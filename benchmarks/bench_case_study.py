@@ -1,0 +1,24 @@
+"""Section 7 case-study bench: paper constants vs measured fdct pipeline."""
+
+from benchmarks.conftest import print_table
+from repro.evaluation.case_study import case_study_report
+
+
+def test_case_study(benchmark):
+    report = benchmark.pedantic(lambda: case_study_report("fdct", "O2"),
+                                rounds=1, iterations=1)
+    paper = report["paper"]
+    measured = report["measured"]
+    print_table("Case study: paper worked example", [{
+        "energy_saved_mJ": paper["energy_saved_j"] * 1e3,
+        "paper_quotes_mJ": paper["paper_energy_saved_j"] * 1e3,
+        "battery_ext_best_%": 100 * paper["battery_extension_best"],
+    }], ["energy_saved_mJ", "paper_quotes_mJ", "battery_ext_best_%"])
+    print_table("Case study: our measured fdct", [{
+        "ke": measured["ke"],
+        "kt": measured["kt"],
+        "energy_saved_uJ": measured["energy_saved_j"] * 1e6,
+        "battery_ext_best_%": 100 * measured["battery_extension_best"],
+    }], ["ke", "kt", "energy_saved_uJ", "battery_ext_best_%"])
+    assert abs(paper["energy_saved_j"] - 4.32e-3) < 0.2e-3
+    assert measured["energy_saved_j"] > 0

@@ -1,0 +1,12 @@
+"""Figure 1 bench: per-instruction average power, flash vs RAM."""
+
+from benchmarks.conftest import print_table
+from repro.evaluation.figure1 import instruction_power_rows
+
+
+def test_figure1_instruction_power(benchmark):
+    rows = benchmark.pedantic(instruction_power_rows, rounds=1, iterations=1)
+    print_table("Figure 1: average power per instruction kind (mW)", rows,
+                ["instruction", "flash_power_mw", "ram_power_mw",
+                 "ram_saving_percent"])
+    assert all(row["ram_power_mw"] <= row["flash_power_mw"] for row in rows)

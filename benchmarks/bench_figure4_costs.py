@@ -1,0 +1,21 @@
+"""Figure 4 bench: instrumentation cost table, paper vs model."""
+
+from benchmarks.conftest import print_table
+from repro.transform import figure4_cost_table
+
+
+def test_figure4_instrumentation_costs(benchmark):
+    table = benchmark.pedantic(figure4_cost_table, rounds=1, iterations=1)
+    rows = []
+    for kind, entry in table.items():
+        rows.append({
+            "terminator": kind,
+            "paper_cycles": entry["paper"].instrumented_cycles,
+            "model_cycles": entry["model"].instrumented_cycles,
+            "paper_bytes": entry["paper"].instrumented_bytes,
+            "model_bytes": entry["model"].instrumented_bytes,
+        })
+    print_table("Figure 4: instrumented terminator costs", rows,
+                ["terminator", "paper_cycles", "model_cycles",
+                 "paper_bytes", "model_bytes"])
+    assert all(r["model_cycles"] == r["paper_cycles"] for r in rows)

@@ -1,0 +1,32 @@
+"""Figure 5 bench: % change in energy/time/power for the BEEBS suite at O2.
+
+The full paper sweep covers O0-O3 and Os; `bench_summary_all_levels.py`
+reproduces the cross-level averages on a subset, while this bench runs every
+benchmark at O2 (the level Figure 5 highlights).
+"""
+
+from benchmarks.conftest import print_table
+from repro.evaluation.figure5 import evaluate_suite, summarize
+
+
+def test_figure5_suite_at_o2(benchmark):
+    rows = benchmark.pedantic(
+        lambda: evaluate_suite(levels=["O2"], frequency_modes=("static",)),
+        rounds=1, iterations=1)
+    print_table("Figure 5: BEEBS suite at O2 (static frequency estimate)",
+                [row.as_dict() for row in rows],
+                ["benchmark", "energy_change_percent", "time_change_percent",
+                 "power_change_percent", "ram_bytes", "blocks_moved"])
+    summary = summarize(rows)
+    print_table("Figure 5 summary (O2)", [{
+        "avg_energy_%": 100 * summary["average_energy_change"],
+        "avg_time_%": 100 * summary["average_time_change"],
+        "avg_power_%": 100 * summary["average_power_change"],
+        "best_energy_%": 100 * summary["best_energy_change"],
+        "best_power_%": 100 * summary["best_power_change"],
+    }], ["avg_energy_%", "avg_time_%", "avg_power_%", "best_energy_%",
+         "best_power_%"])
+    # Directions must match the paper: energy and power drop, time rises.
+    assert summary["average_energy_change"] < 0
+    assert summary["average_power_change"] < 0
+    assert summary["average_time_change"] >= 0

@@ -1,0 +1,49 @@
+"""Figure 6 bench: design-space enumeration and solver trajectories."""
+
+from benchmarks.conftest import print_table
+from repro.evaluation.figure6 import design_space, solver_trajectories
+
+
+def test_figure6_int_matmult_space(benchmark):
+    points = benchmark.pedantic(
+        lambda: design_space("int_matmult", "O2", max_blocks=10),
+        rounds=1, iterations=1)
+    energies = [p.energy_j for p in points]
+    print_table("Figure 6a: int_matmult enumerated space", [{
+        "placements": len(points),
+        "min_energy_uJ": min(energies) * 1e6,
+        "max_energy_uJ": max(energies) * 1e6,
+        "max_ram_bytes": max(p.ram_bytes for p in points),
+    }], ["placements", "min_energy_uJ", "max_energy_uJ", "max_ram_bytes"])
+    assert len(points) == 2 ** 10
+    assert min(energies) < max(energies)
+
+
+def test_figure6_solver_trajectories(benchmark):
+    trajectories = benchmark.pedantic(
+        lambda: solver_trajectories("int_matmult", "O2",
+                                    ram_steps=[0, 64, 128, 256, 1024],
+                                    time_steps=[1.0, 1.1, 1.3, 1.5]),
+        rounds=1, iterations=1)
+    print_table("Figure 6: constraining RAM (solid line)",
+                trajectories["ram_sweep"],
+                ["r_spare", "blocks", "ram_bytes", "energy_j", "time_ratio"])
+    print_table("Figure 6: constraining time (dashed line)",
+                trajectories["time_sweep"],
+                ["x_limit", "blocks", "ram_bytes", "energy_j", "time_ratio"])
+    ram_sweep = trajectories["ram_sweep"]
+    # Relaxing the RAM budget can only reduce (or keep) the modelled energy.
+    energies = [row["energy_j"] for row in ram_sweep]
+    assert all(b <= a + 1e-12 for a, b in zip(energies, energies[1:]))
+
+
+def test_figure6_fdct_space(benchmark):
+    points = benchmark.pedantic(
+        lambda: design_space("fdct", "O2", max_blocks=8), rounds=1, iterations=1)
+    energies = [p.energy_j for p in points]
+    print_table("Figure 6b: fdct enumerated space", [{
+        "placements": len(points),
+        "min_energy_uJ": min(energies) * 1e6,
+        "max_energy_uJ": max(energies) * 1e6,
+    }], ["placements", "min_energy_uJ", "max_energy_uJ"])
+    assert len(points) == 2 ** 8

@@ -1,0 +1,20 @@
+"""Figure 9 bench: post-optimization energy vs sensing period."""
+
+from benchmarks.conftest import print_table
+from repro.evaluation.figure9 import period_sweep
+
+
+def test_figure9_period_sweep(benchmark):
+    series = benchmark.pedantic(
+        lambda: period_sweep(["fdct", "int_matmult", "2dfir"],
+                             multiples=[1.5, 2, 4, 8, 16]),
+        rounds=1, iterations=1)
+    rows = [row for rows in series.values() for row in rows]
+    print_table("Figure 9: energy after optimization vs period T", rows,
+                ["benchmark", "period_multiple", "energy_percent",
+                 "battery_extension"])
+    for name, bench_rows in series.items():
+        ratios = [row["energy_ratio"] for row in bench_rows]
+        # Savings shrink monotonically as the period grows (paper's Figure 9).
+        assert all(a <= b + 1e-12 for a, b in zip(ratios, ratios[1:])), name
+        assert all(ratio <= 1.0 + 1e-9 for ratio in ratios), name

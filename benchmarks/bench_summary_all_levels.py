@@ -1,0 +1,41 @@
+"""Section 6 headline-averages bench: a subset of benchmarks across O0-Os.
+
+Reproduces the direction and rough magnitude of the paper's cross-level
+averages (-7.7 % energy, -21.9 % power, +19.5 % time) on a representative
+subset (full 10x5 sweep takes several minutes; run `evaluate_suite()` with no
+arguments for the complete grid).
+"""
+
+from benchmarks.conftest import print_table
+from repro.evaluation.figure5 import (
+    PAPER_AVERAGE_ENERGY_CHANGE,
+    PAPER_AVERAGE_POWER_CHANGE,
+    PAPER_AVERAGE_TIME_CHANGE,
+    evaluate_suite,
+    summarize,
+)
+
+SUBSET = ["int_matmult", "fdct", "crc32", "2dfir"]
+LEVELS = ["O0", "O1", "O2", "O3", "Os"]
+
+
+def test_cross_level_averages(benchmark):
+    rows = benchmark.pedantic(
+        lambda: evaluate_suite(benchmarks=SUBSET, levels=LEVELS),
+        rounds=1, iterations=1)
+    print_table("Per-benchmark / per-level results",
+                [row.as_dict() for row in rows],
+                ["benchmark", "opt_level", "energy_change_percent",
+                 "time_change_percent", "power_change_percent"])
+    summary = summarize(rows)
+    comparison = [{
+        "metric": "avg energy %", "paper": 100 * PAPER_AVERAGE_ENERGY_CHANGE,
+        "measured": 100 * summary["average_energy_change"]},
+        {"metric": "avg power %", "paper": 100 * PAPER_AVERAGE_POWER_CHANGE,
+         "measured": 100 * summary["average_power_change"]},
+        {"metric": "avg time %", "paper": 100 * PAPER_AVERAGE_TIME_CHANGE,
+         "measured": 100 * summary["average_time_change"]}]
+    print_table("Section 6 averages: paper vs measured", comparison,
+                ["metric", "paper", "measured"])
+    assert summary["average_energy_change"] < 0
+    assert summary["average_power_change"] < -0.05

@@ -1,0 +1,19 @@
+"""Benchmark-harness helpers: every bench prints the rows/series it regenerates."""
+
+from __future__ import annotations
+
+
+def print_table(title, rows, columns):
+    """Print a small aligned table of dict rows."""
+    print(f"\n=== {title} ===")
+    header = " ".join(f"{name:>18s}" for name in columns)
+    print(header)
+    for row in rows:
+        cells = []
+        for name in columns:
+            value = row.get(name, "")
+            if isinstance(value, float):
+                cells.append(f"{value:18.3f}")
+            else:
+                cells.append(f"{str(value):>18s}")
+        print(" ".join(cells))

@@ -1,0 +1,44 @@
+"""Design-space exploration (paper Figure 6) for one BEEBS benchmark.
+
+Enumerates every combination of the most significant basic blocks of
+int_matmult, evaluates the cost model for each, and shows where the ILP
+solver's choices land as the RAM budget (R_spare) and the allowed slowdown
+(X_limit) are relaxed.
+
+Run with::
+
+    python examples/design_space_exploration.py [benchmark]
+"""
+
+import sys
+
+from repro.evaluation.figure6 import design_space, solver_trajectories
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "int_matmult"
+    points = design_space(benchmark, "O2", max_blocks=10)
+
+    energies = [p.energy_j for p in points]
+    ratios = [p.time_ratio for p in points]
+    print(f"=== {benchmark}: {len(points)} enumerated placements ===")
+    print(f"energy range : {min(energies) * 1e6:.2f} .. {max(energies) * 1e6:.2f} uJ")
+    print(f"time ratio   : {min(ratios):.3f} .. {max(ratios):.3f}")
+    print(f"RAM usage    : 0 .. {max(p.ram_bytes for p in points)} bytes")
+
+    trajectories = solver_trajectories(benchmark, "O2")
+    print("\n--- constraining RAM (X_limit relaxed), the solid line of Figure 6 ---")
+    print(f"{'R_spare':>8s} {'blocks':>7s} {'RAM B':>6s} {'energy uJ':>10s} {'time ratio':>11s}")
+    for row in trajectories["ram_sweep"]:
+        print(f"{row['r_spare']:8d} {row['blocks']:7d} {row['ram_bytes']:6d} "
+              f"{row['energy_j'] * 1e6:10.2f} {row['time_ratio']:11.3f}")
+
+    print("\n--- constraining time (RAM relaxed), the dashed line of Figure 6 ---")
+    print(f"{'X_limit':>8s} {'blocks':>7s} {'RAM B':>6s} {'energy uJ':>10s} {'time ratio':>11s}")
+    for row in trajectories["time_sweep"]:
+        print(f"{row['x_limit']:8.2f} {row['blocks']:7d} {row['ram_bytes']:6d} "
+              f"{row['energy_j'] * 1e6:10.2f} {row['time_ratio']:11.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: compile a small kernel, optimize its flash/RAM placement, compare.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CompileOptions, PlacementConfig, FlashRAMOptimizer, Simulator, compile_source
+
+# The paper's motivating example (Figure 2): a hot multiply loop plus a clamp.
+SOURCE = """
+int fn(int k)
+{
+    int i;
+    int x;
+    x = 1;
+    for (i = 0; i < 64; ++i) {
+        x *= k;
+    }
+    if (x > 255) {
+        x = 255;
+    }
+    return x;
+}
+
+int main(void)
+{
+    int total = 0;
+    for (int k = 1; k <= 16; ++k) {
+        total += fn(k) & 255;
+    }
+    return total;
+}
+"""
+
+
+def main() -> None:
+    # 1. Compile at -O2 for the Cortex-M3-like target (64 KB flash / 8 KB RAM).
+    baseline_program = compile_source(SOURCE, CompileOptions.for_level("O2"))
+    baseline = Simulator(baseline_program).run()
+
+    # 2. Compile again and let the ILP-based optimizer move basic blocks to RAM.
+    optimized_program = compile_source(SOURCE, CompileOptions.for_level("O2"))
+    optimizer = FlashRAMOptimizer(optimized_program,
+                                  config=PlacementConfig(x_limit=1.5))
+    solution = optimizer.optimize()
+    optimized = Simulator(optimized_program).run()
+
+    # 3. Report.
+    print("return value        :", baseline.signed_return_value,
+          "(preserved)" if baseline.return_value == optimized.return_value else "(BROKEN)")
+    print("blocks moved to RAM :", len(solution.ram_blocks),
+          f"({solution.estimate.ram_bytes} bytes, budget {solution.r_spare})")
+    for key in sorted(solution.ram_blocks):
+        print("   ", key)
+    print("instrumented blocks :", len(solution.instrumented))
+    print(f"energy  : {baseline.energy_j * 1e6:8.3f} uJ -> {optimized.energy_j * 1e6:8.3f} uJ "
+          f"({100 * (optimized.energy_j / baseline.energy_j - 1):+.1f} %)")
+    print(f"time    : {baseline.cycles:8d} cy -> {optimized.cycles:8d} cy "
+          f"({100 * (optimized.cycles / baseline.cycles - 1):+.1f} %)")
+    print(f"power   : {baseline.average_power_mw:8.2f} mW -> {optimized.average_power_mw:8.2f} mW "
+          f"({100 * (optimized.average_power_w / baseline.average_power_w - 1):+.1f} %)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim so editable installs work in offline environments without wheel."""
+
+from setuptools import setup
+
+setup()

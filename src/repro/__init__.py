@@ -1,0 +1,45 @@
+"""Reproduction of Pallister, Eder & Hollis (CGO 2015):
+"Optimizing the flash-RAM energy trade-off in deeply embedded systems".
+
+High-level API::
+
+    from repro import compile_source, CompileOptions, Simulator, optimize_program
+
+    program = compile_source(source, CompileOptions.for_level("O2"))
+    baseline = Simulator(program).run()
+    solution = optimize_program(program, x_limit=1.5)
+    optimized = Simulator(program).run()
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured comparison of every figure.
+"""
+
+from repro.codegen import CompileOptions, OptLevel, compile_ir_module, compile_source
+from repro.placement import (
+    FlashRAMOptimizer,
+    PlacementConfig,
+    PlacementSolution,
+    optimize_program,
+)
+from repro.power import PeriodicSensingModel, SleepParameters
+from repro.sim import EnergyModel, PowerTable, SimulationResult, Simulator
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CompileOptions",
+    "OptLevel",
+    "compile_source",
+    "compile_ir_module",
+    "FlashRAMOptimizer",
+    "PlacementConfig",
+    "PlacementSolution",
+    "optimize_program",
+    "PeriodicSensingModel",
+    "SleepParameters",
+    "EnergyModel",
+    "PowerTable",
+    "Simulator",
+    "SimulationResult",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Program analyses shared by the optimizer, code generator and placement pass.
+
+The graph-based analyses (dominators, natural loops, loop depth, static
+execution-frequency estimation) are written against a generic CFG description
+(entry block name + successor map) so they can be reused unchanged on IR
+functions and on machine functions.
+"""
+
+from repro.analysis.cfg import CFGView, cfg_of_ir_function, reachable_blocks
+from repro.analysis.dominators import compute_dominators, immediate_dominators
+from repro.analysis.loops import NaturalLoop, find_natural_loops, loop_depths
+from repro.analysis.frequency import estimate_block_frequencies, DEFAULT_LOOP_WEIGHT
+from repro.analysis.liveness import compute_liveness, LivenessInfo
+from repro.analysis.callgraph import build_call_graph, CallGraph
+from repro.analysis.stack_usage import estimate_stack_usage, StackUsageReport
+
+__all__ = [
+    "CFGView",
+    "cfg_of_ir_function",
+    "reachable_blocks",
+    "compute_dominators",
+    "immediate_dominators",
+    "NaturalLoop",
+    "find_natural_loops",
+    "loop_depths",
+    "estimate_block_frequencies",
+    "DEFAULT_LOOP_WEIGHT",
+    "compute_liveness",
+    "LivenessInfo",
+    "build_call_graph",
+    "CallGraph",
+    "estimate_stack_usage",
+    "StackUsageReport",
+]

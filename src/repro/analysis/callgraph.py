@@ -1,0 +1,65 @@
+"""Call-graph construction over IR modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.ir.instructions import Call
+from repro.ir.module import Module
+
+
+@dataclass
+class CallGraph:
+    """Static call graph: an edge per distinct (caller, callee) pair."""
+
+    callees: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def callers_of(self, name: str) -> List[str]:
+        return [caller for caller, targets in self.callees.items() if name in targets]
+
+    def is_leaf(self, name: str) -> bool:
+        return not self.callees.get(name)
+
+    def topological_order(self) -> List[str]:
+        """Callees before callers; cycles (recursion) broken arbitrarily."""
+        order: List[str] = []
+        visited: Dict[str, int] = {}
+
+        def visit(node: str) -> None:
+            state = visited.get(node, 0)
+            if state:
+                return
+            visited[node] = 1
+            for callee in sorted(self.callees.get(node, set())):
+                visit(callee)
+            visited[node] = 2
+            order.append(node)
+
+        for node in sorted(self.callees):
+            visit(node)
+        return order
+
+    def reachable_from(self, root: str) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.callees.get(node, set()))
+        return seen
+
+
+def build_call_graph(module: Module) -> CallGraph:
+    """Build the static call graph of an IR module."""
+    graph = CallGraph()
+    for function in module.functions.values():
+        targets: Set[str] = set()
+        for block in function.iter_blocks():
+            for instr in block.all_instructions():
+                if isinstance(instr, Call):
+                    targets.add(instr.callee)
+        graph.callees[function.name] = targets
+    return graph

@@ -1,0 +1,75 @@
+"""Generic control-flow-graph view used by the graph analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass
+class CFGView:
+    """A minimal CFG description: entry block plus successor lists.
+
+    Both the IR and the machine representation can produce one of these, so
+    dominator/loop/frequency analyses are written once.
+    """
+
+    entry: str
+    successors: Dict[str, List[str]] = field(default_factory=dict)
+
+    def predecessors(self) -> Dict[str, List[str]]:
+        preds: Dict[str, List[str]] = {name: [] for name in self.successors}
+        for name, succs in self.successors.items():
+            for succ in succs:
+                if succ in preds:
+                    preds[succ].append(name)
+        return preds
+
+    def blocks(self) -> List[str]:
+        return list(self.successors.keys())
+
+
+def cfg_of_ir_function(function) -> CFGView:
+    """Build a :class:`CFGView` from an IR function."""
+    successors = {block.name: list(block.successors())
+                  for block in function.iter_blocks()}
+    return CFGView(entry=function.block_order[0], successors=successors)
+
+
+def reachable_blocks(cfg: CFGView) -> Set[str]:
+    """Set of block names reachable from the entry block."""
+    seen: Set[str] = set()
+    stack = [cfg.entry]
+    while stack:
+        name = stack.pop()
+        if name in seen or name not in cfg.successors:
+            continue
+        seen.add(name)
+        stack.extend(cfg.successors[name])
+    return seen
+
+
+def reverse_postorder(cfg: CFGView) -> List[str]:
+    """Blocks in reverse post-order (a good iteration order for dataflow)."""
+    visited: Set[str] = set()
+    order: List[str] = []
+
+    def visit(name: str) -> None:
+        stack = [(name, iter(cfg.successors.get(name, [])))]
+        visited.add(name)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in visited and succ in cfg.successors:
+                    visited.add(succ)
+                    stack.append((succ, iter(cfg.successors.get(succ, []))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(cfg.entry)
+    order.reverse()
+    return order

@@ -1,0 +1,66 @@
+"""Dominator analysis (iterative dataflow formulation)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.analysis.cfg import CFGView, reachable_blocks, reverse_postorder
+
+
+def compute_dominators(cfg: CFGView) -> Dict[str, Set[str]]:
+    """Return, for every reachable block, the set of blocks dominating it.
+
+    A block always dominates itself.  Unreachable blocks are omitted from the
+    result, which is the behaviour the loop analysis expects.
+    """
+    reachable = reachable_blocks(cfg)
+    all_blocks = set(reachable)
+    dominators: Dict[str, Set[str]] = {
+        name: ({cfg.entry} if name == cfg.entry else set(all_blocks))
+        for name in reachable
+    }
+    preds = cfg.predecessors()
+
+    order = [name for name in reverse_postorder(cfg) if name in reachable]
+    changed = True
+    while changed:
+        changed = False
+        for name in order:
+            if name == cfg.entry:
+                continue
+            incoming = [dominators[p] for p in preds.get(name, []) if p in reachable]
+            if incoming:
+                new_set = set.intersection(*incoming)
+            else:
+                new_set = set()
+            new_set = new_set | {name}
+            if new_set != dominators[name]:
+                dominators[name] = new_set
+                changed = True
+    return dominators
+
+
+def immediate_dominators(cfg: CFGView) -> Dict[str, Optional[str]]:
+    """Return the immediate dominator of every reachable block (entry -> None)."""
+    dominators = compute_dominators(cfg)
+    idom: Dict[str, Optional[str]] = {}
+    for name, doms in dominators.items():
+        if name == cfg.entry:
+            idom[name] = None
+            continue
+        strict = doms - {name}
+        # The immediate dominator is the strict dominator dominated by all
+        # other strict dominators.
+        best = None
+        for candidate in strict:
+            if all(candidate in dominators[other] or candidate == other
+                   for other in strict):
+                best = candidate
+                break
+        idom[name] = best
+    return idom
+
+
+def dominates(dominators: Dict[str, Set[str]], a: str, b: str) -> bool:
+    """True if block *a* dominates block *b* under the precomputed sets."""
+    return a in dominators.get(b, set())

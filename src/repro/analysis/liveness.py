@@ -1,0 +1,66 @@
+"""Backward liveness analysis over virtual registers.
+
+Works on any function-like object whose blocks expose ``all_instructions()``
+and ``successors()`` and whose instructions expose ``defs()`` and ``uses()``
+(the machine representation before register allocation does).  The register
+allocator consumes the per-block live-out sets and derives live intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass
+class LivenessInfo:
+    """Per-block liveness sets."""
+
+    live_in: Dict[str, Set] = field(default_factory=dict)
+    live_out: Dict[str, Set] = field(default_factory=dict)
+    use: Dict[str, Set] = field(default_factory=dict)
+    defs: Dict[str, Set] = field(default_factory=dict)
+
+
+def compute_liveness(function, only_virtual: bool = True) -> LivenessInfo:
+    """Compute live-in/live-out sets for every block of *function*.
+
+    With ``only_virtual`` (the default) physical registers are ignored, which
+    is what the linear-scan allocator wants; the simulator never needs
+    liveness.
+    """
+    info = LivenessInfo()
+    blocks = list(function.iter_blocks())
+
+    def keep(reg) -> bool:
+        return (not only_virtual) or getattr(reg, "virtual", False)
+
+    for block in blocks:
+        use_set: Set = set()
+        def_set: Set = set()
+        for instr in block.all_instructions():
+            for reg in instr.uses():
+                if keep(reg) and reg not in def_set:
+                    use_set.add(reg)
+            for reg in instr.defs():
+                if keep(reg):
+                    def_set.add(reg)
+        info.use[block.name] = use_set
+        info.defs[block.name] = def_set
+        info.live_in[block.name] = set()
+        info.live_out[block.name] = set()
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            name = block.name
+            live_out: Set = set()
+            for succ in block.successors():
+                live_out |= info.live_in.get(succ, set())
+            live_in = info.use[name] | (live_out - info.defs[name])
+            if live_out != info.live_out[name] or live_in != info.live_in[name]:
+                info.live_out[name] = live_out
+                info.live_in[name] = live_in
+                changed = True
+    return info

@@ -1,0 +1,63 @@
+"""Natural-loop detection and per-block loop depth.
+
+Loop depth drives the paper's *static* execution-frequency estimate
+(Section 4.1, parameter ``F_b``): a block nested ``d`` loops deep is assumed
+to execute ``weight**d`` times more often than straight-line code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.analysis.cfg import CFGView, reachable_blocks
+from repro.analysis.dominators import compute_dominators
+
+
+@dataclass
+class NaturalLoop:
+    """A natural loop: header block plus the set of blocks in its body."""
+
+    header: str
+    body: Set[str] = field(default_factory=set)
+    back_edges: List[str] = field(default_factory=list)
+
+    def __contains__(self, block: str) -> bool:
+        return block in self.body
+
+
+def find_natural_loops(cfg: CFGView) -> List[NaturalLoop]:
+    """Find all natural loops via back edges (edges to a dominator).
+
+    Loops sharing a header are merged, matching the usual definition used by
+    loop-depth computations.
+    """
+    dominators = compute_dominators(cfg)
+    reachable = reachable_blocks(cfg)
+    preds = cfg.predecessors()
+    loops: Dict[str, NaturalLoop] = {}
+
+    for block in reachable:
+        for succ in cfg.successors.get(block, []):
+            if succ in dominators.get(block, set()):
+                # block -> succ is a back edge; succ is the loop header.
+                loop = loops.setdefault(succ, NaturalLoop(header=succ, body={succ}))
+                loop.back_edges.append(block)
+                # Collect the loop body by walking predecessors from the latch.
+                stack = [block]
+                while stack:
+                    current = stack.pop()
+                    if current in loop.body:
+                        continue
+                    loop.body.add(current)
+                    stack.extend(p for p in preds.get(current, []) if p in reachable)
+    return list(loops.values())
+
+
+def loop_depths(cfg: CFGView) -> Dict[str, int]:
+    """Per-block loop nesting depth (0 for blocks outside any loop)."""
+    loops = find_natural_loops(cfg)
+    depths = {name: 0 for name in cfg.successors}
+    for name in depths:
+        depths[name] = sum(1 for loop in loops if name in loop.body)
+    return depths

@@ -1,0 +1,73 @@
+"""Static worst-case stack-usage analysis.
+
+Section 4.1 of the paper notes that the ``R_spare`` parameter (how much RAM
+the placement may use for code) "can be derived statically, by considering the
+size of the variables in RAM, heap and the stack usage".  This module
+implements that derivation for our machine programs: the worst-case call-chain
+stack depth plus the size of mutable global data is subtracted from the
+physical RAM size to obtain the spare RAM available for relocated code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class StackUsageReport:
+    """Result of the static stack analysis."""
+
+    per_function: Dict[str, int] = field(default_factory=dict)
+    worst_case: int = 0
+    worst_chain: List[str] = field(default_factory=list)
+    recursive: bool = False
+
+
+def estimate_stack_usage(frame_sizes: Dict[str, int],
+                         call_edges: Dict[str, Set[str]],
+                         entry: str,
+                         recursion_bound: int = 8) -> StackUsageReport:
+    """Compute the worst-case stack usage starting from *entry*.
+
+    ``frame_sizes`` maps function name to its frame size in bytes (including
+    saved registers).  ``call_edges`` maps function name to the set of callees.
+    Recursive cycles are charged ``recursion_bound`` times, which is a
+    conservative but bounded treatment suitable for deriving ``R_spare``.
+    """
+    report = StackUsageReport(per_function=dict(frame_sizes))
+    memo: Dict[str, int] = {}
+    chain_memo: Dict[str, List[str]] = {}
+
+    def depth(name: str, visiting: Set[str]) -> int:
+        if name in memo:
+            return memo[name]
+        own = frame_sizes.get(name, 0)
+        if name in visiting:
+            report.recursive = True
+            return own * recursion_bound
+        visiting = visiting | {name}
+        best = 0
+        best_chain: List[str] = []
+        for callee in sorted(call_edges.get(name, set())):
+            if callee not in frame_sizes and callee not in call_edges:
+                continue
+            sub = depth(callee, visiting)
+            if sub > best:
+                best = sub
+                best_chain = chain_memo.get(callee, [callee])
+        memo[name] = own + best
+        chain_memo[name] = [name] + best_chain
+        return memo[name]
+
+    report.worst_case = depth(entry, set()) if (entry in frame_sizes or
+                                                entry in call_edges) else 0
+    report.worst_chain = chain_memo.get(entry, [entry])
+    return report
+
+
+def spare_ram_for_code(ram_size: int, data_size: int, stack_usage: int,
+                       safety_margin: int = 64) -> int:
+    """Derive ``R_spare``: RAM left for relocated code after data and stack."""
+    spare = ram_size - data_size - stack_usage - safety_margin
+    return max(spare, 0)

@@ -1,0 +1,18 @@
+"""BEEBS-like benchmark suite (the paper's evaluation workloads).
+
+Ten kernels with the same names and workload classes as the BEEBS subset used
+in the paper: ``2dfir``, ``blowfish``, ``crc32``, ``cubic``, ``dijkstra``,
+``fdct``, ``float_matmult``, ``int_matmult``, ``rijndael`` and ``sha``.  Each
+is written in the mini-C dialect, sized so that a full simulation finishes in
+well under a second, and returns a checksum so compilation correctness can be
+asserted at every optimization level.
+"""
+
+from repro.beebs.suite import (
+    BENCHMARK_NAMES,
+    Benchmark,
+    get_benchmark,
+    iter_benchmarks,
+)
+
+__all__ = ["BENCHMARK_NAMES", "Benchmark", "get_benchmark", "iter_benchmarks"]

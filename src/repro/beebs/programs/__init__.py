@@ -1,0 +1,1 @@
+"""Source texts of the individual benchmark kernels."""

@@ -1,0 +1,146 @@
+"""Crypto benchmark kernels: blowfish and rijndael (reduced-size tables)."""
+
+BLOWFISH_SOURCE = r"""
+// Blowfish-style Feistel network with reduced S-boxes (BEEBS blowfish class).
+unsigned sbox0[64];
+unsigned sbox1[64];
+unsigned p_array[18];
+
+void init_tables(void)
+{
+    unsigned seed = 305419896;
+    for (int i = 0; i < 64; ++i) {
+        seed = seed * 1664525 + 1013904223;
+        sbox0[i] = seed;
+        seed = seed * 1664525 + 1013904223;
+        sbox1[i] = seed;
+    }
+    for (int i = 0; i < 18; ++i) {
+        seed = seed * 1664525 + 1013904223;
+        p_array[i] = seed;
+    }
+}
+
+unsigned feistel(unsigned x)
+{
+    unsigned high = (x >> 26) & 63;
+    unsigned low = (x >> 10) & 63;
+    return (sbox0[high] + sbox1[low]) ^ (sbox0[low & 63] | sbox1[high]);
+}
+
+unsigned encrypt_half(unsigned left, unsigned right)
+{
+    for (int round = 0; round < 16; ++round) {
+        left = left ^ p_array[round];
+        right = right ^ feistel(left);
+        unsigned swap = left;
+        left = right;
+        right = swap;
+    }
+    return left ^ p_array[16] ^ (right ^ p_array[17]);
+}
+
+int main(void)
+{
+    init_tables();
+    unsigned checksum = 0;
+    unsigned left = 1;
+    unsigned right = 2;
+    for (int blockIndex = 0; blockIndex < 8; ++blockIndex) {
+        checksum = checksum ^ encrypt_half(left + blockIndex, right + 2 * blockIndex);
+        left = left + 3;
+        right = right + 5;
+    }
+    return checksum & 1048575;
+}
+"""
+
+RIJNDAEL_SOURCE = r"""
+// Rijndael (AES)-style rounds: SubBytes via a generated S-box, ShiftRows,
+// a simplified MixColumns over GF(2^8) and AddRoundKey.
+unsigned sbox[256];
+unsigned state[16];
+unsigned round_key[16];
+
+unsigned xtime(unsigned value)
+{
+    value = value << 1;
+    if ((value & 256) != 0) {
+        value = (value ^ 27) & 255;
+    }
+    return value & 255;
+}
+
+void init_tables(void)
+{
+    // A permutation standing in for the real AES S-box (affine map over bytes).
+    for (int i = 0; i < 256; ++i) {
+        sbox[i] = (i * 7 + 99) & 255;
+    }
+    for (int i = 0; i < 16; ++i) {
+        state[i] = (i * 17 + 1) & 255;
+        round_key[i] = (i * 29 + 5) & 255;
+    }
+}
+
+void sub_bytes(void)
+{
+    for (int i = 0; i < 16; ++i) {
+        state[i] = sbox[state[i]];
+    }
+}
+
+void shift_rows(void)
+{
+    for (int row = 1; row < 4; ++row) {
+        for (int shift = 0; shift < row; ++shift) {
+            unsigned first = state[row];
+            state[row] = state[row + 4];
+            state[row + 4] = state[row + 8];
+            state[row + 8] = state[row + 12];
+            state[row + 12] = first;
+        }
+    }
+}
+
+void mix_columns(void)
+{
+    for (int col = 0; col < 4; ++col) {
+        int base = col * 4;
+        unsigned a0 = state[base];
+        unsigned a1 = state[base + 1];
+        unsigned a2 = state[base + 2];
+        unsigned a3 = state[base + 3];
+        state[base] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3;
+        state[base + 1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3;
+        state[base + 2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3);
+        state[base + 3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3);
+    }
+}
+
+void add_round_key(int round)
+{
+    for (int i = 0; i < 16; ++i) {
+        state[i] = state[i] ^ ((round_key[i] + round * 13) & 255);
+    }
+}
+
+int main(void)
+{
+    init_tables();
+    add_round_key(0);
+    for (int round = 1; round <= 10; ++round) {
+        sub_bytes();
+        shift_rows();
+        if (round < 10) {
+            mix_columns();
+        }
+        add_round_key(round);
+    }
+    unsigned checksum = 0;
+    for (int i = 0; i < 16; ++i) {
+        checksum = (checksum << 1) ^ state[i];
+    }
+    return checksum & 1048575;
+}
+"""

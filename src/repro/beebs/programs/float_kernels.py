@@ -1,0 +1,91 @@
+"""Floating-point benchmark kernels: cubic and float_matmult.
+
+Both rely heavily on the soft-float runtime, reproducing the paper's
+observation that library-dominated benchmarks gain little from the
+optimization because library code cannot be relocated.
+"""
+
+CUBIC_SOURCE = r"""
+// Solve x^3 + a*x^2 + b*x + c = 0 for its real root via Newton iteration
+// (the BEEBS cubic workload class, dominated by soft-float library calls).
+float poly(float a, float b, float c, float x)
+{
+    return ((x + a) * x + b) * x + c;
+}
+
+float poly_derivative(float a, float b, float x)
+{
+    return (3.0 * x + 2.0 * a) * x + b;
+}
+
+float solve_cubic(float a, float b, float c)
+{
+    float x = 1.0;
+    for (int iteration = 0; iteration < 12; ++iteration) {
+        float value = poly(a, b, c, x);
+        float slope = poly_derivative(a, b, x);
+        if (slope == 0.0) {
+            return x;
+        }
+        x = x - value / slope;
+    }
+    return x;
+}
+
+int main(void)
+{
+    int checksum = 0;
+    for (int k = 1; k <= 4; ++k) {
+        float a = 1.0 * k;
+        float b = -7.0;
+        float c = -1.0 * k;
+        float root = solve_cubic(a, b, c);
+        float scaled = root * 1000.0;
+        checksum += scaled;
+    }
+    return checksum;
+}
+"""
+
+FLOAT_MATMULT_SOURCE = r"""
+// Single-precision matrix-matrix multiplication through the soft-float
+// runtime (BEEBS float_matmult class).
+float matrix_a[36];
+float matrix_b[36];
+float matrix_c[36];
+
+void init_matrices(int n)
+{
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            matrix_a[i * n + j] = 1.0 * ((i + 2 * j) % 7) + 0.5;
+            matrix_b[i * n + j] = 1.0 * ((3 * i + j) % 5) + 0.25;
+        }
+    }
+}
+
+void multiply(int n)
+{
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            float acc = 0.0;
+            for (int k = 0; k < n; ++k) {
+                acc = acc + matrix_a[i * n + k] * matrix_b[k * n + j];
+            }
+            matrix_c[i * n + j] = acc;
+        }
+    }
+}
+
+int main(void)
+{
+    init_matrices(6);
+    multiply(6);
+    float total = 0.0;
+    for (int i = 0; i < 36; ++i) {
+        total = total + matrix_c[i];
+    }
+    int checksum = total;
+    return checksum;
+}
+"""

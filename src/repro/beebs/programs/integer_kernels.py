@@ -1,0 +1,330 @@
+"""Integer benchmark kernels: 2dfir, crc32, dijkstra, fdct, int_matmult, sha."""
+
+FIR2D_SOURCE = r"""
+// 2-dimensional FIR filter over a small image (BEEBS 2dfir workload class).
+int image[100];
+int output_image[100];
+int coefficients[9] = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+
+void init_image(void)
+{
+    for (int i = 0; i < 100; ++i) {
+        image[i] = (i * 7 + 3) % 64;
+    }
+}
+
+int fir2d(int width, int height)
+{
+    int checksum = 0;
+    for (int row = 1; row < height - 1; ++row) {
+        for (int col = 1; col < width - 1; ++col) {
+            int acc = 0;
+            for (int krow = 0; krow < 3; ++krow) {
+                for (int kcol = 0; kcol < 3; ++kcol) {
+                    int pixel = image[(row + krow - 1) * width + (col + kcol - 1)];
+                    acc += pixel * coefficients[krow * 3 + kcol];
+                }
+            }
+            output_image[row * width + col] = acc >> 4;
+            checksum += acc >> 4;
+        }
+    }
+    return checksum;
+}
+
+int main(void)
+{
+    init_image();
+    return fir2d(10, 10);
+}
+"""
+
+CRC32_SOURCE = r"""
+// CRC-32 (bitwise, reflected polynomial) over a pseudo-random buffer.
+unsigned message[64];
+
+void init_message(void)
+{
+    unsigned seed = 123456789;
+    for (int i = 0; i < 64; ++i) {
+        seed = seed * 1103515245 + 12345;
+        message[i] = seed;
+    }
+}
+
+unsigned crc32_word(unsigned crc, unsigned data)
+{
+    crc = crc ^ data;
+    for (int bit = 0; bit < 32; ++bit) {
+        if ((crc & 1) != 0) {
+            crc = (crc >> 1) ^ 3988292384;
+        } else {
+            crc = crc >> 1;
+        }
+    }
+    return crc;
+}
+
+int main(void)
+{
+    init_message();
+    unsigned crc = 4294967295;
+    for (int i = 0; i < 64; ++i) {
+        crc = crc32_word(crc, message[i]);
+    }
+    return (crc ^ 4294967295) & 65535;
+}
+"""
+
+DIJKSTRA_SOURCE = r"""
+// Single-source shortest paths on a dense random graph (adjacency matrix).
+int adjacency[144];
+int distance_[12];
+int visited[12];
+
+void init_graph(void)
+{
+    unsigned seed = 7;
+    for (int i = 0; i < 12; ++i) {
+        for (int j = 0; j < 12; ++j) {
+            seed = seed * 1103515245 + 12345;
+            int weight = (seed >> 16) % 20 + 1;
+            if (i == j) { weight = 0; }
+            adjacency[i * 12 + j] = weight;
+        }
+    }
+}
+
+int dijkstra(int source, int nodes)
+{
+    for (int i = 0; i < nodes; ++i) {
+        distance_[i] = 100000;
+        visited[i] = 0;
+    }
+    distance_[source] = 0;
+    for (int round = 0; round < nodes; ++round) {
+        int best = -1;
+        int best_distance = 100000;
+        for (int i = 0; i < nodes; ++i) {
+            if (visited[i] == 0 && distance_[i] < best_distance) {
+                best = i;
+                best_distance = distance_[i];
+            }
+        }
+        if (best < 0) { break; }
+        visited[best] = 1;
+        for (int j = 0; j < nodes; ++j) {
+            int candidate = distance_[best] + adjacency[best * 12 + j];
+            if (candidate < distance_[j]) {
+                distance_[j] = candidate;
+            }
+        }
+    }
+    int checksum = 0;
+    for (int i = 0; i < nodes; ++i) {
+        checksum += distance_[i];
+    }
+    return checksum;
+}
+
+int main(void)
+{
+    init_graph();
+    return dijkstra(0, 12);
+}
+"""
+
+FDCT_SOURCE = r"""
+// Forward discrete cosine transform on 8x8 blocks (integer butterflies),
+// the paper's case-study kernel.
+int block[64];
+int coefficients[64];
+
+void init_block(int offset)
+{
+    for (int i = 0; i < 64; ++i) {
+        block[i] = ((i * 13 + offset * 31) % 255) - 128;
+    }
+}
+
+void fdct_rows(void)
+{
+    for (int row = 0; row < 8; ++row) {
+        int base = row * 8;
+        int s07 = block[base + 0] + block[base + 7];
+        int d07 = block[base + 0] - block[base + 7];
+        int s16 = block[base + 1] + block[base + 6];
+        int d16 = block[base + 1] - block[base + 6];
+        int s25 = block[base + 2] + block[base + 5];
+        int d25 = block[base + 2] - block[base + 5];
+        int s34 = block[base + 3] + block[base + 4];
+        int d34 = block[base + 3] - block[base + 4];
+        coefficients[base + 0] = s07 + s16 + s25 + s34;
+        coefficients[base + 4] = s07 - s16 - s25 + s34;
+        coefficients[base + 2] = (d07 * 106 + d16 * 44 - d25 * 44 - d34 * 106) >> 7;
+        coefficients[base + 6] = (d07 * 44 - d16 * 106 + d25 * 106 - d34 * 44) >> 7;
+        coefficients[base + 1] = (d07 * 124 + d16 * 105 + d25 * 70 + d34 * 24) >> 7;
+        coefficients[base + 3] = (d07 * 105 - d16 * 24 - d25 * 124 - d34 * 70) >> 7;
+        coefficients[base + 5] = (d07 * 70 - d16 * 124 + d25 * 24 + d34 * 105) >> 7;
+        coefficients[base + 7] = (d07 * 24 - d16 * 70 + d25 * 105 - d34 * 124) >> 7;
+    }
+}
+
+void fdct_columns(void)
+{
+    for (int col = 0; col < 8; ++col) {
+        int s07 = coefficients[col] + coefficients[56 + col];
+        int d07 = coefficients[col] - coefficients[56 + col];
+        int s16 = coefficients[8 + col] + coefficients[48 + col];
+        int d16 = coefficients[8 + col] - coefficients[48 + col];
+        int s25 = coefficients[16 + col] + coefficients[40 + col];
+        int d25 = coefficients[16 + col] - coefficients[40 + col];
+        int s34 = coefficients[24 + col] + coefficients[32 + col];
+        int d34 = coefficients[24 + col] - coefficients[32 + col];
+        block[col] = (s07 + s16 + s25 + s34) >> 3;
+        block[32 + col] = (s07 - s16 - s25 + s34) >> 3;
+        block[16 + col] = (d07 * 106 + d16 * 44 - d25 * 44 - d34 * 106) >> 10;
+        block[48 + col] = (d07 * 44 - d16 * 106 + d25 * 106 - d34 * 44) >> 10;
+        block[8 + col] = (d07 * 124 + d16 * 105 + d25 * 70 + d34 * 24) >> 10;
+        block[24 + col] = (d07 * 105 - d16 * 24 - d25 * 124 - d34 * 70) >> 10;
+        block[40 + col] = (d07 * 70 - d16 * 124 + d25 * 24 + d34 * 105) >> 10;
+        block[56 + col] = (d07 * 24 - d16 * 70 + d25 * 105 - d34 * 124) >> 10;
+    }
+}
+
+int main(void)
+{
+    int checksum = 0;
+    for (int frame = 0; frame < 4; ++frame) {
+        init_block(frame);
+        fdct_rows();
+        fdct_columns();
+        for (int i = 0; i < 64; ++i) {
+            checksum += block[i] * (i + 1);
+        }
+    }
+    return checksum & 1048575;
+}
+"""
+
+INT_MATMULT_SOURCE = r"""
+// Integer matrix-matrix multiplication (the paper's best case at O2).
+int matrix_a[100];
+int matrix_b[100];
+int matrix_c[100];
+
+void init_matrices(int n)
+{
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            matrix_a[i * n + j] = (i + 2 * j) % 17;
+            matrix_b[i * n + j] = (3 * i + j) % 13;
+        }
+    }
+}
+
+void multiply(int n)
+{
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            int acc = 0;
+            for (int k = 0; k < n; ++k) {
+                acc += matrix_a[i * n + k] * matrix_b[k * n + j];
+            }
+            matrix_c[i * n + j] = acc;
+        }
+    }
+}
+
+int main(void)
+{
+    init_matrices(10);
+    multiply(10);
+    int checksum = 0;
+    for (int i = 0; i < 100; ++i) {
+        checksum += matrix_c[i];
+    }
+    return checksum;
+}
+"""
+
+SHA_SOURCE = r"""
+// SHA-1 style compression rounds over a pseudo-random message schedule.
+unsigned schedule[80];
+unsigned digest[5];
+
+unsigned rotate_left(unsigned value, int amount)
+{
+    return (value << amount) | (value >> (32 - amount));
+}
+
+void init_schedule(void)
+{
+    unsigned seed = 2463534242;
+    for (int i = 0; i < 16; ++i) {
+        seed = seed ^ (seed << 13);
+        seed = seed ^ (seed >> 17);
+        seed = seed ^ (seed << 5);
+        schedule[i] = seed;
+    }
+    for (int i = 16; i < 80; ++i) {
+        schedule[i] = rotate_left(
+            schedule[i - 3] ^ schedule[i - 8] ^ schedule[i - 14] ^ schedule[i - 16], 1);
+    }
+}
+
+void sha_compress(void)
+{
+    unsigned a = 1732584193;
+    unsigned b = 4023233417;
+    unsigned c = 2562383102;
+    unsigned d = 271733878;
+    unsigned e = 3285377520;
+    for (int t = 0; t < 80; ++t) {
+        unsigned f;
+        unsigned k;
+        if (t < 20) {
+            f = (b & c) | ((~b) & d);
+            k = 1518500249;
+        } else if (t < 40) {
+            f = b ^ c ^ d;
+            k = 1859775393;
+        } else if (t < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 2400959708;
+        } else {
+            f = b ^ c ^ d;
+            k = 3395469782;
+        }
+        unsigned temp = rotate_left(a, 5) + f + e + k + schedule[t];
+        e = d;
+        d = c;
+        c = rotate_left(b, 30);
+        b = a;
+        a = temp;
+    }
+    digest[0] = digest[0] + a;
+    digest[1] = digest[1] + b;
+    digest[2] = digest[2] + c;
+    digest[3] = digest[3] + d;
+    digest[4] = digest[4] + e;
+}
+
+int main(void)
+{
+    digest[0] = 1732584193;
+    digest[1] = 4023233417;
+    digest[2] = 2562383102;
+    digest[3] = 271733878;
+    digest[4] = 3285377520;
+    int checksum = 0;
+    for (int blockIndex = 0; blockIndex < 2; ++blockIndex) {
+        init_schedule();
+        sha_compress();
+    }
+    for (int i = 0; i < 5; ++i) {
+        checksum = checksum ^ (digest[i] & 65535);
+    }
+    return checksum;
+}
+"""

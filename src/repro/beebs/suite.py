@@ -1,0 +1,74 @@
+"""Benchmark registry and helpers for compiling/simulating the suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.beebs.programs.crypto_kernels import BLOWFISH_SOURCE, RIJNDAEL_SOURCE
+from repro.beebs.programs.float_kernels import CUBIC_SOURCE, FLOAT_MATMULT_SOURCE
+from repro.beebs.programs.integer_kernels import (
+    CRC32_SOURCE,
+    DIJKSTRA_SOURCE,
+    FDCT_SOURCE,
+    FIR2D_SOURCE,
+    INT_MATMULT_SOURCE,
+    SHA_SOURCE,
+)
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark kernel of the suite."""
+
+    name: str
+    source: str
+    description: str
+    uses_float: bool = False
+
+
+_BENCHMARKS: Dict[str, Benchmark] = {
+    "2dfir": Benchmark("2dfir", FIR2D_SOURCE,
+                       "two-dimensional FIR filter over a small image"),
+    "blowfish": Benchmark("blowfish", BLOWFISH_SOURCE,
+                          "Blowfish-style Feistel cipher with reduced S-boxes"),
+    "crc32": Benchmark("crc32", CRC32_SOURCE,
+                       "bitwise CRC-32 over a pseudo-random buffer"),
+    "cubic": Benchmark("cubic", CUBIC_SOURCE,
+                       "cubic root solving via Newton iteration (soft-float)",
+                       uses_float=True),
+    "dijkstra": Benchmark("dijkstra", DIJKSTRA_SOURCE,
+                          "single-source shortest paths on a dense graph"),
+    "fdct": Benchmark("fdct", FDCT_SOURCE,
+                      "forward discrete cosine transform on 8x8 blocks"),
+    "float_matmult": Benchmark("float_matmult", FLOAT_MATMULT_SOURCE,
+                               "single-precision matrix multiply (soft-float)",
+                               uses_float=True),
+    "int_matmult": Benchmark("int_matmult", INT_MATMULT_SOURCE,
+                             "integer matrix multiply"),
+    "rijndael": Benchmark("rijndael", RIJNDAEL_SOURCE,
+                          "AES-style rounds with generated tables"),
+    "sha": Benchmark("sha", SHA_SOURCE,
+                     "SHA-1 style compression rounds"),
+}
+
+#: Names in the order the paper's Figure 5 lists them.
+BENCHMARK_NAMES: List[str] = [
+    "2dfir", "blowfish", "crc32", "cubic", "dijkstra", "fdct",
+    "float_matmult", "int_matmult", "rijndael", "sha",
+]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by its BEEBS name."""
+    try:
+        return _BENCHMARKS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown benchmark {name!r}; "
+                       f"known: {', '.join(BENCHMARK_NAMES)}") from exc
+
+
+def iter_benchmarks(names: Optional[List[str]] = None) -> Iterator[Benchmark]:
+    """Iterate over benchmarks (all of them by default, in Figure 5 order)."""
+    for name in (names or BENCHMARK_NAMES):
+        yield get_benchmark(name)

@@ -1,0 +1,31 @@
+"""Code generation: instruction selection, register allocation, frame lowering.
+
+The top-level entry point is :func:`repro.codegen.compiler.compile_ir_module`
+(or :func:`repro.codegen.compiler.compile_source`), which runs the optimization
+pipeline for the requested ``-O`` level, selects instructions, allocates
+registers, lays out stack frames and links the result into a
+:class:`repro.machine.MachineProgram`.
+"""
+
+from repro.codegen.isel import select_instructions, ISelError
+from repro.codegen.regalloc import allocate_registers, RegAllocError
+from repro.codegen.framelower import lower_frame
+from repro.codegen.optlevels import OptLevel, PIPELINES
+from repro.codegen.compiler import (
+    compile_ir_module,
+    compile_source,
+    CompileOptions,
+)
+
+__all__ = [
+    "select_instructions",
+    "ISelError",
+    "allocate_registers",
+    "RegAllocError",
+    "lower_frame",
+    "OptLevel",
+    "PIPELINES",
+    "compile_ir_module",
+    "compile_source",
+    "CompileOptions",
+]

@@ -1,0 +1,120 @@
+"""Top-level compiler driver.
+
+Pipelines a mini-C source (or an already-lowered IR module) through the
+optimization passes, instruction selection, register allocation and frame
+lowering, links the soft-float runtime when needed, prunes unreachable
+functions and finally lays the program out over the flash/RAM memory map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.analysis.callgraph import build_call_graph
+from repro.codegen.framelower import lower_frame
+from repro.codegen.isel import select_instructions
+from repro.codegen.optlevels import OptLevel, PIPELINES, pass_manager_for
+from repro.codegen.regalloc import allocate_registers
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.irgen.lowering import compile_source_to_ir
+from repro.machine.layout import assign_addresses
+from repro.machine.program import MachineProgram
+
+
+@dataclass
+class CompileOptions:
+    """Options accepted by :func:`compile_ir_module` / :func:`compile_source`."""
+
+    opt_level: OptLevel = OptLevel.O2
+    entry: str = "main"
+    link_runtime: bool = True
+    prune_unreachable: bool = True
+    verify: bool = True
+    program_name: str = "program"
+    stack_reserve: int = 1024
+
+    @classmethod
+    def for_level(cls, level: Union[OptLevel, str], **kwargs) -> "CompileOptions":
+        if isinstance(level, str):
+            level = OptLevel.parse(level)
+        return cls(opt_level=level, **kwargs)
+
+
+def compile_source(source: str, options: Optional[CompileOptions] = None) -> MachineProgram:
+    """Compile mini-C *source* into a linked :class:`MachineProgram`."""
+    options = options or CompileOptions()
+    module = compile_source_to_ir(source, options.program_name)
+    return compile_ir_module(module, options)
+
+
+def compile_ir_module(module: Module,
+                      options: Optional[CompileOptions] = None) -> MachineProgram:
+    """Compile an IR *module* into a linked :class:`MachineProgram`."""
+    options = options or CompileOptions()
+    config = PIPELINES[options.opt_level]
+
+    if options.link_runtime:
+        _link_runtime_if_needed(module)
+
+    if options.prune_unreachable and options.entry in module.functions:
+        _prune_unreachable_functions(module, options.entry)
+
+    if options.verify:
+        verify_module(module)
+
+    if config.passes:
+        pass_manager_for(options.opt_level).run(module)
+        if options.verify:
+            verify_module(module)
+
+    program = MachineProgram(options.program_name, entry=options.entry)
+    for data in module.globals.values():
+        program.add_global(data)
+
+    for function in module.functions.values():
+        machine_function = select_instructions(function, use_cbz=config.use_cbz)
+        allocate_registers(machine_function, spill_all=config.spill_all)
+        lower_frame(machine_function)
+        program.add_function(machine_function)
+
+    assign_addresses(program, stack_reserve=options.stack_reserve)
+    return program
+
+
+# --------------------------------------------------------------------------- #
+# Linking helpers
+# --------------------------------------------------------------------------- #
+def _called_functions(module: Module) -> set:
+    graph = build_call_graph(module)
+    called = set()
+    for targets in graph.callees.values():
+        called |= targets
+    return called
+
+
+def _link_runtime_if_needed(module: Module) -> None:
+    """Link the soft-float runtime if the module calls any of its routines."""
+    from repro.runtime import softfloat
+
+    called = _called_functions(module)
+    needed = [name for name in called
+              if name.startswith("__fp_") and name not in module.functions]
+    if not needed:
+        return
+    runtime = softfloat.soft_float_module()
+    for function in runtime.functions.values():
+        if function.name not in module.functions:
+            module.add_function(function)
+    for data in runtime.globals.values():
+        if data.name not in module.globals:
+            module.add_global(data)
+
+
+def _prune_unreachable_functions(module: Module, entry: str) -> None:
+    graph = build_call_graph(module)
+    keep = graph.reachable_from(entry)
+    for name in list(module.functions):
+        if name not in keep:
+            del module.functions[name]

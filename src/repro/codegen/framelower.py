@@ -1,0 +1,83 @@
+"""Frame lowering: prologue/epilogue insertion and frame-reference resolution.
+
+After register allocation the function knows its frame objects (local arrays
+and spill slots) and which callee-saved registers it uses.  This pass
+
+* lays out the frame and rewrites symbolic :class:`FrameRef` operands into
+  SP-relative immediates,
+* inserts ``push``/``sub sp`` prologues and ``add sp``/``pop`` epilogues,
+* replaces ``bx lr`` with ``pop {..., pc}`` when the link register was saved.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Imm, MachineInstr, Opcode, RegList
+from repro.isa.registers import LR, PC, SP, Reg
+from repro.machine.blocks import MachineFunction
+from repro.machine.frame import FrameLayout, FrameRef
+
+
+def lower_frame(function: MachineFunction) -> FrameLayout:
+    """Lower the stack frame of *function* in place and return its layout."""
+    layout = FrameLayout()
+    for name, size in sorted(function.frame_objects.items()):
+        layout.add(name, size)
+    frame_size = layout.aligned_size()
+    function.frame_size = frame_size
+
+    _resolve_frame_refs(function, layout)
+    _insert_prologue_epilogue(function, frame_size)
+    return layout
+
+
+def _resolve_frame_refs(function: MachineFunction, layout: FrameLayout) -> None:
+    for block in function.iter_blocks():
+        for instr in block.instructions:
+            new_operands = []
+            for operand in instr.operands:
+                if isinstance(operand, FrameRef):
+                    new_operands.append(Imm(layout.offset_of(operand.name)))
+                else:
+                    new_operands.append(operand)
+            instr.operands = new_operands
+
+
+def _insert_prologue_epilogue(function: MachineFunction, frame_size: int) -> None:
+    saved: List[Reg] = list(function.saved_registers)
+    push_lr = function.makes_calls
+    push_regs = saved + ([LR] if push_lr else [])
+
+    prologue: List[MachineInstr] = []
+    if push_regs:
+        prologue.append(MachineInstr(Opcode.PUSH, [RegList(tuple(push_regs))],
+                                     comment="prologue"))
+    if frame_size > 0:
+        prologue.append(MachineInstr(Opcode.SUB, [SP, SP, Imm(frame_size)],
+                                     comment="prologue"))
+    if prologue:
+        entry = function.entry_block
+        entry.instructions = prologue + entry.instructions
+
+    for block in function.iter_blocks():
+        new_instructions: List[MachineInstr] = []
+        for instr in block.instructions:
+            is_return = (instr.opcode is Opcode.BX and instr.operands
+                         and instr.operands[0] == LR)
+            if not is_return:
+                new_instructions.append(instr)
+                continue
+            if frame_size > 0:
+                new_instructions.append(MachineInstr(
+                    Opcode.ADD, [SP, SP, Imm(frame_size)], comment="epilogue"))
+            if push_lr:
+                pop_regs = tuple(saved + [PC])
+                new_instructions.append(MachineInstr(
+                    Opcode.POP, [RegList(pop_regs)], comment="epilogue"))
+            else:
+                if saved:
+                    new_instructions.append(MachineInstr(
+                        Opcode.POP, [RegList(tuple(saved))], comment="epilogue"))
+                new_instructions.append(instr)
+        block.instructions = new_instructions

@@ -1,0 +1,319 @@
+"""Instruction selection: IR functions to machine functions with virtual regs.
+
+Selection is a straightforward tree-less mapping: every IR instruction expands
+into one or a few machine instructions, operating on virtual registers that
+share the IR's virtual-register numbering.  Calls use the physical argument
+registers ``r0``-``r3`` directly; the register allocator keeps virtual values
+out of caller-saved registers across those regions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir import instructions as ir
+from repro.ir.function import Function
+from repro.ir.values import Const, Operand, VReg
+from repro.isa.conditions import Cond, invert_cond
+from repro.isa.instructions import Imm, MachineInstr, Opcode, RegList, Sym
+from repro.isa.registers import ARG_REGS, LR, R0, Reg
+from repro.machine.blocks import MachineBlock, MachineFunction
+from repro.machine.frame import FrameRef
+
+
+class ISelError(Exception):
+    """Raised when an IR construct cannot be selected."""
+
+
+_COND_MAP = {
+    "eq": Cond.EQ, "ne": Cond.NE, "lt": Cond.LT, "le": Cond.LE,
+    "gt": Cond.GT, "ge": Cond.GE, "lo": Cond.LO, "ls": Cond.LS,
+    "hi": Cond.HI, "hs": Cond.HS,
+}
+
+_BINOP_MAP = {
+    "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL,
+    "sdiv": Opcode.SDIV, "udiv": Opcode.UDIV,
+    "and": Opcode.AND, "or": Opcode.ORR, "xor": Opcode.EOR,
+    "shl": Opcode.LSL, "lshr": Opcode.LSR, "ashr": Opcode.ASR,
+}
+
+#: Largest immediate accepted directly by add/sub (Thumb-2 wide encoding).
+_MAX_ADDSUB_IMM = 4095
+#: Largest immediate accepted by logical/shift/compare operations.
+_MAX_LOGICAL_IMM = 255
+#: Largest load/store immediate offset.
+_MAX_MEM_OFFSET = 4095
+
+
+class _FunctionSelector:
+    def __init__(self, function: Function, use_cbz: bool = True):
+        self.ir_function = function
+        self.use_cbz = use_cbz
+        self.machine = MachineFunction(function.name, function.num_params,
+                                       is_library=function.is_library)
+        self._next_vreg = function.vreg_count()
+        self.block: Optional[MachineBlock] = None
+
+    # ------------------------------------------------------------------ #
+    def new_temp(self) -> Reg:
+        reg = Reg(self._next_vreg, virtual=True)
+        self._next_vreg += 1
+        return reg
+
+    @staticmethod
+    def vreg(value: VReg) -> Reg:
+        return Reg(value.index, virtual=True)
+
+    def emit(self, opcode: Opcode, *operands, cond=None, predicated=False,
+             comment: str = "") -> MachineInstr:
+        instr = MachineInstr(opcode, list(operands), cond=cond,
+                             predicated=predicated, comment=comment)
+        self.block.append(instr)
+        return instr
+
+    # ------------------------------------------------------------------ #
+    # Operand materialisation helpers
+    # ------------------------------------------------------------------ #
+    def reg_of(self, operand: Operand) -> Reg:
+        """Return a register holding *operand*, materialising constants."""
+        if isinstance(operand, VReg):
+            return self.vreg(operand)
+        if isinstance(operand, Const):
+            return self.materialize_const(operand.value)
+        raise ISelError(f"cannot use operand {operand!r}")
+
+    def materialize_const(self, value: int, dst: Optional[Reg] = None) -> Reg:
+        dst = dst or self.new_temp()
+        value &= 0xFFFFFFFF
+        if value <= _MAX_LOGICAL_IMM:
+            self.emit(Opcode.MOV, dst, Imm(value))
+        elif (~value & 0xFFFFFFFF) <= _MAX_LOGICAL_IMM:
+            self.emit(Opcode.MVN, dst, Imm(~value & 0xFFFFFFFF))
+        else:
+            self.emit(Opcode.LDR_LIT, dst, Imm(value))
+        return dst
+
+    def reg_or_imm(self, operand: Operand, limit: int):
+        """Return either an Imm (if small enough) or a register operand."""
+        if isinstance(operand, Const):
+            value = operand.value & 0xFFFFFFFF
+            if value <= limit:
+                return Imm(value)
+            return self.materialize_const(operand.value)
+        return self.reg_of(operand)
+
+    # ------------------------------------------------------------------ #
+    # Top level
+    # ------------------------------------------------------------------ #
+    def run(self) -> MachineFunction:
+        # Copy stack-frame objects (local arrays) over to the machine function.
+        for obj in self.ir_function.frame_objects.values():
+            self.machine.frame_objects[obj.name] = obj.size
+
+        # Create machine blocks mirroring the IR blocks, in the same order.
+        for name in self.ir_function.block_order:
+            self.machine.add_block(name)
+
+        for index, name in enumerate(self.ir_function.block_order):
+            ir_block = self.ir_function.blocks[name]
+            self.block = self.machine.blocks[name]
+            next_name = (self.ir_function.block_order[index + 1]
+                         if index + 1 < len(self.ir_function.block_order) else None)
+            if index == 0:
+                self._lower_params()
+            for instr in ir_block.instructions:
+                self.select(instr)
+            if ir_block.terminator is None:
+                raise ISelError(f"{self.ir_function.name}/{name} has no terminator")
+            self.select_terminator(ir_block.terminator, next_name)
+        return self.machine
+
+    def _lower_params(self) -> None:
+        for index, param in enumerate(self.ir_function.params):
+            if index >= len(ARG_REGS):
+                raise ISelError("more than four parameters are not supported")
+            self.emit(Opcode.MOV, self.vreg(param), ARG_REGS[index],
+                      comment=f"param {index}")
+
+    # ------------------------------------------------------------------ #
+    # Ordinary instructions
+    # ------------------------------------------------------------------ #
+    def select(self, instr: ir.Instruction) -> None:
+        if isinstance(instr, ir.Mov):
+            self._select_mov(instr)
+        elif isinstance(instr, ir.BinOp):
+            self._select_binop(instr)
+        elif isinstance(instr, ir.Load):
+            self._select_load(instr)
+        elif isinstance(instr, ir.Store):
+            self._select_store(instr)
+        elif isinstance(instr, ir.AddrOf):
+            self.emit(Opcode.LDR_LIT, self.vreg(instr.dst), Sym(instr.symbol))
+        elif isinstance(instr, ir.FrameAddr):
+            self.emit(Opcode.ADD, self.vreg(instr.dst), Reg(13), FrameRef(instr.object_name))
+        elif isinstance(instr, ir.Call):
+            self._select_call(instr)
+        else:
+            raise ISelError(f"cannot select {type(instr).__name__}")
+
+    def _select_mov(self, instr: ir.Mov) -> None:
+        dst = self.vreg(instr.dst)
+        if isinstance(instr.src, Const):
+            self.materialize_const(instr.src.value, dst)
+        else:
+            self.emit(Opcode.MOV, dst, self.vreg(instr.src))
+
+    def _select_binop(self, instr: ir.BinOp) -> None:
+        dst = self.vreg(instr.dst)
+        op = instr.op
+        if op in ("srem", "urem"):
+            div_op = Opcode.SDIV if op == "srem" else Opcode.UDIV
+            lhs = self.reg_of(instr.lhs)
+            rhs = self.reg_of(instr.rhs)
+            quotient = self.new_temp()
+            product = self.new_temp()
+            self.emit(div_op, quotient, lhs, rhs)
+            self.emit(Opcode.MUL, product, quotient, rhs)
+            self.emit(Opcode.SUB, dst, lhs, product)
+            return
+        opcode = _BINOP_MAP.get(op)
+        if opcode is None:
+            raise ISelError(f"unknown binary op {op}")
+        lhs = self.reg_of(instr.lhs)
+        if opcode in (Opcode.ADD, Opcode.SUB):
+            if isinstance(instr.rhs, Const):
+                value = instr.rhs.value
+                signed = value - (1 << 32) if value & 0x80000000 else value
+                if 0 <= signed <= _MAX_ADDSUB_IMM:
+                    self.emit(opcode, dst, lhs, Imm(signed))
+                    return
+                if -_MAX_ADDSUB_IMM <= signed < 0:
+                    flipped = Opcode.SUB if opcode is Opcode.ADD else Opcode.ADD
+                    self.emit(flipped, dst, lhs, Imm(-signed))
+                    return
+            rhs = self.reg_of(instr.rhs)
+            self.emit(opcode, dst, lhs, rhs)
+            return
+        if opcode in (Opcode.MUL, Opcode.SDIV, Opcode.UDIV):
+            rhs = self.reg_of(instr.rhs)
+            self.emit(opcode, dst, lhs, rhs)
+            return
+        rhs_operand = self.reg_or_imm(instr.rhs, _MAX_LOGICAL_IMM)
+        self.emit(opcode, dst, lhs, rhs_operand)
+
+    def _select_load(self, instr: ir.Load) -> None:
+        opcode = Opcode.LDR if instr.width == 4 else Opcode.LDRB
+        base = self.reg_of(instr.base)
+        offset = self._memory_offset(instr.offset)
+        self.emit(opcode, self.vreg(instr.dst), base, offset)
+
+    def _select_store(self, instr: ir.Store) -> None:
+        opcode = Opcode.STR if instr.width == 4 else Opcode.STRB
+        src = self.reg_of(instr.src)
+        base = self.reg_of(instr.base)
+        offset = self._memory_offset(instr.offset)
+        self.emit(opcode, src, base, offset)
+
+    def _memory_offset(self, operand: Operand):
+        if isinstance(operand, Const):
+            value = operand.value & 0xFFFFFFFF
+            if value <= _MAX_MEM_OFFSET:
+                return Imm(value)
+            return self.materialize_const(operand.value)
+        return self.vreg(operand)
+
+    def _select_call(self, instr: ir.Call) -> None:
+        if len(instr.args) > len(ARG_REGS):
+            raise ISelError("more than four call arguments are not supported")
+        self.machine.makes_calls = True
+        for index, arg in enumerate(instr.args):
+            target = ARG_REGS[index]
+            if isinstance(arg, Const):
+                value = arg.value & 0xFFFFFFFF
+                if value <= _MAX_LOGICAL_IMM:
+                    self.emit(Opcode.MOV, target, Imm(value), comment="arg")
+                else:
+                    self.emit(Opcode.LDR_LIT, target, Imm(value), comment="arg")
+            else:
+                self.emit(Opcode.MOV, target, self.vreg(arg), comment="arg")
+        self.emit(Opcode.BL, Sym(instr.callee))
+        if instr.dst is not None:
+            self.emit(Opcode.MOV, self.vreg(instr.dst), R0, comment="retval")
+
+    # ------------------------------------------------------------------ #
+    # Terminators
+    # ------------------------------------------------------------------ #
+    def select_terminator(self, term: ir.Terminator, next_name: Optional[str]) -> None:
+        if isinstance(term, ir.Jump):
+            if term.target == next_name:
+                self.block.fallthrough = term.target
+            else:
+                self.emit(Opcode.B, Sym(term.target))
+                self.block.branch_target = term.target
+            return
+        if isinstance(term, ir.Ret):
+            if term.value is not None:
+                if isinstance(term.value, Const):
+                    value = term.value.value & 0xFFFFFFFF
+                    if value <= _MAX_LOGICAL_IMM:
+                        self.emit(Opcode.MOV, R0, Imm(value))
+                    else:
+                        self.emit(Opcode.LDR_LIT, R0, Imm(value))
+                else:
+                    self.emit(Opcode.MOV, R0, self.vreg(term.value))
+            self.emit(Opcode.BX, LR)
+            return
+        if isinstance(term, ir.Branch):
+            self._select_branch(term, next_name)
+            return
+        raise ISelError(f"cannot select terminator {type(term).__name__}")
+
+    def _select_branch(self, term: ir.Branch, next_name: Optional[str]) -> None:
+        cond = _COND_MAP[term.cond]
+        then_target, else_target = term.then_target, term.else_target
+
+        # Prefer compare-with-zero short branches (cbz/cbnz) when possible.
+        use_short = (self.use_cbz and isinstance(term.rhs, Const)
+                     and term.rhs.value == 0 and term.cond in ("eq", "ne")
+                     and isinstance(term.lhs, VReg))
+        if use_short:
+            opcode = Opcode.CBZ if term.cond == "eq" else Opcode.CBNZ
+            if else_target == next_name:
+                self.emit(opcode, self.vreg(term.lhs), Sym(then_target))
+                self.block.branch_target = then_target
+                self.block.fallthrough = else_target
+                return
+            inverse = Opcode.CBNZ if term.cond == "eq" else Opcode.CBZ
+            if then_target == next_name:
+                self.emit(inverse, self.vreg(term.lhs), Sym(else_target))
+                self.block.branch_target = else_target
+                self.block.fallthrough = then_target
+                return
+            self.emit(opcode, self.vreg(term.lhs), Sym(then_target))
+            self.emit(Opcode.B, Sym(else_target))
+            self.block.branch_target = then_target
+            self.block.extra_target = else_target
+            return
+
+        lhs = self.reg_of(term.lhs)
+        rhs = self.reg_or_imm(term.rhs, _MAX_LOGICAL_IMM)
+        self.emit(Opcode.CMP, lhs, rhs)
+        if else_target == next_name:
+            self.emit(Opcode.BCC, Sym(then_target), cond=cond)
+            self.block.branch_target = then_target
+            self.block.fallthrough = else_target
+        elif then_target == next_name:
+            self.emit(Opcode.BCC, Sym(else_target), cond=invert_cond(cond))
+            self.block.branch_target = else_target
+            self.block.fallthrough = then_target
+        else:
+            self.emit(Opcode.BCC, Sym(then_target), cond=cond)
+            self.emit(Opcode.B, Sym(else_target))
+            self.block.branch_target = then_target
+            self.block.extra_target = else_target
+
+
+def select_instructions(function: Function, use_cbz: bool = True) -> MachineFunction:
+    """Select machine instructions for one IR function."""
+    return _FunctionSelector(function, use_cbz=use_cbz).run()

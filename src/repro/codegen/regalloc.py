@@ -1,0 +1,301 @@
+"""Register allocation.
+
+Two allocators are provided:
+
+* :func:`allocate_registers` — a linear-scan allocator over conservative live
+  intervals, used at ``-O1`` and above.  Values live across a call are kept
+  out of caller-saved registers; values that cannot be coloured are spilled to
+  stack slots and rewritten through the reserved scratch registers.
+* the *spill-everything* mode (``spill_all=True``) — every virtual register
+  lives in a stack slot and is loaded/stored around each use, reproducing the
+  shape of unoptimised (``-O0``) compiler output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.liveness import compute_liveness
+from repro.isa.instructions import MachineInstr, Opcode
+from repro.isa.registers import (
+    ALLOCATABLE_REGS,
+    ARG_REGS,
+    CALLEE_SAVED_REGS,
+    CALLER_SAVED_REGS,
+    SP,
+    SPILL_SCRATCH_REGS,
+    Reg,
+)
+from repro.machine.blocks import MachineFunction
+from repro.machine.frame import FrameRef
+
+
+class RegAllocError(Exception):
+    """Raised when allocation cannot complete (should not happen in practice)."""
+
+
+@dataclass
+class AllocationResult:
+    """What the allocator produced, for tests and diagnostics."""
+
+    assignment: Dict[Reg, Reg] = field(default_factory=dict)
+    spilled: Set[Reg] = field(default_factory=set)
+    used_callee_saved: List[Reg] = field(default_factory=list)
+
+
+@dataclass
+class _Interval:
+    vreg: Reg
+    start: int
+    end: int
+    crosses_call: bool = False
+    assigned: Optional[Reg] = None
+
+
+# --------------------------------------------------------------------------- #
+# Interval construction
+# --------------------------------------------------------------------------- #
+def _number_instructions(function: MachineFunction) -> Dict[str, Tuple[int, int]]:
+    """Assign a position range (start, end) to every block, in layout order."""
+    ranges: Dict[str, Tuple[int, int]] = {}
+    position = 0
+    for block in function.iter_blocks():
+        start = position
+        position += max(len(block.instructions), 1)
+        ranges[block.name] = (start, position - 1)
+    return ranges
+
+
+def _build_intervals(function: MachineFunction) -> List[_Interval]:
+    liveness = compute_liveness(function)
+    ranges = _number_instructions(function)
+    intervals: Dict[Reg, _Interval] = {}
+
+    def touch(vreg: Reg, position: int) -> None:
+        interval = intervals.get(vreg)
+        if interval is None:
+            intervals[vreg] = _Interval(vreg, position, position)
+        else:
+            interval.start = min(interval.start, position)
+            interval.end = max(interval.end, position)
+
+    for block in function.iter_blocks():
+        start, end = ranges[block.name]
+        for vreg in liveness.live_in[block.name]:
+            touch(vreg, start)
+        for vreg in liveness.live_out[block.name]:
+            touch(vreg, end)
+        position = start
+        for instr in block.instructions:
+            for reg in instr.uses():
+                if reg.virtual:
+                    touch(reg, position)
+            for reg in instr.defs():
+                if reg.virtual:
+                    touch(reg, position)
+            position += 1
+
+    call_regions = _find_call_regions(function, ranges)
+    for interval in intervals.values():
+        interval.crosses_call = any(
+            interval.start <= region_end and interval.end >= region_start
+            for region_start, region_end in call_regions)
+    return sorted(intervals.values(), key=lambda i: (i.start, i.end))
+
+
+def _find_call_regions(function: MachineFunction,
+                       ranges: Dict[str, Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Positions of each call plus its argument-setup prefix."""
+    regions: List[Tuple[int, int]] = []
+    for block in function.iter_blocks():
+        start, _ = ranges[block.name]
+        for index, instr in enumerate(block.instructions):
+            if instr.opcode is not Opcode.BL:
+                continue
+            begin = index
+            while begin > 0:
+                prev = block.instructions[begin - 1]
+                if (prev.opcode in (Opcode.MOV, Opcode.LDR_LIT)
+                        and prev.operands
+                        and isinstance(prev.operands[0], Reg)
+                        and prev.operands[0] in ARG_REGS
+                        and not prev.operands[0].virtual):
+                    begin -= 1
+                else:
+                    break
+            regions.append((start + begin, start + index))
+    return regions
+
+
+# --------------------------------------------------------------------------- #
+# Linear scan
+# --------------------------------------------------------------------------- #
+def _linear_scan(intervals: List[_Interval]) -> Tuple[Dict[Reg, Reg], Set[Reg]]:
+    assignment: Dict[Reg, Reg] = {}
+    spilled: Set[Reg] = set()
+    active: List[_Interval] = []
+    free: Set[Reg] = set(ALLOCATABLE_REGS)
+
+    caller_saved = [r for r in ALLOCATABLE_REGS if r in CALLER_SAVED_REGS]
+    callee_saved = [r for r in ALLOCATABLE_REGS if r in CALLEE_SAVED_REGS]
+
+    for interval in intervals:
+        # Expire finished intervals.
+        for old in list(active):
+            if old.end < interval.start:
+                active.remove(old)
+                if old.assigned is not None:
+                    free.add(old.assigned)
+
+        preferred = (callee_saved + caller_saved if interval.crosses_call
+                     else caller_saved + callee_saved)
+        allowed = callee_saved if interval.crosses_call else preferred
+        candidates = [r for r in (allowed if interval.crosses_call else preferred)
+                      if r in free]
+        if candidates:
+            reg = candidates[0]
+            free.discard(reg)
+            interval.assigned = reg
+            assignment[interval.vreg] = reg
+            active.append(interval)
+            continue
+
+        # Try to steal from the active interval that ends last, provided its
+        # register is legal for the current interval.
+        victims = sorted(active, key=lambda i: i.end, reverse=True)
+        stolen = None
+        for victim in victims:
+            if victim.end <= interval.end:
+                break
+            if victim.assigned is None:
+                continue
+            if interval.crosses_call and victim.assigned not in CALLEE_SAVED_REGS:
+                continue
+            stolen = victim
+            break
+        if stolen is not None:
+            reg = stolen.assigned
+            spilled.add(stolen.vreg)
+            assignment.pop(stolen.vreg, None)
+            stolen.assigned = None
+            active.remove(stolen)
+            interval.assigned = reg
+            assignment[interval.vreg] = reg
+            active.append(interval)
+        else:
+            spilled.add(interval.vreg)
+    return assignment, spilled
+
+
+# --------------------------------------------------------------------------- #
+# Instruction rewriting
+# --------------------------------------------------------------------------- #
+def _spill_slot_name(vreg: Reg) -> str:
+    return f"spill.{vreg.index}"
+
+
+def _rewrite_instructions(function: MachineFunction, assignment: Dict[Reg, Reg],
+                          spilled: Set[Reg]) -> None:
+    for block in function.iter_blocks():
+        rewritten: List[MachineInstr] = []
+        for instr in block.instructions:
+            spilled_here = [r for r in _instr_regs(instr)
+                            if r.virtual and r in spilled]
+            scratch_map: Dict[Reg, Reg] = {}
+            for index, vreg in enumerate(_dedupe(spilled_here)):
+                if index >= len(SPILL_SCRATCH_REGS):
+                    raise RegAllocError(
+                        f"instruction needs more than {len(SPILL_SCRATCH_REGS)} "
+                        f"spill scratch registers: {instr}")
+                scratch_map[vreg] = SPILL_SCRATCH_REGS[index]
+
+            uses = set(instr.uses())
+            defs = set(instr.defs())
+
+            # Reload spilled operands that are read.
+            for vreg, scratch in scratch_map.items():
+                if vreg in uses:
+                    rewritten.append(MachineInstr(
+                        Opcode.LDR, [scratch, SP, FrameRef(_spill_slot_name(vreg))],
+                        comment=f"reload {vreg.name}"))
+
+            _replace_regs(instr, assignment, scratch_map)
+            rewritten.append(instr)
+
+            # Store spilled results that were written.
+            for vreg, scratch in scratch_map.items():
+                if vreg in defs:
+                    rewritten.append(MachineInstr(
+                        Opcode.STR, [scratch, SP, FrameRef(_spill_slot_name(vreg))],
+                        comment=f"spill {vreg.name}"))
+        block.instructions = rewritten
+
+
+def _instr_regs(instr: MachineInstr) -> List[Reg]:
+    regs: List[Reg] = []
+    for operand in instr.operands:
+        if isinstance(operand, Reg):
+            regs.append(operand)
+    return regs
+
+
+def _dedupe(regs: List[Reg]) -> List[Reg]:
+    seen: List[Reg] = []
+    for reg in regs:
+        if reg not in seen:
+            seen.append(reg)
+    return seen
+
+
+def _replace_regs(instr: MachineInstr, assignment: Dict[Reg, Reg],
+                  scratch_map: Dict[Reg, Reg]) -> None:
+    new_operands = []
+    for operand in instr.operands:
+        if isinstance(operand, Reg) and operand.virtual:
+            if operand in scratch_map:
+                new_operands.append(scratch_map[operand])
+            elif operand in assignment:
+                new_operands.append(assignment[operand])
+            else:
+                raise RegAllocError(f"virtual register {operand.name} was neither "
+                                    f"assigned nor spilled in {instr}")
+        else:
+            new_operands.append(operand)
+    instr.operands = new_operands
+
+
+# --------------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------------- #
+def allocate_registers(function: MachineFunction,
+                       spill_all: bool = False) -> AllocationResult:
+    """Allocate registers in place and register spill slots on the function."""
+    result = AllocationResult()
+
+    if spill_all:
+        all_vregs: Set[Reg] = set()
+        for block in function.iter_blocks():
+            for instr in block.instructions:
+                for reg in _instr_regs(instr):
+                    if reg.virtual:
+                        all_vregs.add(reg)
+        assignment: Dict[Reg, Reg] = {}
+        spilled = all_vregs
+    else:
+        intervals = _build_intervals(function)
+        assignment, spilled = _linear_scan(intervals)
+
+    _rewrite_instructions(function, assignment, spilled)
+
+    for vreg in spilled:
+        slot = _spill_slot_name(vreg)
+        if slot not in function.frame_objects:
+            function.frame_objects[slot] = 4
+
+    used = {reg for reg in assignment.values() if reg in CALLEE_SAVED_REGS}
+    result.assignment = assignment
+    result.spilled = spilled
+    result.used_callee_saved = sorted(used, key=lambda r: r.index)
+    function.saved_registers = list(result.used_callee_saved)
+    return result

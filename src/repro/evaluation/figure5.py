@@ -1,0 +1,96 @@
+"""Figure 5 and the Section 6 headline numbers.
+
+For every benchmark and optimization level the harness measures the percentage
+change in energy, execution time and average power caused by the optimization,
+optionally with profiled instead of estimated block frequencies, and
+aggregates the averages the paper quotes (−7.7 % energy, −21.9 % power,
++19.5 % time across all benchmarks and levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.beebs import BENCHMARK_NAMES
+from repro.evaluation.pipeline import run_optimized_benchmark
+
+#: Optimization levels of the paper's full sweep and of Figure 5 itself.
+ALL_LEVELS = ["O0", "O1", "O2", "O3", "Os"]
+FIGURE5_LEVELS = ["O2", "Os"]
+
+#: Paper-reported aggregate numbers (for EXPERIMENTS.md comparisons).
+PAPER_AVERAGE_ENERGY_CHANGE = -0.077
+PAPER_AVERAGE_POWER_CHANGE = -0.219
+PAPER_AVERAGE_TIME_CHANGE = +0.195
+PAPER_BEST_ENERGY_CHANGE = -0.22       # int_matmult at O2
+PAPER_BEST_POWER_CHANGE = -0.41        # fdct at O2
+
+
+@dataclass
+class SuiteRow:
+    """One bar pair of Figure 5."""
+
+    benchmark: str
+    opt_level: str
+    frequency_mode: str
+    energy_change: float
+    time_change: float
+    power_change: float
+    ram_bytes: int
+    blocks_moved: int
+
+    def as_dict(self) -> Dict:
+        return {
+            "benchmark": self.benchmark,
+            "opt_level": self.opt_level,
+            "frequency_mode": self.frequency_mode,
+            "energy_change_percent": 100.0 * self.energy_change,
+            "time_change_percent": 100.0 * self.time_change,
+            "power_change_percent": 100.0 * self.power_change,
+            "ram_bytes": self.ram_bytes,
+            "blocks_moved": self.blocks_moved,
+        }
+
+
+def evaluate_suite(benchmarks: Optional[Sequence[str]] = None,
+                   levels: Optional[Sequence[str]] = None,
+                   frequency_modes: Sequence[str] = ("static",),
+                   x_limit: float = 1.5) -> List[SuiteRow]:
+    """Run the optimization experiment over the benchmark/level grid."""
+    rows: List[SuiteRow] = []
+    for name in (benchmarks or BENCHMARK_NAMES):
+        for level in (levels or FIGURE5_LEVELS):
+            for mode in frequency_modes:
+                run = run_optimized_benchmark(name, level, x_limit=x_limit,
+                                              frequency_mode=mode)
+                estimate = run.solution.estimate if run.solution else None
+                rows.append(SuiteRow(
+                    benchmark=name,
+                    opt_level=level,
+                    frequency_mode=mode,
+                    energy_change=run.energy_change,
+                    time_change=run.time_change,
+                    power_change=run.power_change,
+                    ram_bytes=estimate.ram_bytes if estimate else 0,
+                    blocks_moved=len(run.solution.ram_blocks) if run.solution else 0,
+                ))
+    return rows
+
+
+def summarize(rows: Sequence[SuiteRow]) -> Dict[str, float]:
+    """Aggregate the averages / extremes the paper reports in Section 6."""
+    if not rows:
+        return {}
+    energy = [row.energy_change for row in rows]
+    time = [row.time_change for row in rows]
+    power = [row.power_change for row in rows]
+    return {
+        "average_energy_change": sum(energy) / len(energy),
+        "average_time_change": sum(time) / len(time),
+        "average_power_change": sum(power) / len(power),
+        "best_energy_change": min(energy),
+        "best_power_change": min(power),
+        "worst_time_change": max(time),
+        "rows": len(rows),
+    }

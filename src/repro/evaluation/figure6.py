@@ -1,0 +1,91 @@
+"""Figure 6: the design space of possible placements and the solver trajectory.
+
+For a benchmark the harness enumerates the ``2^k`` combinations of its ``k``
+most significant basic blocks (the paper notes int_matmult's clusters are made
+by its three large hot blocks), evaluates each with the cost model, and traces
+which solutions the ILP picks as ``R_spare`` and ``X_limit`` are relaxed —
+the solid and dashed lines of the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.beebs import get_benchmark
+from repro.codegen import CompileOptions, compile_source
+from repro.placement import FlashRAMOptimizer, PlacementConfig
+from repro.placement.solvers.exhaustive import enumerate_placements, significant_blocks
+from repro.sim import EnergyModel
+
+
+@dataclass
+class DesignSpacePoint:
+    """One placement of the enumerated space."""
+
+    ram_blocks: int
+    energy_j: float
+    time_ratio: float
+    ram_bytes: int
+
+
+def _build_model(benchmark_name: str, opt_level: str):
+    benchmark = get_benchmark(benchmark_name)
+    program = compile_source(benchmark.source, CompileOptions.for_level(
+        opt_level, program_name=benchmark.name))
+    optimizer = FlashRAMOptimizer(program, config=PlacementConfig())
+    model = optimizer.build_cost_model()
+    return program, optimizer, model
+
+
+def design_space(benchmark_name: str, opt_level: str = "O2",
+                 max_blocks: int = 12) -> List[DesignSpacePoint]:
+    """Enumerate the placement space of one benchmark (the cloud of Figure 6)."""
+    _, _, model = _build_model(benchmark_name, opt_level)
+    blocks = significant_blocks(model, max_blocks)
+    points: List[DesignSpacePoint] = []
+    for point in enumerate_placements(model, blocks, max_blocks):
+        estimate = point.estimate
+        points.append(DesignSpacePoint(
+            ram_blocks=len(point.ram_blocks),
+            energy_j=estimate.energy_j,
+            time_ratio=estimate.time_ratio,
+            ram_bytes=estimate.ram_bytes,
+        ))
+    return points
+
+
+def solver_trajectories(benchmark_name: str, opt_level: str = "O2",
+                        ram_steps: Optional[List[int]] = None,
+                        time_steps: Optional[List[float]] = None) -> Dict[str, List[Dict]]:
+    """The solid (R_spare sweep) and dashed (X_limit sweep) lines of Figure 6."""
+    program, optimizer, model = _build_model(benchmark_name, opt_level)
+    ram_steps = ram_steps or [0, 32, 64, 128, 256, 512, 1024, 2048]
+    time_steps = time_steps or [1.0, 1.05, 1.1, 1.2, 1.3, 1.5, 2.0]
+
+    trajectories: Dict[str, List[Dict]] = {"ram_sweep": [], "time_sweep": []}
+
+    for r_spare in ram_steps:
+        config = PlacementConfig(x_limit=10.0, r_spare=r_spare)
+        sweep_optimizer = FlashRAMOptimizer(program, config=config)
+        solution = sweep_optimizer.select_blocks()
+        trajectories["ram_sweep"].append({
+            "r_spare": r_spare,
+            "energy_j": solution.estimate.energy_j,
+            "time_ratio": solution.estimate.time_ratio,
+            "ram_bytes": solution.estimate.ram_bytes,
+            "blocks": len(solution.ram_blocks),
+        })
+
+    for x_limit in time_steps:
+        config = PlacementConfig(x_limit=x_limit, r_spare=4096)
+        sweep_optimizer = FlashRAMOptimizer(program, config=config)
+        solution = sweep_optimizer.select_blocks()
+        trajectories["time_sweep"].append({
+            "x_limit": x_limit,
+            "energy_j": solution.estimate.energy_j,
+            "time_ratio": solution.estimate.time_ratio,
+            "ram_bytes": solution.estimate.ram_bytes,
+            "blocks": len(solution.ram_blocks),
+        })
+    return trajectories

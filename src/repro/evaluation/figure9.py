@@ -1,0 +1,42 @@
+"""Figure 9: post-optimization energy vs the sensing period ``T``.
+
+The measured ``ke`` / ``kt`` factors of the named benchmarks (fdct,
+int_matmult, 2dfir in the paper) are fed into the periodic-sensing model and
+evaluated at ``T = m * TA`` for increasing multiples ``m``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.pipeline import run_optimized_benchmark
+from repro.power.sleep_model import PeriodicSensingModel, SleepParameters
+
+FIGURE9_BENCHMARKS = ["fdct", "int_matmult", "2dfir"]
+DEFAULT_MULTIPLES = [1.5, 2, 3, 4, 6, 8, 12, 16]
+
+
+def period_sweep(benchmarks: Optional[Sequence[str]] = None,
+                 opt_level: str = "O2",
+                 multiples: Optional[Sequence[float]] = None,
+                 sleep_power_w: float = 3.5e-3,
+                 x_limit: float = 1.5) -> Dict[str, List[Dict]]:
+    """For each benchmark, the energy-percentage series of Figure 9."""
+    series: Dict[str, List[Dict]] = {}
+    for name in (benchmarks or FIGURE9_BENCHMARKS):
+        run = run_optimized_benchmark(name, opt_level, x_limit=x_limit)
+        params = SleepParameters(
+            active_energy_j=run.baseline.energy_j,
+            active_time_s=run.baseline.time_s,
+            energy_factor=run.ke,
+            time_factor=run.kt,
+            sleep_power_w=sleep_power_w,
+        )
+        model = PeriodicSensingModel(params)
+        rows = model.sweep_periods(list(multiples or DEFAULT_MULTIPLES))
+        for row in rows:
+            row["benchmark"] = name
+            row["ke"] = run.ke
+            row["kt"] = run.kt
+        series[name] = rows
+    return series

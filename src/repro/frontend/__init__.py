@@ -1,0 +1,35 @@
+"""Mini-C frontend: lexer, parser, AST and semantic analysis.
+
+The dialect is a small C subset sufficient to express the BEEBS-style
+benchmark kernels used by the paper's evaluation:
+
+* types: ``int`` (32-bit signed), ``unsigned`` (32-bit unsigned), ``float``
+  (IEEE-754 single, lowered to soft-float library calls), ``void``,
+  one-dimensional arrays of the scalar types;
+* globals (optionally ``const``, optionally initialised with a scalar or a
+  brace initialiser), functions with up to four scalar/array parameters;
+* statements: blocks, declarations, ``if``/``else``, ``while``, ``for``,
+  ``return``, expression statements;
+* expressions: the usual C operator set with C precedence, short-circuit
+  ``&&``/``||``, array indexing, calls, postfix/prefix ``++``/``--`` and
+  compound assignment.
+"""
+
+from repro.frontend.lexer import Lexer, Token, TokenKind, LexerError
+from repro.frontend.parser import Parser, ParseError, parse_program
+from repro.frontend.sema import SemanticAnalyzer, SemanticError, analyze
+from repro.frontend import ast
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "LexerError",
+    "Parser",
+    "ParseError",
+    "parse_program",
+    "SemanticAnalyzer",
+    "SemanticError",
+    "analyze",
+    "ast",
+]

@@ -1,0 +1,213 @@
+"""Abstract syntax tree node definitions for the mini-C dialect.
+
+Expression nodes carry a ``ty`` attribute that the semantic analyzer fills in;
+it is ``None`` straight out of the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.frontend.types import Type
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes; records the source line for diagnostics."""
+
+    line: int = 0
+
+
+# --------------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------------- #
+@dataclass
+class Expr(Node):
+    ty: Optional[Type] = None
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """Array subscript ``base[index]``."""
+
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Conditional(Expr):
+    """C ternary ``cond ? then : otherwise``."""
+
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Assign(Expr):
+    """Simple or compound assignment; ``op`` is '' for plain ``=``."""
+
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+    op: str = ""
+
+
+@dataclass
+class IncDec(Expr):
+    """Prefix or postfix increment/decrement of an lvalue."""
+
+    target: Optional[Expr] = None
+    op: str = "++"
+    prefix: bool = False
+
+
+@dataclass
+class Convert(Expr):
+    """Implicit conversion node inserted by the semantic analyzer."""
+
+    value: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------- #
+# Statements
+# --------------------------------------------------------------------------- #
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    ty: Optional[Type] = None
+    init: Optional[Expr] = None
+    array_init: Optional[List[Expr]] = None
+
+
+@dataclass
+class DeclGroup(Stmt):
+    """Several declarations from one statement (``int a = 1, b = 2;``).
+
+    Unlike a :class:`Block`, a declaration group does not open a new scope.
+    """
+
+    declarations: List["VarDecl"] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------- #
+# Top level
+# --------------------------------------------------------------------------- #
+@dataclass
+class Param(Node):
+    name: str = ""
+    ty: Optional[Type] = None
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    return_type: Optional[Type] = None
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class GlobalVar(Node):
+    name: str = ""
+    ty: Optional[Type] = None
+    const: bool = False
+    init: Optional[Expr] = None
+    array_init: Optional[List[Expr]] = None
+
+
+@dataclass
+class Program(Node):
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

@@ -1,0 +1,289 @@
+"""Hand-written lexer for the mini-C dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+
+class LexerError(Exception):
+    """Raised on malformed input (bad character, unterminated comment...)."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class TokenKind(Enum):
+    # Literals and identifiers
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    IDENT = "ident"
+
+    # Keywords
+    KW_INT = "int"
+    KW_UNSIGNED = "unsigned"
+    KW_FLOAT = "float"
+    KW_VOID = "void"
+    KW_CONST = "const"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_WHILE = "while"
+    KW_DO = "do"
+    KW_FOR = "for"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+
+    # Punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    QUESTION = "?"
+    COLON = ":"
+
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PERCENT_ASSIGN = "%="
+    AMP_ASSIGN = "&="
+    PIPE_ASSIGN = "|="
+    CARET_ASSIGN = "^="
+    SHL_ASSIGN = "<<="
+    SHR_ASSIGN = ">>="
+
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    BANG = "!"
+    SHL = "<<"
+    SHR = ">>"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    AND_AND = "&&"
+    OR_OR = "||"
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+
+    EOF = "eof"
+
+
+_KEYWORDS = {
+    "int": TokenKind.KW_INT,
+    "unsigned": TokenKind.KW_UNSIGNED,
+    "float": TokenKind.KW_FLOAT,
+    "void": TokenKind.KW_VOID,
+    "const": TokenKind.KW_CONST,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "do": TokenKind.KW_DO,
+    "for": TokenKind.KW_FOR,
+    "return": TokenKind.KW_RETURN,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    ("<<=", TokenKind.SHL_ASSIGN),
+    (">>=", TokenKind.SHR_ASSIGN),
+    ("<<", TokenKind.SHL),
+    (">>", TokenKind.SHR),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("&&", TokenKind.AND_AND),
+    ("||", TokenKind.OR_OR),
+    ("++", TokenKind.PLUS_PLUS),
+    ("--", TokenKind.MINUS_MINUS),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("%=", TokenKind.PERCENT_ASSIGN),
+    ("&=", TokenKind.AMP_ASSIGN),
+    ("|=", TokenKind.PIPE_ASSIGN),
+    ("^=", TokenKind.CARET_ASSIGN),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    (";", TokenKind.SEMI),
+    (",", TokenKind.COMMA),
+    ("?", TokenKind.QUESTION),
+    (":", TokenKind.COLON),
+    ("=", TokenKind.ASSIGN),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("&", TokenKind.AMP),
+    ("|", TokenKind.PIPE),
+    ("^", TokenKind.CARET),
+    ("~", TokenKind.TILDE),
+    ("!", TokenKind.BANG),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    int_value: Optional[int] = None
+    float_value: Optional[float] = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Convert source text into a flat token list."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------ #
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                tokens.append(Token(TokenKind.EOF, "", self.line, self.column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise LexerError("unterminated block comment", start_line, start_col)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        ch = self._peek()
+
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(line, column)
+
+        for text, kind in _OPERATORS:
+            if self.source.startswith(text, self.pos):
+                self._advance(len(text))
+                return Token(kind, text, line, column)
+
+        raise LexerError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        is_hex = False
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            is_hex = True
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start:self.pos]
+            return Token(TokenKind.INT_LIT, text, line, column, int_value=int(text, 16))
+
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("f", "F") and is_float:
+            self._advance()
+            text = self.source[start:self.pos - 1]
+        else:
+            text = self.source[start:self.pos]
+        # Unsigned suffix.
+        if self._peek() in ("u", "U") and not is_float:
+            self._advance()
+
+        if is_float:
+            return Token(TokenKind.FLOAT_LIT, text, line, column, float_value=float(text))
+        return Token(TokenKind.INT_LIT, text, line, column, int_value=int(text, 10))
+
+    def _lex_ident(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = _KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, line, column)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source* and return the token list (including EOF)."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,427 @@
+"""Recursive-descent parser for the mini-C dialect."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend import ast
+from repro.frontend.lexer import Lexer, Token, TokenKind
+from repro.frontend.types import ArrayType, FLOAT, INT, Type, UINT, VOID
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with source position information."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{token.line}:{token.column}: {message} (got {token.text!r})")
+        self.token = token
+
+
+_TYPE_TOKENS = {
+    TokenKind.KW_INT: INT,
+    TokenKind.KW_UNSIGNED: UINT,
+    TokenKind.KW_FLOAT: FLOAT,
+    TokenKind.KW_VOID: VOID,
+}
+
+_COMPOUND_ASSIGN = {
+    TokenKind.PLUS_ASSIGN: "+",
+    TokenKind.MINUS_ASSIGN: "-",
+    TokenKind.STAR_ASSIGN: "*",
+    TokenKind.SLASH_ASSIGN: "/",
+    TokenKind.PERCENT_ASSIGN: "%",
+    TokenKind.AMP_ASSIGN: "&",
+    TokenKind.PIPE_ASSIGN: "|",
+    TokenKind.CARET_ASSIGN: "^",
+    TokenKind.SHL_ASSIGN: "<<",
+    TokenKind.SHR_ASSIGN: ">>",
+}
+
+# Binary operator precedence table (larger binds tighter), C-compatible.
+_BINARY_PRECEDENCE = [
+    [(TokenKind.OR_OR, "||")],
+    [(TokenKind.AND_AND, "&&")],
+    [(TokenKind.PIPE, "|")],
+    [(TokenKind.CARET, "^")],
+    [(TokenKind.AMP, "&")],
+    [(TokenKind.EQ, "=="), (TokenKind.NE, "!=")],
+    [(TokenKind.LT, "<"), (TokenKind.GT, ">"), (TokenKind.LE, "<="), (TokenKind.GE, ">=")],
+    [(TokenKind.SHL, "<<"), (TokenKind.SHR, ">>")],
+    [(TokenKind.PLUS, "+"), (TokenKind.MINUS, "-")],
+    [(TokenKind.STAR, "*"), (TokenKind.SLASH, "/"), (TokenKind.PERCENT, "%")],
+]
+
+
+class Parser:
+    """Parse a token stream into an :class:`repro.frontend.ast.Program`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _expect(self, kind: TokenKind, what: str = "") -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            expected = what or kind.value
+            raise ParseError(f"expected {expected}", token)
+        return self._advance()
+
+    def _accept(self, kind: TokenKind) -> Optional[Token]:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Top level
+    # ------------------------------------------------------------------ #
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(line=1)
+        while not self._at(TokenKind.EOF):
+            self._parse_top_level(program)
+        return program
+
+    def _parse_top_level(self, program: ast.Program) -> None:
+        const = self._accept(TokenKind.KW_CONST) is not None
+        ty = self._parse_type()
+        name_token = self._expect(TokenKind.IDENT, "identifier")
+        if self._at(TokenKind.LPAREN):
+            if const:
+                raise ParseError("functions cannot be declared const", name_token)
+            program.functions.append(self._parse_function(ty, name_token))
+        else:
+            program.globals.append(self._parse_global(ty, name_token, const))
+
+    def _parse_type(self) -> Type:
+        token = self._peek()
+        if token.kind in _TYPE_TOKENS:
+            self._advance()
+            return _TYPE_TOKENS[token.kind]
+        raise ParseError("expected a type", token)
+
+    def _parse_global(self, ty: Type, name_token: Token, const: bool) -> ast.GlobalVar:
+        decl = ast.GlobalVar(line=name_token.line, name=name_token.text, ty=ty, const=const)
+        if self._accept(TokenKind.LBRACKET):
+            length_token = self._expect(TokenKind.INT_LIT, "array length")
+            self._expect(TokenKind.RBRACKET)
+            decl.ty = ArrayType(ty, length_token.int_value)
+        if self._accept(TokenKind.ASSIGN):
+            if self._at(TokenKind.LBRACE):
+                decl.array_init = self._parse_brace_initializer()
+            else:
+                decl.init = self.parse_expression()
+        self._expect(TokenKind.SEMI)
+        return decl
+
+    def _parse_brace_initializer(self) -> List[ast.Expr]:
+        self._expect(TokenKind.LBRACE)
+        values: List[ast.Expr] = []
+        if not self._at(TokenKind.RBRACE):
+            values.append(self.parse_expression())
+            while self._accept(TokenKind.COMMA):
+                if self._at(TokenKind.RBRACE):
+                    break
+                values.append(self.parse_expression())
+        self._expect(TokenKind.RBRACE)
+        return values
+
+    def _parse_function(self, return_type: Type, name_token: Token) -> ast.FuncDef:
+        func = ast.FuncDef(line=name_token.line, name=name_token.text,
+                           return_type=return_type)
+        self._expect(TokenKind.LPAREN)
+        if not self._at(TokenKind.RPAREN):
+            if self._at(TokenKind.KW_VOID) and self._peek(1).kind is TokenKind.RPAREN:
+                self._advance()
+            else:
+                func.params.append(self._parse_param())
+                while self._accept(TokenKind.COMMA):
+                    func.params.append(self._parse_param())
+        self._expect(TokenKind.RPAREN)
+        func.body = self._parse_block()
+        return func
+
+    def _parse_param(self) -> ast.Param:
+        ty = self._parse_type()
+        name_token = self._expect(TokenKind.IDENT, "parameter name")
+        if self._accept(TokenKind.LBRACKET):
+            length = None
+            if self._at(TokenKind.INT_LIT):
+                length = self._advance().int_value
+            self._expect(TokenKind.RBRACKET)
+            ty = ArrayType(ty, length)
+        return ast.Param(line=name_token.line, name=name_token.text, ty=ty)
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def _parse_block(self) -> ast.Block:
+        brace = self._expect(TokenKind.LBRACE)
+        block = ast.Block(line=brace.line)
+        while not self._at(TokenKind.RBRACE):
+            block.statements.append(self._parse_statement())
+        self._expect(TokenKind.RBRACE)
+        return block
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        kind = token.kind
+        if kind is TokenKind.LBRACE:
+            return self._parse_block()
+        if kind in (TokenKind.KW_INT, TokenKind.KW_UNSIGNED, TokenKind.KW_FLOAT,
+                    TokenKind.KW_CONST):
+            return self._parse_local_decl()
+        if kind is TokenKind.KW_IF:
+            return self._parse_if()
+        if kind is TokenKind.KW_WHILE:
+            return self._parse_while()
+        if kind is TokenKind.KW_DO:
+            return self._parse_do_while()
+        if kind is TokenKind.KW_FOR:
+            return self._parse_for()
+        if kind is TokenKind.KW_RETURN:
+            return self._parse_return()
+        if kind is TokenKind.KW_BREAK:
+            self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Break(line=token.line)
+        if kind is TokenKind.KW_CONTINUE:
+            self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Continue(line=token.line)
+        if kind is TokenKind.SEMI:
+            self._advance()
+            return ast.Block(line=token.line)
+        expr = self.parse_expression()
+        self._expect(TokenKind.SEMI)
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _parse_local_decl(self) -> ast.Stmt:
+        self._accept(TokenKind.KW_CONST)
+        ty = self._parse_type()
+        first = self._parse_single_declarator(ty)
+        decls: List[ast.Stmt] = [first]
+        while self._accept(TokenKind.COMMA):
+            decls.append(self._parse_single_declarator(ty))
+        self._expect(TokenKind.SEMI)
+        if len(decls) == 1:
+            return decls[0]
+        # A multi-declarator statement shares the enclosing scope, so it must
+        # not be wrapped in a Block (which would open a new scope).
+        return ast.DeclGroup(line=first.line, declarations=decls)
+
+    def _parse_single_declarator(self, base: Type) -> ast.VarDecl:
+        name_token = self._expect(TokenKind.IDENT, "variable name")
+        decl = ast.VarDecl(line=name_token.line, name=name_token.text, ty=base)
+        if self._accept(TokenKind.LBRACKET):
+            length_token = self._expect(TokenKind.INT_LIT, "array length")
+            self._expect(TokenKind.RBRACKET)
+            decl.ty = ArrayType(base, length_token.int_value)
+        if self._accept(TokenKind.ASSIGN):
+            if self._at(TokenKind.LBRACE):
+                decl.array_init = self._parse_brace_initializer()
+            else:
+                decl.init = self.parse_expression()
+        return decl
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect(TokenKind.KW_IF)
+        self._expect(TokenKind.LPAREN)
+        cond = self.parse_expression()
+        self._expect(TokenKind.RPAREN)
+        then = self._parse_statement()
+        otherwise = None
+        if self._accept(TokenKind.KW_ELSE):
+            otherwise = self._parse_statement()
+        return ast.If(line=token.line, cond=cond, then=then, otherwise=otherwise)
+
+    def _parse_while(self) -> ast.While:
+        token = self._expect(TokenKind.KW_WHILE)
+        self._expect(TokenKind.LPAREN)
+        cond = self.parse_expression()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_statement()
+        return ast.While(line=token.line, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        token = self._expect(TokenKind.KW_DO)
+        body = self._parse_statement()
+        self._expect(TokenKind.KW_WHILE)
+        self._expect(TokenKind.LPAREN)
+        cond = self.parse_expression()
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.SEMI)
+        return ast.DoWhile(line=token.line, body=body, cond=cond)
+
+    def _parse_for(self) -> ast.For:
+        token = self._expect(TokenKind.KW_FOR)
+        self._expect(TokenKind.LPAREN)
+        init: Optional[ast.Stmt] = None
+        if not self._at(TokenKind.SEMI):
+            if self._peek().kind in (TokenKind.KW_INT, TokenKind.KW_UNSIGNED,
+                                     TokenKind.KW_FLOAT):
+                ty = self._parse_type()
+                init = self._parse_single_declarator(ty)
+                self._expect(TokenKind.SEMI)
+            else:
+                init = ast.ExprStmt(line=token.line, expr=self.parse_expression())
+                self._expect(TokenKind.SEMI)
+        else:
+            self._expect(TokenKind.SEMI)
+        cond = None
+        if not self._at(TokenKind.SEMI):
+            cond = self.parse_expression()
+        self._expect(TokenKind.SEMI)
+        step = None
+        if not self._at(TokenKind.RPAREN):
+            step = self.parse_expression()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_statement()
+        return ast.For(line=token.line, init=init, cond=cond, step=step, body=body)
+
+    def _parse_return(self) -> ast.Return:
+        token = self._expect(TokenKind.KW_RETURN)
+        value = None
+        if not self._at(TokenKind.SEMI):
+            value = self.parse_expression()
+        self._expect(TokenKind.SEMI)
+        return ast.Return(line=token.line, value=value)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        expr = self._parse_conditional()
+        token = self._peek()
+        if token.kind is TokenKind.ASSIGN:
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assign(line=token.line, target=expr, value=value, op="")
+        if token.kind in _COMPOUND_ASSIGN:
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assign(line=token.line, target=expr, value=value,
+                              op=_COMPOUND_ASSIGN[token.kind])
+        return expr
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._at(TokenKind.QUESTION):
+            token = self._advance()
+            then = self.parse_expression()
+            self._expect(TokenKind.COLON)
+            otherwise = self._parse_conditional()
+            return ast.Conditional(line=token.line, cond=cond, then=then,
+                                   otherwise=otherwise)
+        return cond
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_PRECEDENCE):
+            return self._parse_unary()
+        expr = self._parse_binary(level + 1)
+        while True:
+            token = self._peek()
+            matched = None
+            for kind, op in _BINARY_PRECEDENCE[level]:
+                if token.kind is kind:
+                    matched = op
+                    break
+            if matched is None:
+                return expr
+            self._advance()
+            rhs = self._parse_binary(level + 1)
+            expr = ast.BinaryOp(line=token.line, op=matched, lhs=expr, rhs=rhs)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            return ast.UnaryOp(line=token.line, op="-", operand=self._parse_unary())
+        if token.kind is TokenKind.PLUS:
+            self._advance()
+            return self._parse_unary()
+        if token.kind is TokenKind.BANG:
+            self._advance()
+            return ast.UnaryOp(line=token.line, op="!", operand=self._parse_unary())
+        if token.kind is TokenKind.TILDE:
+            self._advance()
+            return ast.UnaryOp(line=token.line, op="~", operand=self._parse_unary())
+        if token.kind is TokenKind.PLUS_PLUS:
+            self._advance()
+            return ast.IncDec(line=token.line, target=self._parse_unary(), op="++",
+                              prefix=True)
+        if token.kind is TokenKind.MINUS_MINUS:
+            self._advance()
+            return ast.IncDec(line=token.line, target=self._parse_unary(), op="--",
+                              prefix=True)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.LBRACKET:
+                self._advance()
+                index = self.parse_expression()
+                self._expect(TokenKind.RBRACKET)
+                expr = ast.Index(line=token.line, base=expr, index=index)
+            elif token.kind is TokenKind.PLUS_PLUS:
+                self._advance()
+                expr = ast.IncDec(line=token.line, target=expr, op="++", prefix=False)
+            elif token.kind is TokenKind.MINUS_MINUS:
+                self._advance()
+                expr = ast.IncDec(line=token.line, target=expr, op="--", prefix=False)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT_LIT:
+            self._advance()
+            return ast.IntLiteral(line=token.line, value=token.int_value or 0)
+        if token.kind is TokenKind.FLOAT_LIT:
+            self._advance()
+            return ast.FloatLiteral(line=token.line, value=token.float_value or 0.0)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._at(TokenKind.LPAREN):
+                return self._parse_call(token)
+            return ast.VarRef(line=token.line, name=token.text)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self.parse_expression()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        raise ParseError("expected an expression", token)
+
+    def _parse_call(self, name_token: Token) -> ast.Call:
+        self._expect(TokenKind.LPAREN)
+        call = ast.Call(line=name_token.line, callee=name_token.text)
+        if not self._at(TokenKind.RPAREN):
+            call.args.append(self.parse_expression())
+            while self._accept(TokenKind.COMMA):
+                call.args.append(self.parse_expression())
+        self._expect(TokenKind.RPAREN)
+        return call
+
+
+def parse_program(source: str) -> ast.Program:
+    """Lex and parse *source*, returning the AST."""
+    return Parser(Lexer(source).tokenize()).parse_program()

@@ -1,0 +1,422 @@
+"""Semantic analysis: symbol resolution, type checking and annotation.
+
+The analyzer walks the AST produced by the parser, resolves every name,
+computes and records a type on every expression node, inserts explicit
+:class:`~repro.frontend.ast.Convert` nodes where the usual arithmetic
+conversions apply, and evaluates global initialisers to constants.  The
+annotated AST plus the collected :class:`ProgramSymbols` are what the
+AST-to-IR lowering consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend import ast
+from repro.frontend.types import (
+    ArrayType,
+    FLOAT,
+    INT,
+    IntType,
+    Type,
+    UINT,
+    VOID,
+    common_type,
+    is_float,
+    is_integer,
+)
+
+#: Maximum number of parameters (all passed in registers r0-r3).
+MAX_PARAMS = 4
+
+
+class SemanticError(Exception):
+    """Raised for any semantic violation (unknown name, type mismatch...)."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+@dataclass
+class FunctionSignature:
+    name: str
+    return_type: Type
+    param_types: List[Type]
+
+
+@dataclass
+class GlobalInfo:
+    name: str
+    ty: Type
+    const: bool
+    #: Scalar initial value (int or float) or list of values for arrays.
+    init_values: List[float] = field(default_factory=list)
+
+
+@dataclass
+class ProgramSymbols:
+    """Symbol information gathered during analysis."""
+
+    functions: Dict[str, FunctionSignature] = field(default_factory=dict)
+    globals: Dict[str, GlobalInfo] = field(default_factory=dict)
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.symbols: Dict[str, Type] = {}
+
+    def define(self, name: str, ty: Type, line: int) -> None:
+        if name in self.symbols:
+            raise SemanticError(f"redefinition of '{name}'", line)
+        self.symbols[name] = ty
+
+    def lookup(self, name: str) -> Optional[Type]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    """Single-pass (plus a signature pre-pass) semantic analyzer."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.symbols = ProgramSymbols()
+        self._scope = _Scope()
+        self._current_function: Optional[ast.FuncDef] = None
+        self._loop_depth = 0
+
+    # ------------------------------------------------------------------ #
+    def analyze(self) -> ProgramSymbols:
+        self._collect_globals()
+        self._collect_signatures()
+        for func in self.program.functions:
+            self._analyze_function(func)
+        return self.symbols
+
+    # ------------------------------------------------------------------ #
+    def _collect_globals(self) -> None:
+        for decl in self.program.globals:
+            if decl.name in self.symbols.globals:
+                raise SemanticError(f"redefinition of global '{decl.name}'", decl.line)
+            info = GlobalInfo(decl.name, decl.ty, decl.const)
+            if isinstance(decl.ty, ArrayType):
+                length = decl.ty.length
+                if length is None or length <= 0:
+                    raise SemanticError(
+                        f"global array '{decl.name}' must have a positive length",
+                        decl.line)
+                values = [0.0] * length
+                if decl.array_init is not None:
+                    if len(decl.array_init) > length:
+                        raise SemanticError(
+                            f"too many initialisers for '{decl.name}'", decl.line)
+                    for index, expr in enumerate(decl.array_init):
+                        values[index] = self._const_eval(expr)
+                info.init_values = values
+            else:
+                value = 0.0
+                if decl.init is not None:
+                    value = self._const_eval(decl.init)
+                info.init_values = [value]
+            self.symbols.globals[decl.name] = info
+
+    def _collect_signatures(self) -> None:
+        for func in self.program.functions:
+            if func.name in self.symbols.functions:
+                raise SemanticError(f"redefinition of function '{func.name}'", func.line)
+            if len(func.params) > MAX_PARAMS:
+                raise SemanticError(
+                    f"function '{func.name}' has more than {MAX_PARAMS} parameters",
+                    func.line)
+            signature = FunctionSignature(
+                func.name, func.return_type, [p.ty for p in func.params])
+            self.symbols.functions[func.name] = signature
+
+    # ------------------------------------------------------------------ #
+    def _const_eval(self, expr: ast.Expr) -> float:
+        """Evaluate a constant expression used in a global initialiser."""
+        if isinstance(expr, ast.IntLiteral):
+            return float(expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return expr.value
+        if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+            return -self._const_eval(expr.operand)
+        if isinstance(expr, ast.UnaryOp) and expr.op == "~":
+            return float(~int(self._const_eval(expr.operand)))
+        if isinstance(expr, ast.BinaryOp):
+            lhs = self._const_eval(expr.lhs)
+            rhs = self._const_eval(expr.rhs)
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a / b if b else 0.0,
+                "%": lambda a, b: float(int(a) % int(b)) if b else 0.0,
+                "<<": lambda a, b: float(int(a) << int(b)),
+                ">>": lambda a, b: float(int(a) >> int(b)),
+                "|": lambda a, b: float(int(a) | int(b)),
+                "&": lambda a, b: float(int(a) & int(b)),
+                "^": lambda a, b: float(int(a) ^ int(b)),
+            }
+            if expr.op in ops:
+                return ops[expr.op](lhs, rhs)
+        raise SemanticError("global initialiser is not a constant expression",
+                            expr.line)
+
+    # ------------------------------------------------------------------ #
+    def _analyze_function(self, func: ast.FuncDef) -> None:
+        self._current_function = func
+        self._scope = _Scope()
+        for param in func.params:
+            self._scope.define(param.name, param.ty, param.line)
+        self._analyze_block(func.body)
+        self._current_function = None
+
+    def _analyze_block(self, block: ast.Block) -> None:
+        outer = self._scope
+        self._scope = _Scope(outer)
+        for stmt in block.statements:
+            self._analyze_stmt(stmt)
+        self._scope = outer
+
+    def _analyze_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._analyze_block(stmt)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.declarations:
+                self._analyze_var_decl(decl)
+        elif isinstance(stmt, ast.VarDecl):
+            self._analyze_var_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._analyze_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._analyze_expr(stmt.cond)
+            self._analyze_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self._analyze_stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.While):
+            self._analyze_expr(stmt.cond)
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._analyze_expr(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            outer = self._scope
+            self._scope = _Scope(outer)
+            if stmt.init is not None:
+                self._analyze_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._analyze_expr(stmt.cond)
+            if stmt.step is not None:
+                self._analyze_expr(stmt.step)
+            self._loop_depth += 1
+            self._analyze_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._scope = outer
+        elif isinstance(stmt, ast.Return):
+            self._analyze_return(stmt)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                raise SemanticError("break/continue outside of a loop", stmt.line)
+        else:
+            raise SemanticError(f"unhandled statement {type(stmt).__name__}", stmt.line)
+
+    def _analyze_var_decl(self, decl: ast.VarDecl) -> None:
+        if isinstance(decl.ty, ArrayType):
+            if decl.ty.length is None or decl.ty.length <= 0:
+                raise SemanticError(
+                    f"local array '{decl.name}' must have a positive length", decl.line)
+            if decl.array_init is not None:
+                for expr in decl.array_init:
+                    value_ty = self._analyze_expr(expr)
+                    if not value_ty.is_scalar():
+                        raise SemanticError("array initialiser must be scalar", decl.line)
+        elif decl.init is not None:
+            value_ty = self._analyze_expr(decl.init)
+            decl.init = self._convert(decl.init, value_ty, decl.ty)
+        self._scope.define(decl.name, decl.ty, decl.line)
+
+    def _analyze_return(self, stmt: ast.Return) -> None:
+        func = self._current_function
+        assert func is not None
+        if isinstance(func.return_type, type(VOID)) and func.return_type == VOID:
+            if stmt.value is not None:
+                raise SemanticError(
+                    f"void function '{func.name}' cannot return a value", stmt.line)
+            return
+        if stmt.value is None:
+            raise SemanticError(
+                f"non-void function '{func.name}' must return a value", stmt.line)
+        value_ty = self._analyze_expr(stmt.value)
+        stmt.value = self._convert(stmt.value, value_ty, func.return_type)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _convert(self, expr: ast.Expr, from_ty: Type, to_ty: Type) -> ast.Expr:
+        """Insert a Convert node if *expr* needs converting to *to_ty*."""
+        if from_ty == to_ty:
+            return expr
+        if isinstance(from_ty, IntType) and isinstance(to_ty, IntType):
+            expr.ty = to_ty
+            return expr
+        if from_ty.is_scalar() and to_ty.is_scalar():
+            node = ast.Convert(line=expr.line, value=expr)
+            node.ty = to_ty
+            return node
+        raise SemanticError(f"cannot convert {from_ty} to {to_ty}", expr.line)
+
+    def _analyze_expr(self, expr: ast.Expr) -> Type:
+        ty = self._analyze_expr_inner(expr)
+        expr.ty = ty
+        return ty
+
+    def _analyze_expr_inner(self, expr: ast.Expr) -> Type:
+        if isinstance(expr, ast.IntLiteral):
+            return INT
+        if isinstance(expr, ast.FloatLiteral):
+            return FLOAT
+        if isinstance(expr, ast.VarRef):
+            return self._lookup_var(expr.name, expr.line)
+        if isinstance(expr, ast.Index):
+            return self._analyze_index(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._analyze_binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self._analyze_unary(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._analyze_conditional(expr)
+        if isinstance(expr, ast.Call):
+            return self._analyze_call(expr)
+        if isinstance(expr, ast.Assign):
+            return self._analyze_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._analyze_incdec(expr)
+        if isinstance(expr, ast.Convert):
+            self._analyze_expr(expr.value)
+            return expr.ty
+        raise SemanticError(f"unhandled expression {type(expr).__name__}", expr.line)
+
+    def _lookup_var(self, name: str, line: int) -> Type:
+        ty = self._scope.lookup(name)
+        if ty is not None:
+            return ty
+        if name in self.symbols.globals:
+            return self.symbols.globals[name].ty
+        raise SemanticError(f"use of undeclared identifier '{name}'", line)
+
+    def _analyze_index(self, expr: ast.Index) -> Type:
+        base_ty = self._analyze_expr(expr.base)
+        if not isinstance(base_ty, ArrayType):
+            raise SemanticError("subscripted value is not an array", expr.line)
+        index_ty = self._analyze_expr(expr.index)
+        if not is_integer(index_ty):
+            raise SemanticError("array index must be an integer", expr.line)
+        return base_ty.element
+
+    def _analyze_binary(self, expr: ast.BinaryOp) -> Type:
+        lhs_ty = self._analyze_expr(expr.lhs)
+        rhs_ty = self._analyze_expr(expr.rhs)
+        op = expr.op
+        if op in ("&&", "||"):
+            if not lhs_ty.is_scalar() or not rhs_ty.is_scalar():
+                raise SemanticError("logical operands must be scalar", expr.line)
+            return INT
+        if not lhs_ty.is_scalar() or not rhs_ty.is_scalar():
+            raise SemanticError(f"invalid operands to '{op}'", expr.line)
+        if op in ("%", "<<", ">>", "&", "|", "^"):
+            if is_float(lhs_ty) or is_float(rhs_ty):
+                raise SemanticError(f"'{op}' requires integer operands", expr.line)
+            result = common_type(lhs_ty, rhs_ty)
+            expr.lhs = self._convert(expr.lhs, lhs_ty, result)
+            expr.rhs = self._convert(expr.rhs, rhs_ty, result)
+            return result
+        result = common_type(lhs_ty, rhs_ty)
+        expr.lhs = self._convert(expr.lhs, lhs_ty, result)
+        expr.rhs = self._convert(expr.rhs, rhs_ty, result)
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            return INT
+        return result
+
+    def _analyze_unary(self, expr: ast.UnaryOp) -> Type:
+        operand_ty = self._analyze_expr(expr.operand)
+        if not operand_ty.is_scalar():
+            raise SemanticError(f"invalid operand to unary '{expr.op}'", expr.line)
+        if expr.op == "!":
+            return INT
+        if expr.op == "~":
+            if is_float(operand_ty):
+                raise SemanticError("'~' requires an integer operand", expr.line)
+            return operand_ty
+        return operand_ty
+
+    def _analyze_conditional(self, expr: ast.Conditional) -> Type:
+        self._analyze_expr(expr.cond)
+        then_ty = self._analyze_expr(expr.then)
+        else_ty = self._analyze_expr(expr.otherwise)
+        result = common_type(then_ty, else_ty)
+        expr.then = self._convert(expr.then, then_ty, result)
+        expr.otherwise = self._convert(expr.otherwise, else_ty, result)
+        return result
+
+    def _analyze_call(self, expr: ast.Call) -> Type:
+        signature = self.symbols.functions.get(expr.callee)
+        if signature is None:
+            raise SemanticError(f"call to undefined function '{expr.callee}'", expr.line)
+        if len(expr.args) != len(signature.param_types):
+            raise SemanticError(
+                f"'{expr.callee}' expects {len(signature.param_types)} arguments, "
+                f"got {len(expr.args)}", expr.line)
+        for index, (arg, param_ty) in enumerate(zip(expr.args, signature.param_types)):
+            arg_ty = self._analyze_expr(arg)
+            if isinstance(param_ty, ArrayType):
+                if not isinstance(arg_ty, ArrayType):
+                    raise SemanticError(
+                        f"argument {index + 1} of '{expr.callee}' must be an array",
+                        expr.line)
+            else:
+                expr.args[index] = self._convert(arg, arg_ty, param_ty)
+        return signature.return_type
+
+    def _analyze_assign(self, expr: ast.Assign) -> Type:
+        target_ty = self._check_lvalue(expr.target)
+        value_ty = self._analyze_expr(expr.value)
+        if expr.op:
+            if expr.op in ("%", "<<", ">>", "&", "|", "^") and (
+                    is_float(target_ty) or is_float(value_ty)):
+                raise SemanticError(f"'{expr.op}=' requires integer operands", expr.line)
+        expr.value = self._convert(expr.value, value_ty, target_ty)
+        return target_ty
+
+    def _analyze_incdec(self, expr: ast.IncDec) -> Type:
+        target_ty = self._check_lvalue(expr.target)
+        if is_float(target_ty):
+            raise SemanticError("'++'/'--' require an integer lvalue", expr.line)
+        return target_ty
+
+    def _check_lvalue(self, expr: ast.Expr) -> Type:
+        ty = self._analyze_expr(expr)
+        if isinstance(expr, ast.VarRef):
+            if isinstance(ty, ArrayType):
+                raise SemanticError("cannot assign to an array", expr.line)
+            return ty
+        if isinstance(expr, ast.Index):
+            return ty
+        raise SemanticError("expression is not assignable", expr.line)
+
+
+def analyze(program: ast.Program) -> ProgramSymbols:
+    """Run semantic analysis on *program*, annotating it in place."""
+    return SemanticAnalyzer(program).analyze()

@@ -1,0 +1,102 @@
+"""Type system for the mini-C dialect.
+
+Only a handful of types exist: the 32-bit scalars ``int``, ``unsigned`` and
+``float`` (always stored in a 32-bit word), ``void`` for functions, and
+one-dimensional arrays of the scalars.  Array-typed parameters decay to
+"array references" (a base address), mirroring C pointer decay without
+exposing general pointer arithmetic in the language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base marker class for types."""
+
+    def is_scalar(self) -> bool:
+        return False
+
+    def is_array(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    signed: bool = True
+
+    def is_scalar(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "int" if self.signed else "unsigned"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    def is_scalar(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "float"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    length: Optional[int] = None  # None for array parameters (unsized)
+
+    def is_array(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        size = self.length if self.length is not None else ""
+        return f"{self.element}[{size}]"
+
+
+INT = IntType(signed=True)
+UINT = IntType(signed=False)
+FLOAT = FloatType()
+VOID = VoidType()
+
+#: Size in bytes of every scalar type (everything is one machine word).
+WORD_SIZE = 4
+
+
+def sizeof(ty: Type) -> int:
+    """Byte size of a type; arrays must be sized."""
+    if isinstance(ty, ArrayType):
+        if ty.length is None:
+            raise ValueError("cannot take the size of an unsized array")
+        return ty.length * sizeof(ty.element)
+    if isinstance(ty, VoidType):
+        raise ValueError("void has no size")
+    return WORD_SIZE
+
+
+def is_integer(ty: Type) -> bool:
+    return isinstance(ty, IntType)
+
+
+def is_float(ty: Type) -> bool:
+    return isinstance(ty, FloatType)
+
+
+def common_type(lhs: Type, rhs: Type) -> Type:
+    """Usual arithmetic conversions for the three scalar types."""
+    if is_float(lhs) or is_float(rhs):
+        return FLOAT
+    if isinstance(lhs, IntType) and isinstance(rhs, IntType):
+        if not lhs.signed or not rhs.signed:
+            return UINT
+        return INT
+    raise TypeError(f"no common type for {lhs} and {rhs}")

@@ -1,0 +1,64 @@
+"""Register-based three-address intermediate representation.
+
+The IR sits between the mini-C frontend and the Thumb-2-like code generator.
+It is deliberately simple: an unbounded set of 32-bit virtual registers,
+explicit ``load``/``store`` for arrays and globals, fused compare-and-branch
+terminators, and calls.  Floating point has already been lowered to
+soft-float runtime calls by the time IR exists, so every value is a 32-bit
+integer word.
+"""
+
+from repro.ir.values import VReg, Const, Operand
+from repro.ir.instructions import (
+    BinOp,
+    Mov,
+    Load,
+    Store,
+    AddrOf,
+    FrameAddr,
+    Call,
+    Jump,
+    Branch,
+    Ret,
+    Instruction,
+    Terminator,
+    BINARY_OPS,
+    COMPARE_CONDS,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function, FrameObject
+from repro.ir.module import Module, GlobalData
+from repro.ir.builder import IRBuilder
+from repro.ir.verifier import verify_module, verify_function, IRVerificationError
+from repro.ir.printer import module_to_text, function_to_text
+
+__all__ = [
+    "VReg",
+    "Const",
+    "Operand",
+    "BinOp",
+    "Mov",
+    "Load",
+    "Store",
+    "AddrOf",
+    "FrameAddr",
+    "Call",
+    "Jump",
+    "Branch",
+    "Ret",
+    "Instruction",
+    "Terminator",
+    "BINARY_OPS",
+    "COMPARE_CONDS",
+    "BasicBlock",
+    "Function",
+    "FrameObject",
+    "Module",
+    "GlobalData",
+    "IRBuilder",
+    "verify_module",
+    "verify_function",
+    "IRVerificationError",
+    "module_to_text",
+    "function_to_text",
+]

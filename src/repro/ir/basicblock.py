@@ -1,0 +1,58 @@
+"""IR basic blocks."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.instructions import Instruction, Terminator
+
+
+class BasicBlock:
+    """A sequence of straight-line IR instructions with one terminator.
+
+    The terminator is stored separately from the instruction list so passes
+    never have to special-case "is this the last instruction".
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.instructions: List[Instruction] = []
+        self.terminator: Optional[Terminator] = None
+
+    # ------------------------------------------------------------------ #
+    def append(self, instr: Instruction) -> Instruction:
+        if isinstance(instr, Terminator):
+            if self.terminator is not None:
+                raise ValueError(f"block {self.name} already has a terminator")
+            self.terminator = instr
+        else:
+            self.instructions.append(instr)
+        return instr
+
+    def successors(self) -> List[str]:
+        """Names of successor blocks (empty for return blocks)."""
+        if self.terminator is None:
+            return []
+        return self.terminator.targets()
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def all_instructions(self) -> List[Instruction]:
+        """Body instructions followed by the terminator (if present)."""
+        result = list(self.instructions)
+        if self.terminator is not None:
+            result.append(self.terminator)
+        return result
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.name}: {len(self.instructions)} instrs>"
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        for instr in self.instructions:
+            lines.append(f"  {instr}")
+        if self.terminator is not None:
+            lines.append(f"  {self.terminator}")
+        return "\n".join(lines)

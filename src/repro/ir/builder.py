@@ -1,0 +1,110 @@
+"""Convenience builder for constructing IR programmatically.
+
+Used by the AST lowering and directly by tests and the synthetic-workload
+generators (for example the Figure 1 instruction-power microbenchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AddrOf,
+    BinOp,
+    Branch,
+    Call,
+    FrameAddr,
+    Jump,
+    Load,
+    Mov,
+    Ret,
+    Store,
+)
+from repro.ir.values import Const, Operand, VReg, as_operand
+
+
+class IRBuilder:
+    """Builds instructions into a current insertion block."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.block: Optional[BasicBlock] = None
+
+    # ------------------------------------------------------------------ #
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.block = block
+        return block
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        return self.function.new_block(hint)
+
+    def _emit(self, instr):
+        if self.block is None:
+            raise RuntimeError("no insertion block set")
+        return self.block.append(instr)
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.block is not None and self.block.is_terminated
+
+    # ------------------------------------------------------------------ #
+    # Value-producing instructions
+    # ------------------------------------------------------------------ #
+    def mov(self, src: Union[Operand, int]) -> VReg:
+        dst = self.function.new_vreg()
+        self._emit(Mov(dst, as_operand(src)))
+        return dst
+
+    def binop(self, op: str, lhs: Union[Operand, int], rhs: Union[Operand, int]) -> VReg:
+        dst = self.function.new_vreg()
+        self._emit(BinOp(op, dst, as_operand(lhs), as_operand(rhs)))
+        return dst
+
+    def add(self, lhs, rhs) -> VReg:
+        return self.binop("add", lhs, rhs)
+
+    def sub(self, lhs, rhs) -> VReg:
+        return self.binop("sub", lhs, rhs)
+
+    def mul(self, lhs, rhs) -> VReg:
+        return self.binop("mul", lhs, rhs)
+
+    def load(self, base, offset=0, width: int = 4) -> VReg:
+        dst = self.function.new_vreg()
+        self._emit(Load(dst, as_operand(base), as_operand(offset), width))
+        return dst
+
+    def store(self, src, base, offset=0, width: int = 4) -> None:
+        self._emit(Store(as_operand(src), as_operand(base), as_operand(offset), width))
+
+    def addr_of(self, symbol: str) -> VReg:
+        dst = self.function.new_vreg()
+        self._emit(AddrOf(dst, symbol))
+        return dst
+
+    def frame_addr(self, object_name: str) -> VReg:
+        dst = self.function.new_vreg()
+        self._emit(FrameAddr(dst, object_name))
+        return dst
+
+    def call(self, callee: str, args: List[Union[Operand, int]],
+             returns_value: bool = True) -> Optional[VReg]:
+        dst = self.function.new_vreg() if returns_value else None
+        self._emit(Call(dst, callee, [as_operand(a) for a in args]))
+        return dst
+
+    # ------------------------------------------------------------------ #
+    # Terminators
+    # ------------------------------------------------------------------ #
+    def jump(self, target: BasicBlock) -> None:
+        self._emit(Jump(target.name))
+
+    def branch(self, cond: str, lhs, rhs, then_block: BasicBlock,
+               else_block: BasicBlock) -> None:
+        self._emit(Branch(cond, as_operand(lhs), as_operand(rhs),
+                          then_block.name, else_block.name))
+
+    def ret(self, value=None) -> None:
+        self._emit(Ret(as_operand(value) if value is not None else None))

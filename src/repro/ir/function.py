@@ -1,0 +1,99 @@
+"""IR functions and their stack frame objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.values import VReg
+
+
+@dataclass
+class FrameObject:
+    """A stack-allocated object (local array or scratch area)."""
+
+    name: str
+    size: int
+    alignment: int = 4
+
+
+class Function:
+    """An IR function: parameters, basic blocks and frame objects.
+
+    ``is_library`` marks functions that belong to the runtime/soft-float
+    library.  The flash-RAM placement optimizer treats such functions as
+    opaque (their blocks can never be moved to RAM), reproducing the paper's
+    limitation that statically-linked library code is invisible to the pass.
+    """
+
+    def __init__(self, name: str, num_params: int = 0, returns_value: bool = True,
+                 is_library: bool = False):
+        self.name = name
+        self.num_params = num_params
+        self.returns_value = returns_value
+        self.is_library = is_library
+        self.params: List[VReg] = [VReg(i) for i in range(num_params)]
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.block_order: List[str] = []
+        self.frame_objects: Dict[str, FrameObject] = {}
+        self._next_vreg = num_params
+        self._next_block = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def new_vreg(self) -> VReg:
+        reg = VReg(self._next_vreg)
+        self._next_vreg += 1
+        return reg
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        name = f"{hint}.{self._next_block}"
+        self._next_block += 1
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        self.block_order.append(name)
+        return block
+
+    def add_frame_object(self, name: str, size: int, alignment: int = 4) -> FrameObject:
+        if name in self.frame_objects:
+            raise ValueError(f"frame object {name} already exists in {self.name}")
+        obj = FrameObject(name, size, alignment)
+        self.frame_objects[name] = obj
+        return obj
+
+    # ------------------------------------------------------------------ #
+    # Navigation
+    # ------------------------------------------------------------------ #
+    @property
+    def entry_block(self) -> BasicBlock:
+        if not self.block_order:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[self.block_order[0]]
+
+    def iter_blocks(self) -> Iterator[BasicBlock]:
+        for name in self.block_order:
+            yield self.blocks[name]
+
+    def get_block(self, name: str) -> BasicBlock:
+        return self.blocks[name]
+
+    def remove_block(self, name: str) -> None:
+        del self.blocks[name]
+        self.block_order.remove(name)
+
+    def predecessors(self) -> Dict[str, List[str]]:
+        """Map block name -> list of predecessor block names."""
+        preds: Dict[str, List[str]] = {name: [] for name in self.block_order}
+        for block in self.iter_blocks():
+            for succ in block.successors():
+                if succ in preds:
+                    preds[succ].append(block.name)
+        return preds
+
+    def vreg_count(self) -> int:
+        return self._next_vreg
+
+    def __repr__(self) -> str:
+        return f"<Function {self.name} ({len(self.block_order)} blocks)>"

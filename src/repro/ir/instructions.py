@@ -1,0 +1,231 @@
+"""IR instruction definitions.
+
+Ordinary instructions produce at most one virtual-register result.  Every
+basic block ends with exactly one :class:`Terminator` (``jump``, ``branch`` or
+``ret``).  Comparison conditions use lower-case ARM-style mnemonics so the
+instruction selector can map them directly onto machine condition codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.ir.values import Const, Operand, VReg
+
+#: Binary opcodes supported by :class:`BinOp`.
+BINARY_OPS = (
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+)
+
+#: Comparison conditions usable in :class:`Branch`.
+COMPARE_CONDS = ("eq", "ne", "lt", "le", "gt", "ge", "lo", "ls", "hi", "hs")
+
+
+@dataclass
+class Instruction:
+    """Base class for non-terminator IR instructions."""
+
+    def result(self) -> Optional[VReg]:
+        """The virtual register defined by this instruction, if any."""
+        return getattr(self, "dst", None)
+
+    def operands(self) -> List[Operand]:
+        """All value operands read by this instruction."""
+        return []
+
+    def replace_operands(self, mapping) -> None:
+        """Replace operands according to ``mapping`` (old operand -> new)."""
+
+
+@dataclass
+class Terminator(Instruction):
+    """Base class for block terminators."""
+
+    def targets(self) -> List[str]:
+        return []
+
+
+# --------------------------------------------------------------------------- #
+# Ordinary instructions
+# --------------------------------------------------------------------------- #
+@dataclass
+class BinOp(Instruction):
+    op: str
+    dst: VReg
+    lhs: Operand
+    rhs: Operand
+
+    def __post_init__(self):
+        if self.op not in BINARY_OPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+    def operands(self) -> List[Operand]:
+        return [self.lhs, self.rhs]
+
+    def replace_operands(self, mapping) -> None:
+        self.lhs = mapping.get(self.lhs, self.lhs)
+        self.rhs = mapping.get(self.rhs, self.rhs)
+
+    def __str__(self) -> str:
+        return f"{self.dst!r} = {self.op} {self.lhs!r}, {self.rhs!r}"
+
+
+@dataclass
+class Mov(Instruction):
+    dst: VReg
+    src: Operand
+
+    def operands(self) -> List[Operand]:
+        return [self.src]
+
+    def replace_operands(self, mapping) -> None:
+        self.src = mapping.get(self.src, self.src)
+
+    def __str__(self) -> str:
+        return f"{self.dst!r} = mov {self.src!r}"
+
+
+@dataclass
+class Load(Instruction):
+    """``dst = load width, [base + offset]`` (byte offset)."""
+
+    dst: VReg
+    base: Operand
+    offset: Operand
+    width: int = 4
+
+    def operands(self) -> List[Operand]:
+        return [self.base, self.offset]
+
+    def replace_operands(self, mapping) -> None:
+        self.base = mapping.get(self.base, self.base)
+        self.offset = mapping.get(self.offset, self.offset)
+
+    def __str__(self) -> str:
+        return f"{self.dst!r} = load.w{self.width} [{self.base!r} + {self.offset!r}]"
+
+
+@dataclass
+class Store(Instruction):
+    """``store width, src -> [base + offset]`` (byte offset)."""
+
+    src: Operand
+    base: Operand
+    offset: Operand
+    width: int = 4
+
+    def operands(self) -> List[Operand]:
+        return [self.src, self.base, self.offset]
+
+    def replace_operands(self, mapping) -> None:
+        self.src = mapping.get(self.src, self.src)
+        self.base = mapping.get(self.base, self.base)
+        self.offset = mapping.get(self.offset, self.offset)
+
+    def __str__(self) -> str:
+        return f"store.w{self.width} {self.src!r} -> [{self.base!r} + {self.offset!r}]"
+
+
+@dataclass
+class AddrOf(Instruction):
+    """``dst = &global`` — the address of a module-level symbol."""
+
+    dst: VReg
+    symbol: str
+
+    def __str__(self) -> str:
+        return f"{self.dst!r} = addrof @{self.symbol}"
+
+
+@dataclass
+class FrameAddr(Instruction):
+    """``dst = &frame_object`` — the address of a stack-allocated array."""
+
+    dst: VReg
+    object_name: str
+
+    def __str__(self) -> str:
+        return f"{self.dst!r} = frameaddr {self.object_name}"
+
+
+@dataclass
+class Call(Instruction):
+    """``dst = call callee(args...)``; ``dst`` is None for void calls."""
+
+    dst: Optional[VReg]
+    callee: str
+    args: List[Operand] = field(default_factory=list)
+
+    def result(self) -> Optional[VReg]:
+        return self.dst
+
+    def operands(self) -> List[Operand]:
+        return list(self.args)
+
+    def replace_operands(self, mapping) -> None:
+        self.args = [mapping.get(a, a) for a in self.args]
+
+    def __str__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        prefix = f"{self.dst!r} = " if self.dst is not None else ""
+        return f"{prefix}call @{self.callee}({args})"
+
+
+# --------------------------------------------------------------------------- #
+# Terminators
+# --------------------------------------------------------------------------- #
+@dataclass
+class Jump(Terminator):
+    target: str
+
+    def targets(self) -> List[str]:
+        return [self.target]
+
+    def __str__(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass
+class Branch(Terminator):
+    """Fused compare-and-branch: ``if (lhs cond rhs) goto then else goto els``."""
+
+    cond: str
+    lhs: Operand
+    rhs: Operand
+    then_target: str
+    else_target: str
+
+    def __post_init__(self):
+        if self.cond not in COMPARE_CONDS:
+            raise ValueError(f"unknown compare condition {self.cond!r}")
+
+    def operands(self) -> List[Operand]:
+        return [self.lhs, self.rhs]
+
+    def replace_operands(self, mapping) -> None:
+        self.lhs = mapping.get(self.lhs, self.lhs)
+        self.rhs = mapping.get(self.rhs, self.rhs)
+
+    def targets(self) -> List[str]:
+        return [self.then_target, self.else_target]
+
+    def __str__(self) -> str:
+        return (f"branch {self.lhs!r} {self.cond} {self.rhs!r} ? "
+                f"{self.then_target} : {self.else_target}")
+
+
+@dataclass
+class Ret(Terminator):
+    value: Optional[Operand] = None
+
+    def operands(self) -> List[Operand]:
+        return [self.value] if self.value is not None else []
+
+    def replace_operands(self, mapping) -> None:
+        if self.value is not None:
+            self.value = mapping.get(self.value, self.value)
+
+    def __str__(self) -> str:
+        return f"ret {self.value!r}" if self.value is not None else "ret"

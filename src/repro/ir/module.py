@@ -1,0 +1,63 @@
+"""IR modules: functions plus global data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.function import Function
+
+
+@dataclass
+class GlobalData:
+    """A module-level variable.
+
+    ``words`` holds the initial contents as 32-bit words.  ``const`` data is
+    placed in flash (``.rodata``) by the layout stage; mutable data lives in
+    RAM (``.data``), matching the memory map of the paper's target where the
+    runtime copies initialised data into RAM at startup.
+    """
+
+    name: str
+    words: List[int] = field(default_factory=list)
+    const: bool = False
+
+    @property
+    def size(self) -> int:
+        return 4 * len(self.words)
+
+
+class Module:
+    """A compilation unit: named functions and global data."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalData] = {}
+
+    # ------------------------------------------------------------------ #
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"function {function.name} already defined")
+        self.functions[function.name] = function
+        return function
+
+    def add_global(self, data: GlobalData) -> GlobalData:
+        if data.name in self.globals:
+            raise ValueError(f"global {data.name} already defined")
+        self.globals[data.name] = data
+        return data
+
+    def get_function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def merge(self, other: "Module") -> None:
+        """Link another module into this one (used to add the runtime library)."""
+        for function in other.functions.values():
+            self.add_function(function)
+        for data in other.globals.values():
+            self.add_global(data)
+
+    def __repr__(self) -> str:
+        return (f"<Module {self.name}: {len(self.functions)} functions, "
+                f"{len(self.globals)} globals>")

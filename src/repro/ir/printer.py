@@ -1,0 +1,29 @@
+"""Textual dump of IR modules and functions (for debugging and tests)."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def function_to_text(function: Function) -> str:
+    """Render a function as readable multi-line text."""
+    header = [f"func @{function.name}({', '.join(repr(p) for p in function.params)})"]
+    if function.is_library:
+        header[0] += "  ; library"
+    for obj in function.frame_objects.values():
+        header.append(f"  frame {obj.name}: {obj.size} bytes")
+    body = [str(function.blocks[name]) for name in function.block_order]
+    return "\n".join(header + body)
+
+
+def module_to_text(module: Module) -> str:
+    """Render a whole module as readable multi-line text."""
+    parts = [f"module {module.name}"]
+    for data in module.globals.values():
+        kind = "const" if data.const else "data"
+        parts.append(f"global {data.name}: {kind}, {data.size} bytes")
+    for function in module.functions.values():
+        parts.append("")
+        parts.append(function_to_text(function))
+    return "\n".join(parts)

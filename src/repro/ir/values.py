@@ -1,0 +1,44 @@
+"""IR value kinds: virtual registers and integer constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, order=True)
+class VReg:
+    """A virtual register holding one 32-bit word."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"%{self.index}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A 32-bit integer constant operand.
+
+    Values are stored as Python ints; the simulator and code generator wrap
+    them to 32 bits where relevant.  Floating-point constants are represented
+    by their IEEE-754 single-precision bit pattern (an integer) because the
+    whole backend is integer-only.
+    """
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"${self.value}"
+
+
+Operand = Union[VReg, Const]
+
+
+def as_operand(value) -> Operand:
+    """Coerce a Python int or existing operand into an :data:`Operand`."""
+    if isinstance(value, (VReg, Const)):
+        return value
+    if isinstance(value, int):
+        return Const(value)
+    raise TypeError(f"cannot use {value!r} as an IR operand")

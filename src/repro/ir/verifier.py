@@ -1,0 +1,71 @@
+"""Structural verification of IR modules.
+
+The verifier catches the mistakes that most commonly break later stages:
+missing terminators, branches to unknown blocks, calls to unknown functions,
+references to unknown globals or frame objects, and use of virtual registers
+that are never defined anywhere in the function (parameters count as
+definitions).  It intentionally does not require SSA or dominance-based
+def-before-use, because the IR is not SSA.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import AddrOf, Branch, Call, FrameAddr, Jump
+from repro.ir.module import Module
+from repro.ir.values import VReg
+
+
+class IRVerificationError(Exception):
+    """Raised when a module or function fails verification."""
+
+
+def verify_function(function: Function, module: Module = None) -> None:
+    """Verify one function; raises :class:`IRVerificationError` on problems."""
+    if not function.block_order:
+        raise IRVerificationError(f"{function.name}: function has no blocks")
+
+    defined: Set[VReg] = set(function.params)
+    for block in function.iter_blocks():
+        for instr in block.all_instructions():
+            result = instr.result()
+            if result is not None:
+                defined.add(result)
+
+    for block in function.iter_blocks():
+        if block.terminator is None:
+            raise IRVerificationError(
+                f"{function.name}/{block.name}: block has no terminator")
+        for instr in block.all_instructions():
+            for operand in instr.operands():
+                if isinstance(operand, VReg) and operand not in defined:
+                    raise IRVerificationError(
+                        f"{function.name}/{block.name}: use of undefined {operand!r}")
+            if isinstance(instr, (Jump, Branch)):
+                for target in instr.targets():
+                    if target not in function.blocks:
+                        raise IRVerificationError(
+                            f"{function.name}/{block.name}: branch to unknown "
+                            f"block {target}")
+            if isinstance(instr, FrameAddr):
+                if instr.object_name not in function.frame_objects:
+                    raise IRVerificationError(
+                        f"{function.name}/{block.name}: unknown frame object "
+                        f"{instr.object_name}")
+            if module is not None:
+                if isinstance(instr, Call) and instr.callee not in module.functions:
+                    raise IRVerificationError(
+                        f"{function.name}/{block.name}: call to unknown function "
+                        f"{instr.callee}")
+                if isinstance(instr, AddrOf) and instr.symbol not in module.globals:
+                    raise IRVerificationError(
+                        f"{function.name}/{block.name}: reference to unknown global "
+                        f"{instr.symbol}")
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function of *module*."""
+    for function in module.functions.values():
+        verify_function(function, module)

@@ -1,0 +1,5 @@
+"""AST-to-IR lowering."""
+
+from repro.irgen.lowering import lower_program, LoweringError, compile_source_to_ir
+
+__all__ = ["lower_program", "LoweringError", "compile_source_to_ir"]

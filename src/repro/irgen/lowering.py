@@ -1,0 +1,654 @@
+"""Lowering from the mini-C AST to the register-based IR.
+
+All floating-point operations are lowered to calls into the soft-float
+runtime (``__fp_add``, ``__fp_mul``...), so the IR and everything below it is
+purely integer.  Float values travel as their IEEE-754 single-precision bit
+patterns in ordinary 32-bit virtual registers.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.frontend import ast
+from repro.frontend.sema import ProgramSymbols, analyze
+from repro.frontend.parser import parse_program
+from repro.frontend.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    Type,
+    VOID,
+    is_float,
+)
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import GlobalData, Module
+from repro.ir.values import Const, Operand, VReg
+
+#: Names of the soft-float runtime routines the lowering emits calls to.
+SOFT_FLOAT_ROUTINES = {
+    "add": "__fp_add",
+    "sub": "__fp_sub",
+    "mul": "__fp_mul",
+    "div": "__fp_div",
+    "lt": "__fp_lt",
+    "le": "__fp_le",
+    "eq": "__fp_eq",
+    "itof": "__fp_itof",
+    "ftoi": "__fp_ftoi",
+}
+
+
+class LoweringError(Exception):
+    """Raised when the lowering encounters an unsupported construct."""
+
+
+def float_to_bits(value: float) -> int:
+    """IEEE-754 single-precision bit pattern of *value* as an unsigned int."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Inverse of :func:`float_to_bits`."""
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+# Map (mini-C operator, signedness) to IR binary ops for integer operands.
+_INT_BINOPS = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+}
+
+_SIGNED_COMPARES = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+                    "==": "eq", "!=": "ne"}
+_UNSIGNED_COMPARES = {"<": "lo", "<=": "ls", ">": "hi", ">=": "hs",
+                      "==": "eq", "!=": "ne"}
+
+_INVERTED = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt", "gt": "le",
+             "le": "gt", "lo": "hs", "hs": "lo", "hi": "ls", "ls": "hi"}
+
+
+class _FunctionLowering:
+    """Lowers a single function definition."""
+
+    def __init__(self, func_ast: ast.FuncDef, symbols: ProgramSymbols,
+                 module: Module, is_library: bool):
+        self.func_ast = func_ast
+        self.symbols = symbols
+        self.module = module
+        returns_value = func_ast.return_type != VOID
+        self.function = Function(
+            func_ast.name,
+            num_params=len(func_ast.params),
+            returns_value=returns_value,
+            is_library=is_library,
+        )
+        self.builder = IRBuilder(self.function)
+        # Scope stack: name -> ("vreg", VReg, Type) | ("frame", str, Type)
+        self.scopes: List[Dict[str, Tuple[str, object, Type]]] = []
+        self.loop_stack: List[Tuple[BasicBlock, BasicBlock]] = []
+        self._frame_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Scope handling
+    # ------------------------------------------------------------------ #
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def define_scalar(self, name: str, ty: Type) -> VReg:
+        reg = self.function.new_vreg()
+        self.scopes[-1][name] = ("vreg", reg, ty)
+        return reg
+
+    def define_array(self, name: str, ty: ArrayType) -> str:
+        self._frame_counter += 1
+        frame_name = f"{name}.{self._frame_counter}"
+        self.function.add_frame_object(frame_name, ty.length * 4)
+        self.scopes[-1][name] = ("frame", frame_name, ty)
+        return frame_name
+
+    def lookup(self, name: str) -> Optional[Tuple[str, object, Type]]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def lower(self) -> Function:
+        entry = self.builder.new_block("entry")
+        self.builder.set_block(entry)
+        self.push_scope()
+        for index, param in enumerate(self.func_ast.params):
+            if isinstance(param.ty, ArrayType):
+                # Array parameters arrive as a base address in the param vreg.
+                self.scopes[-1][param.name] = ("vreg", self.function.params[index],
+                                               param.ty)
+            else:
+                self.scopes[-1][param.name] = ("vreg", self.function.params[index],
+                                               param.ty)
+        self.lower_block(self.func_ast.body)
+        self.pop_scope()
+        self._finish_blocks()
+        return self.function
+
+    def _finish_blocks(self) -> None:
+        """Terminate any block left open (implicit returns, dead joins)."""
+        for block in self.function.iter_blocks():
+            if not block.is_terminated:
+                self.builder.set_block(block)
+                if self.function.returns_value:
+                    self.builder.ret(Const(0))
+                else:
+                    self.builder.ret()
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def lower_block(self, block: ast.Block) -> None:
+        self.push_scope()
+        for stmt in block.statements:
+            if self.builder.is_terminated:
+                break  # unreachable code after return/break/continue
+            self.lower_stmt(stmt)
+        self.pop_scope()
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.lower_block(stmt)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.declarations:
+                self.lower_var_decl(decl)
+        elif isinstance(stmt, ast.VarDecl):
+            self.lower_var_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self.lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self.lower_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self.lower_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            break_target, _ = self.loop_stack[-1]
+            self.builder.jump(break_target)
+        elif isinstance(stmt, ast.Continue):
+            _, continue_target = self.loop_stack[-1]
+            self.builder.jump(continue_target)
+        else:
+            raise LoweringError(f"unhandled statement {type(stmt).__name__}")
+
+    def lower_var_decl(self, decl: ast.VarDecl) -> None:
+        if isinstance(decl.ty, ArrayType):
+            frame_name = self.define_array(decl.name, decl.ty)
+            if decl.array_init is not None:
+                base = self.builder.frame_addr(frame_name)
+                for index, expr in enumerate(decl.array_init):
+                    value = self.lower_expr(expr)
+                    value = self._coerce(value, expr.ty, decl.ty.element)
+                    self.builder.store(value, base, Const(index * 4))
+            return
+        reg = self.define_scalar(decl.name, decl.ty)
+        if decl.init is not None:
+            value = self.lower_expr(decl.init)
+            self.builder.block.append(_mov(reg, value))
+        else:
+            self.builder.block.append(_mov(reg, Const(0)))
+
+    def lower_if(self, stmt: ast.If) -> None:
+        then_block = self.builder.new_block("if.then")
+        else_block = self.builder.new_block("if.else") if stmt.otherwise else None
+        join_block = self.builder.new_block("if.end")
+        self.lower_condition(stmt.cond, then_block, else_block or join_block)
+
+        self.builder.set_block(then_block)
+        self.lower_stmt(stmt.then)
+        if not self.builder.is_terminated:
+            self.builder.jump(join_block)
+
+        if else_block is not None:
+            self.builder.set_block(else_block)
+            self.lower_stmt(stmt.otherwise)
+            if not self.builder.is_terminated:
+                self.builder.jump(join_block)
+
+        self.builder.set_block(join_block)
+
+    def lower_while(self, stmt: ast.While) -> None:
+        cond_block = self.builder.new_block("while.cond")
+        body_block = self.builder.new_block("while.body")
+        exit_block = self.builder.new_block("while.end")
+        self.builder.jump(cond_block)
+
+        self.builder.set_block(cond_block)
+        self.lower_condition(stmt.cond, body_block, exit_block)
+
+        self.loop_stack.append((exit_block, cond_block))
+        self.builder.set_block(body_block)
+        self.lower_stmt(stmt.body)
+        if not self.builder.is_terminated:
+            self.builder.jump(cond_block)
+        self.loop_stack.pop()
+
+        self.builder.set_block(exit_block)
+
+    def lower_do_while(self, stmt: ast.DoWhile) -> None:
+        body_block = self.builder.new_block("do.body")
+        cond_block = self.builder.new_block("do.cond")
+        exit_block = self.builder.new_block("do.end")
+        self.builder.jump(body_block)
+
+        self.loop_stack.append((exit_block, cond_block))
+        self.builder.set_block(body_block)
+        self.lower_stmt(stmt.body)
+        if not self.builder.is_terminated:
+            self.builder.jump(cond_block)
+        self.loop_stack.pop()
+
+        self.builder.set_block(cond_block)
+        self.lower_condition(stmt.cond, body_block, exit_block)
+
+        self.builder.set_block(exit_block)
+
+    def lower_for(self, stmt: ast.For) -> None:
+        self.push_scope()
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        cond_block = self.builder.new_block("for.cond")
+        body_block = self.builder.new_block("for.body")
+        step_block = self.builder.new_block("for.step")
+        exit_block = self.builder.new_block("for.end")
+        self.builder.jump(cond_block)
+
+        self.builder.set_block(cond_block)
+        if stmt.cond is not None:
+            self.lower_condition(stmt.cond, body_block, exit_block)
+        else:
+            self.builder.jump(body_block)
+
+        self.loop_stack.append((exit_block, step_block))
+        self.builder.set_block(body_block)
+        self.lower_stmt(stmt.body)
+        if not self.builder.is_terminated:
+            self.builder.jump(step_block)
+        self.loop_stack.pop()
+
+        self.builder.set_block(step_block)
+        if stmt.step is not None:
+            self.lower_expr(stmt.step)
+        self.builder.jump(cond_block)
+
+        self.builder.set_block(exit_block)
+        self.pop_scope()
+
+    def lower_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            self.builder.ret()
+            return
+        value = self.lower_expr(stmt.value)
+        self.builder.ret(value)
+
+    # ------------------------------------------------------------------ #
+    # Conditions (control-flow lowering with short circuit)
+    # ------------------------------------------------------------------ #
+    def lower_condition(self, expr: ast.Expr, true_block: BasicBlock,
+                        false_block: BasicBlock) -> None:
+        if isinstance(expr, ast.BinaryOp) and expr.op == "&&":
+            middle = self.builder.new_block("land")
+            self.lower_condition(expr.lhs, middle, false_block)
+            self.builder.set_block(middle)
+            self.lower_condition(expr.rhs, true_block, false_block)
+            return
+        if isinstance(expr, ast.BinaryOp) and expr.op == "||":
+            middle = self.builder.new_block("lor")
+            self.lower_condition(expr.lhs, true_block, middle)
+            self.builder.set_block(middle)
+            self.lower_condition(expr.rhs, true_block, false_block)
+            return
+        if isinstance(expr, ast.UnaryOp) and expr.op == "!":
+            self.lower_condition(expr.operand, false_block, true_block)
+            return
+        if isinstance(expr, ast.BinaryOp) and expr.op in _SIGNED_COMPARES:
+            lhs_ty = expr.lhs.ty
+            rhs_ty = expr.rhs.ty
+            if is_float(lhs_ty) or is_float(rhs_ty):
+                value = self._lower_float_compare(expr)
+                self.builder.branch("ne", value, Const(0), true_block, false_block)
+                return
+            cond = self._compare_cond(expr.op, lhs_ty, rhs_ty)
+            lhs = self.lower_expr(expr.lhs)
+            rhs = self.lower_expr(expr.rhs)
+            self.builder.branch(cond, lhs, rhs, true_block, false_block)
+            return
+        # Generic truthiness: value != 0.
+        value = self.lower_expr(expr)
+        self.builder.branch("ne", value, Const(0), true_block, false_block)
+
+    def _compare_cond(self, op: str, lhs_ty: Type, rhs_ty: Type) -> str:
+        unsigned = (isinstance(lhs_ty, IntType) and not lhs_ty.signed) or \
+                   (isinstance(rhs_ty, IntType) and not rhs_ty.signed)
+        table = _UNSIGNED_COMPARES if unsigned else _SIGNED_COMPARES
+        return table[op]
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def lower_expr(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.IntLiteral):
+            return Const(expr.value)
+        if isinstance(expr, ast.FloatLiteral):
+            return Const(float_to_bits(expr.value))
+        if isinstance(expr, ast.VarRef):
+            return self._lower_var_ref(expr)
+        if isinstance(expr, ast.Index):
+            address, _ = self._lower_address(expr)
+            return self.builder.load(address, Const(0))
+        if isinstance(expr, ast.BinaryOp):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._lower_ternary(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr)
+        if isinstance(expr, ast.Assign):
+            return self._lower_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._lower_incdec(expr)
+        if isinstance(expr, ast.Convert):
+            return self._lower_convert(expr)
+        raise LoweringError(f"unhandled expression {type(expr).__name__}")
+
+    def _lower_var_ref(self, expr: ast.VarRef) -> Operand:
+        entry = self.lookup(expr.name)
+        if entry is not None:
+            kind, value, ty = entry
+            if kind == "vreg":
+                return value
+            # Local array referenced by name: yields its base address.
+            return self.builder.frame_addr(value)
+        info = self.symbols.globals.get(expr.name)
+        if info is None:
+            raise LoweringError(f"unknown identifier {expr.name}")
+        base = self.builder.addr_of(expr.name)
+        if isinstance(info.ty, ArrayType):
+            return base
+        return self.builder.load(base, Const(0))
+
+    def _lower_address(self, expr: ast.Index) -> Tuple[Operand, Type]:
+        """Compute the byte address of an array element."""
+        base_expr = expr.base
+        if isinstance(base_expr, ast.VarRef):
+            entry = self.lookup(base_expr.name)
+            if entry is not None:
+                kind, value, ty = entry
+                base = value if kind == "vreg" else self.builder.frame_addr(value)
+                element_ty = ty.element if isinstance(ty, ArrayType) else ty
+            else:
+                info = self.symbols.globals[base_expr.name]
+                base = self.builder.addr_of(base_expr.name)
+                element_ty = info.ty.element
+        else:
+            raise LoweringError("only direct array names can be subscripted")
+        index_value = self.lower_expr(expr.index)
+        if isinstance(index_value, Const):
+            return (self._add_const(base, index_value.value * 4), element_ty)
+        scaled = self.builder.binop("shl", index_value, Const(2))
+        address = self.builder.binop("add", base, scaled)
+        return address, element_ty
+
+    def _add_const(self, base: Operand, offset: int) -> Operand:
+        if offset == 0:
+            return base
+        return self.builder.binop("add", base, Const(offset))
+
+    def _lower_binary(self, expr: ast.BinaryOp) -> Operand:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._materialize_bool(expr)
+        if op in _SIGNED_COMPARES:
+            if is_float(expr.lhs.ty) or is_float(expr.rhs.ty):
+                return self._lower_float_compare(expr)
+            return self._materialize_bool(expr)
+        result_ty = expr.ty
+        if is_float(result_ty):
+            return self._lower_float_binary(expr)
+        lhs = self.lower_expr(expr.lhs)
+        rhs = self.lower_expr(expr.rhs)
+        unsigned = isinstance(result_ty, IntType) and not result_ty.signed
+        if op in _INT_BINOPS:
+            return self.builder.binop(_INT_BINOPS[op], lhs, rhs)
+        if op == "/":
+            return self.builder.binop("udiv" if unsigned else "sdiv", lhs, rhs)
+        if op == "%":
+            return self.builder.binop("urem" if unsigned else "srem", lhs, rhs)
+        if op == ">>":
+            return self.builder.binop("lshr" if unsigned else "ashr", lhs, rhs)
+        raise LoweringError(f"unhandled binary operator {op!r}")
+
+    def _lower_float_binary(self, expr: ast.BinaryOp) -> Operand:
+        routines = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+        if expr.op not in routines:
+            raise LoweringError(f"unsupported float operator {expr.op!r}")
+        lhs = self.lower_expr(expr.lhs)
+        rhs = self.lower_expr(expr.rhs)
+        callee = SOFT_FLOAT_ROUTINES[routines[expr.op]]
+        return self.builder.call(callee, [lhs, rhs])
+
+    def _lower_float_compare(self, expr: ast.BinaryOp) -> Operand:
+        lhs = self.lower_expr(expr.lhs)
+        rhs = self.lower_expr(expr.rhs)
+        op = expr.op
+        if op == "<":
+            return self.builder.call(SOFT_FLOAT_ROUTINES["lt"], [lhs, rhs])
+        if op == "<=":
+            return self.builder.call(SOFT_FLOAT_ROUTINES["le"], [lhs, rhs])
+        if op == ">":
+            return self.builder.call(SOFT_FLOAT_ROUTINES["lt"], [rhs, lhs])
+        if op == ">=":
+            return self.builder.call(SOFT_FLOAT_ROUTINES["le"], [rhs, lhs])
+        if op == "==":
+            return self.builder.call(SOFT_FLOAT_ROUTINES["eq"], [lhs, rhs])
+        if op == "!=":
+            eq = self.builder.call(SOFT_FLOAT_ROUTINES["eq"], [lhs, rhs])
+            return self.builder.binop("xor", eq, Const(1))
+        raise LoweringError(f"unsupported float comparison {op!r}")
+
+    def _materialize_bool(self, expr: ast.Expr) -> Operand:
+        """Lower a boolean-valued expression into a 0/1 virtual register."""
+        result = self.function.new_vreg()
+        true_block = self.builder.new_block("bool.true")
+        false_block = self.builder.new_block("bool.false")
+        join_block = self.builder.new_block("bool.end")
+        self.lower_condition(expr, true_block, false_block)
+        self.builder.set_block(true_block)
+        self.builder.block.append(_mov(result, Const(1)))
+        self.builder.jump(join_block)
+        self.builder.set_block(false_block)
+        self.builder.block.append(_mov(result, Const(0)))
+        self.builder.jump(join_block)
+        self.builder.set_block(join_block)
+        return result
+
+    def _lower_unary(self, expr: ast.UnaryOp) -> Operand:
+        if expr.op == "!":
+            return self._materialize_bool(expr)
+        operand = self.lower_expr(expr.operand)
+        if expr.op == "-":
+            if is_float(expr.ty):
+                return self.builder.binop("xor", operand, Const(0x80000000))
+            return self.builder.binop("sub", Const(0), operand)
+        if expr.op == "~":
+            return self.builder.binop("xor", operand, Const(0xFFFFFFFF))
+        raise LoweringError(f"unhandled unary operator {expr.op!r}")
+
+    def _lower_ternary(self, expr: ast.Conditional) -> Operand:
+        result = self.function.new_vreg()
+        then_block = self.builder.new_block("sel.then")
+        else_block = self.builder.new_block("sel.else")
+        join_block = self.builder.new_block("sel.end")
+        self.lower_condition(expr.cond, then_block, else_block)
+        self.builder.set_block(then_block)
+        value = self.lower_expr(expr.then)
+        self.builder.block.append(_mov(result, value))
+        self.builder.jump(join_block)
+        self.builder.set_block(else_block)
+        value = self.lower_expr(expr.otherwise)
+        self.builder.block.append(_mov(result, value))
+        self.builder.jump(join_block)
+        self.builder.set_block(join_block)
+        return result
+
+    def _lower_call(self, expr: ast.Call) -> Operand:
+        signature = self.symbols.functions[expr.callee]
+        args = [self.lower_expr(arg) for arg in expr.args]
+        returns_value = signature.return_type != VOID
+        result = self.builder.call(expr.callee, args, returns_value=returns_value)
+        return result if result is not None else Const(0)
+
+    def _lower_assign(self, expr: ast.Assign) -> Operand:
+        target = expr.target
+        if isinstance(target, ast.VarRef):
+            entry = self.lookup(target.name)
+            if entry is not None and entry[0] == "vreg":
+                reg, target_ty = entry[1], entry[2]
+                value = self._lower_rhs(expr, lambda: reg, target_ty)
+                self.builder.block.append(_mov(reg, value))
+                return reg
+            # Global scalar.
+            info = self.symbols.globals[target.name]
+            base = self.builder.addr_of(target.name)
+            value = self._lower_rhs(
+                expr, lambda: self.builder.load(base, Const(0)), info.ty)
+            self.builder.store(value, base, Const(0))
+            return value
+        if isinstance(target, ast.Index):
+            address, element_ty = self._lower_address(target)
+            value = self._lower_rhs(
+                expr, lambda: self.builder.load(address, Const(0)), element_ty)
+            self.builder.store(value, address, Const(0))
+            return value
+        raise LoweringError("unsupported assignment target")
+
+    def _lower_rhs(self, expr: ast.Assign, read_current, target_ty: Type) -> Operand:
+        value = self.lower_expr(expr.value)
+        if not expr.op:
+            return value
+        current = read_current()
+        if is_float(target_ty):
+            routines = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+            callee = SOFT_FLOAT_ROUTINES[routines[expr.op]]
+            return self.builder.call(callee, [current, value])
+        unsigned = isinstance(target_ty, IntType) and not target_ty.signed
+        op = expr.op
+        if op in _INT_BINOPS:
+            return self.builder.binop(_INT_BINOPS[op], current, value)
+        if op == "/":
+            return self.builder.binop("udiv" if unsigned else "sdiv", current, value)
+        if op == "%":
+            return self.builder.binop("urem" if unsigned else "srem", current, value)
+        if op == ">>":
+            return self.builder.binop("lshr" if unsigned else "ashr", current, value)
+        raise LoweringError(f"unsupported compound assignment {op!r}")
+
+    def _lower_incdec(self, expr: ast.IncDec) -> Operand:
+        delta = Const(1) if expr.op == "++" else Const(-1)
+        target = expr.target
+        if isinstance(target, ast.VarRef):
+            entry = self.lookup(target.name)
+            if entry is not None and entry[0] == "vreg":
+                reg = entry[1]
+                old = self.builder.mov(reg)
+                new = self.builder.binop("add", reg, delta)
+                self.builder.block.append(_mov(reg, new))
+                return new if expr.prefix else old
+            info = self.symbols.globals[target.name]
+            base = self.builder.addr_of(target.name)
+            old = self.builder.load(base, Const(0))
+            new = self.builder.binop("add", old, delta)
+            self.builder.store(new, base, Const(0))
+            return new if expr.prefix else old
+        if isinstance(target, ast.Index):
+            address, _ = self._lower_address(target)
+            old = self.builder.load(address, Const(0))
+            new = self.builder.binop("add", old, delta)
+            self.builder.store(new, address, Const(0))
+            return new if expr.prefix else old
+        raise LoweringError("unsupported ++/-- target")
+
+    def _lower_convert(self, expr: ast.Convert) -> Operand:
+        value = self.lower_expr(expr.value)
+        from_ty = expr.value.ty
+        to_ty = expr.ty
+        return self._coerce(value, from_ty, to_ty)
+
+    def _coerce(self, value: Operand, from_ty: Type, to_ty: Type) -> Operand:
+        if from_ty == to_ty or from_ty is None or to_ty is None:
+            return value
+        if is_float(to_ty) and isinstance(from_ty, IntType):
+            if isinstance(value, Const):
+                return Const(float_to_bits(float(_signed(value.value))))
+            return self.builder.call(SOFT_FLOAT_ROUTINES["itof"], [value])
+        if isinstance(to_ty, IntType) and is_float(from_ty):
+            if isinstance(value, Const):
+                return Const(int(bits_to_float(value.value)) & 0xFFFFFFFF)
+            return self.builder.call(SOFT_FLOAT_ROUTINES["ftoi"], [value])
+        return value
+
+
+def _signed(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _mov(dst: VReg, src: Operand):
+    from repro.ir.instructions import Mov
+    return Mov(dst, src)
+
+
+# --------------------------------------------------------------------------- #
+# Module-level entry points
+# --------------------------------------------------------------------------- #
+def lower_program(program: ast.Program, symbols: ProgramSymbols,
+                  module_name: str = "module", is_library: bool = False) -> Module:
+    """Lower an analysed AST program into an IR module."""
+    module = Module(module_name)
+    for decl in program.globals:
+        info = symbols.globals[decl.name]
+        words = []
+        element_ty = info.ty.element if isinstance(info.ty, ArrayType) else info.ty
+        for value in info.init_values:
+            if isinstance(element_ty, FloatType):
+                words.append(float_to_bits(float(value)))
+            else:
+                words.append(int(value) & 0xFFFFFFFF)
+        module.add_global(GlobalData(decl.name, words, const=info.const))
+    for func_ast in program.functions:
+        lowering = _FunctionLowering(func_ast, symbols, module, is_library)
+        module.add_function(lowering.lower())
+    return module
+
+
+def compile_source_to_ir(source: str, module_name: str = "module",
+                         is_library: bool = False) -> Module:
+    """Parse, analyse and lower mini-C *source* into an IR module."""
+    program = parse_program(source)
+    symbols = analyze(program)
+    return lower_program(program, symbols, module_name, is_library=is_library)

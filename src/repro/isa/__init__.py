@@ -1,0 +1,86 @@
+"""Thumb-2-like target ISA definitions.
+
+This package defines the machine-level instruction set used by the code
+generator, the code transformation and the simulator.  It is a compact
+Cortex-M3-flavoured subset: 16 registers, NZCV flags, two-operand compares,
+conditional and unconditional branches, literal-pool loads (``ldr rd, =x``),
+load/store to byte- or word-addressed memory, push/pop and the ``it``
+predication prefix used by the flash/RAM instrumentation of the paper.
+"""
+
+from repro.isa.registers import (
+    Reg,
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    SP,
+    LR,
+    PC,
+    ALLOCATABLE_REGS,
+    ARG_REGS,
+    CALLEE_SAVED_REGS,
+    CALLER_SAVED_REGS,
+    SCRATCH_REG,
+    SPILL_SCRATCH_REGS,
+)
+from repro.isa.conditions import Cond, invert_cond, cond_holds
+from repro.isa.instructions import (
+    Opcode,
+    Operand,
+    Imm,
+    Sym,
+    MachineInstr,
+    InstrClass,
+)
+from repro.isa.timing import cycles_for, instr_class, CLOCK_HZ, CYCLE_TIME_S
+from repro.isa.encoding import size_of
+
+__all__ = [
+    "Reg",
+    "R0",
+    "R1",
+    "R2",
+    "R3",
+    "R4",
+    "R5",
+    "R6",
+    "R7",
+    "R8",
+    "R9",
+    "R10",
+    "R11",
+    "R12",
+    "SP",
+    "LR",
+    "PC",
+    "ALLOCATABLE_REGS",
+    "ARG_REGS",
+    "CALLEE_SAVED_REGS",
+    "CALLER_SAVED_REGS",
+    "SCRATCH_REG",
+    "SPILL_SCRATCH_REGS",
+    "Cond",
+    "invert_cond",
+    "cond_holds",
+    "Opcode",
+    "Operand",
+    "Imm",
+    "Sym",
+    "MachineInstr",
+    "InstrClass",
+    "cycles_for",
+    "instr_class",
+    "size_of",
+    "CLOCK_HZ",
+    "CYCLE_TIME_S",
+]

@@ -1,0 +1,75 @@
+"""Condition codes and their evaluation against NZCV flags."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Cond(Enum):
+    """ARM-style condition codes used by conditional branches and ``it``."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    LO = "lo"  # unsigned lower
+    LS = "ls"  # unsigned lower or same
+    HI = "hi"  # unsigned higher
+    HS = "hs"  # unsigned higher or same
+    AL = "al"  # always
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_INVERSES = {
+    Cond.EQ: Cond.NE,
+    Cond.NE: Cond.EQ,
+    Cond.LT: Cond.GE,
+    Cond.GE: Cond.LT,
+    Cond.LE: Cond.GT,
+    Cond.GT: Cond.LE,
+    Cond.LO: Cond.HS,
+    Cond.HS: Cond.LO,
+    Cond.LS: Cond.HI,
+    Cond.HI: Cond.LS,
+}
+
+
+def invert_cond(cond: Cond) -> Cond:
+    """Return the logical negation of a condition code.
+
+    ``AL`` has no inverse and raises ``ValueError``.
+    """
+    if cond is Cond.AL:
+        raise ValueError("the 'always' condition cannot be inverted")
+    return _INVERSES[cond]
+
+
+def cond_holds(cond: Cond, n: bool, z: bool, c: bool, v: bool) -> bool:
+    """Evaluate a condition code against NZCV flags (ARM semantics)."""
+    if cond is Cond.AL:
+        return True
+    if cond is Cond.EQ:
+        return z
+    if cond is Cond.NE:
+        return not z
+    if cond is Cond.LT:
+        return n != v
+    if cond is Cond.GE:
+        return n == v
+    if cond is Cond.GT:
+        return (not z) and (n == v)
+    if cond is Cond.LE:
+        return z or (n != v)
+    if cond is Cond.LO:
+        return not c
+    if cond is Cond.HS:
+        return c
+    if cond is Cond.LS:
+        return (not c) or z
+    if cond is Cond.HI:
+        return c and not z
+    raise ValueError(f"unknown condition {cond}")

@@ -1,0 +1,84 @@
+"""Instruction size model (bytes).
+
+Thumb-2 is a mixed 16/32-bit encoding.  We use a simple but realistic size
+model: most register-register data-processing instructions and short branches
+are 2 bytes, wide immediates, long branches, literal loads and predicated
+loads are 4 bytes.  Literal-pool loads additionally account for their 4-byte
+pool entry because the paper's Figure 4 counts the pool word as part of the
+instrumentation size cost (e.g. ``ldr pc, =label`` is quoted as 4 bytes).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Imm, MachineInstr, Opcode, Sym
+
+#: Size in bytes of one literal-pool entry.
+LITERAL_POOL_ENTRY_BYTES = 4
+
+# Immediates representable in a 16-bit Thumb data-processing encoding.
+_NARROW_IMM_LIMIT = 255
+
+
+def _is_narrow_imm(value: int) -> bool:
+    return 0 <= value <= _NARROW_IMM_LIMIT
+
+
+def size_of(instr: MachineInstr) -> int:
+    """Return the size of *instr* in bytes."""
+    op = instr.opcode
+
+    if op is Opcode.NOP or op is Opcode.IT:
+        return 2
+    if op in (Opcode.B, Opcode.CBZ, Opcode.CBNZ, Opcode.BX):
+        return 2
+    if op is Opcode.BCC:
+        return 2
+    if op is Opcode.BL:
+        return 4
+    if op is Opcode.LDR_PC_LIT:
+        # 16-bit ldr pc, [pc, #imm] is not encodable; 32-bit encoding, and the
+        # paper counts the literal word too, giving 4 bytes total in Figure 4
+        # for the unconditional case (2-byte instr + shared literal rounded
+        # into the quoted cost).  We follow the paper's accounting.
+        return 4
+    if op is Opcode.LDR_LIT:
+        base = 2
+        return base + (LITERAL_POOL_ENTRY_BYTES // 2 if instr.predicated else 2)
+    if op in (Opcode.PUSH, Opcode.POP):
+        return 2
+    if op in (Opcode.LDR, Opcode.STR, Opcode.LDRB, Opcode.STRB):
+        offset = instr.operands[2]
+        if isinstance(offset, Imm) and not (0 <= offset.value <= 124):
+            return 4
+        return 2
+    if op is Opcode.CMP:
+        rhs = instr.operands[1]
+        if isinstance(rhs, Imm) and not _is_narrow_imm(rhs.value):
+            return 4
+        return 2
+    if op in (Opcode.MOV, Opcode.MVN):
+        rhs = instr.operands[1]
+        if isinstance(rhs, Imm) and not _is_narrow_imm(rhs.value):
+            return 4
+        if isinstance(rhs, Sym):
+            return 4
+        return 2
+    if op in (Opcode.SDIV, Opcode.UDIV):
+        return 4
+    # Remaining data-processing instructions.
+    if instr.operands and any(
+        isinstance(operand, Imm) and not _is_narrow_imm(operand.value)
+        for operand in instr.operands
+    ):
+        return 4
+    if op in (Opcode.ADD, Opcode.SUB) and len(instr.operands) == 3:
+        return 2
+    if op in (Opcode.MUL, Opcode.AND, Opcode.ORR, Opcode.EOR,
+              Opcode.LSL, Opcode.LSR, Opcode.ASR, Opcode.RSB):
+        return 2
+    return 2
+
+
+def block_size(instrs) -> int:
+    """Total byte size of a sequence of instructions."""
+    return sum(size_of(i) for i in instrs)

@@ -1,0 +1,267 @@
+"""Machine instruction representation for the Thumb-2-like target.
+
+Instructions are kept in a structured (not encoded) form: an :class:`Opcode`,
+a list of operands (:class:`~repro.isa.registers.Reg`, :class:`Imm`,
+:class:`Sym` or :class:`RegList`) and an optional condition code.  The
+structured form is shared by the code generator, the flash/RAM placement
+transformation and the simulator, which keeps the three phases consistent
+without a binary encoder/decoder round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.isa.conditions import Cond
+from repro.isa.registers import PC, Reg
+
+
+class Opcode(Enum):
+    """Mnemonics of the supported Thumb-2-like subset."""
+
+    # Data processing
+    MOV = "mov"          # mov rd, <reg|imm>
+    MVN = "mvn"          # mvn rd, <reg|imm>
+    ADD = "add"          # add rd, rn, <reg|imm>
+    SUB = "sub"
+    RSB = "rsb"          # reverse subtract (used for negation)
+    MUL = "mul"
+    SDIV = "sdiv"
+    UDIV = "udiv"
+    AND = "and"
+    ORR = "orr"
+    EOR = "eor"
+    LSL = "lsl"
+    LSR = "lsr"
+    ASR = "asr"
+    CMP = "cmp"          # cmp rn, <reg|imm>
+
+    # Literal-pool / address formation
+    LDR_LIT = "ldr_lit"  # ldr rd, =<imm|symbol>
+
+    # Memory
+    LDR = "ldr"          # ldr rd, [rn, <imm|reg>]
+    STR = "str"          # str rs, [rn, <imm|reg>]
+    LDRB = "ldrb"
+    STRB = "strb"
+
+    # Stack
+    PUSH = "push"
+    POP = "pop"
+
+    # Control flow
+    B = "b"              # unconditional direct branch
+    BCC = "bcc"          # conditional direct branch (condition in .cond)
+    CBZ = "cbz"
+    CBNZ = "cbnz"
+    BL = "bl"            # call
+    BX = "bx"            # indirect branch / return (bx lr)
+    LDR_PC_LIT = "ldr_pc_lit"  # ldr pc, =<label>: long-range indirect branch
+
+    # Misc
+    IT = "it"            # if-then predication prefix (single instruction)
+    NOP = "nop"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class InstrClass(Enum):
+    """Coarse instruction classes used by the energy model (Figure 1)."""
+
+    NOP = "nop"
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    CALL = "call"
+    RETURN = "return"
+    STACK = "stack"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class Sym:
+    """A symbolic operand: label, function name or global-variable name.
+
+    ``addend`` allows ``=symbol+offset`` style references (used for addresses
+    of elements inside global arrays when statically known).
+    """
+
+    name: str
+    addend: int = 0
+
+    def __repr__(self) -> str:
+        if self.addend:
+            return f"={self.name}+{self.addend}"
+        return f"={self.name}"
+
+
+@dataclass(frozen=True)
+class RegList:
+    """A register list operand for ``push``/``pop``."""
+
+    regs: Tuple[Reg, ...]
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(r.name for r in self.regs) + "}"
+
+
+Operand = Union[Reg, Imm, Sym, RegList]
+
+
+# Opcodes whose first operand is a destination register.
+_DEF_FIRST = {
+    Opcode.MOV,
+    Opcode.MVN,
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.RSB,
+    Opcode.MUL,
+    Opcode.SDIV,
+    Opcode.UDIV,
+    Opcode.AND,
+    Opcode.ORR,
+    Opcode.EOR,
+    Opcode.LSL,
+    Opcode.LSR,
+    Opcode.ASR,
+    Opcode.LDR_LIT,
+    Opcode.LDR,
+    Opcode.LDRB,
+}
+
+_TERMINATORS = {
+    Opcode.B,
+    Opcode.BCC,
+    Opcode.CBZ,
+    Opcode.CBNZ,
+    Opcode.BX,
+    Opcode.LDR_PC_LIT,
+}
+
+
+@dataclass
+class MachineInstr:
+    """A single machine instruction.
+
+    ``cond`` carries the condition for :data:`Opcode.BCC`, :data:`Opcode.IT`
+    and for instructions predicated by a preceding ``it`` (in which case
+    ``predicated`` is True, as in ``ldrne r5, =label``).
+    """
+
+    opcode: Opcode
+    operands: List[Operand] = field(default_factory=list)
+    cond: Optional[Cond] = None
+    predicated: bool = False
+    comment: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Classification helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def is_terminator(self) -> bool:
+        """True if this instruction may transfer control out of its block."""
+        return self.opcode in _TERMINATORS or (
+            self.opcode is Opcode.POP
+            and self.operands
+            and isinstance(self.operands[0], RegList)
+            and PC in self.operands[0].regs
+        )
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode is Opcode.BL
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.opcode in (Opcode.LDR, Opcode.STR, Opcode.LDRB, Opcode.STRB)
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in (Opcode.LDR, Opcode.LDRB, Opcode.LDR_LIT)
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in (Opcode.STR, Opcode.STRB)
+
+    # ------------------------------------------------------------------ #
+    # Register def/use analysis (used by liveness and register allocation)
+    # ------------------------------------------------------------------ #
+    def defs(self) -> List[Reg]:
+        """Registers written by this instruction (excluding PC/SP effects)."""
+        op = self.opcode
+        if op in _DEF_FIRST and self.operands and isinstance(self.operands[0], Reg):
+            return [self.operands[0]]
+        if op is Opcode.POP and isinstance(self.operands[0], RegList):
+            return [r for r in self.operands[0].regs if r is not PC]
+        return []
+
+    def uses(self) -> List[Reg]:
+        """Registers read by this instruction."""
+        op = self.opcode
+        regs: List[Reg] = []
+        if op in (Opcode.MOV, Opcode.MVN, Opcode.LDR_LIT):
+            regs.extend(o for o in self.operands[1:] if isinstance(o, Reg))
+        elif op in _DEF_FIRST:
+            regs.extend(o for o in self.operands[1:] if isinstance(o, Reg))
+        elif op in (Opcode.CMP, Opcode.CBZ, Opcode.CBNZ, Opcode.BX):
+            regs.extend(o for o in self.operands if isinstance(o, Reg))
+        elif op in (Opcode.STR, Opcode.STRB):
+            regs.extend(o for o in self.operands if isinstance(o, Reg))
+        elif op is Opcode.PUSH and isinstance(self.operands[0], RegList):
+            regs.extend(self.operands[0].regs)
+        return regs
+
+    # ------------------------------------------------------------------ #
+    # Printing
+    # ------------------------------------------------------------------ #
+    def __str__(self) -> str:
+        mnemonic = str(self.opcode)
+        if self.opcode is Opcode.BCC and self.cond is not None:
+            mnemonic = f"b{self.cond}"
+        elif self.opcode is Opcode.IT and self.cond is not None:
+            mnemonic = f"it {self.cond}"
+            return mnemonic
+        elif self.predicated and self.cond is not None:
+            mnemonic = f"{mnemonic}{self.cond}"
+        if self.opcode is Opcode.LDR_LIT:
+            rd, src = self.operands
+            text = f"ldr{self.cond if self.predicated and self.cond else ''} {rd.name}, {src!r}"
+        elif self.opcode is Opcode.LDR_PC_LIT:
+            text = f"ldr pc, {self.operands[0]!r}"
+        elif self.opcode in (Opcode.LDR, Opcode.STR, Opcode.LDRB, Opcode.STRB):
+            rd, rn, off = self.operands
+            text = f"{mnemonic} {rd.name}, [{rn.name}, {off!r}]"
+        else:
+            rendered = []
+            for operand in self.operands:
+                if isinstance(operand, Reg):
+                    rendered.append(operand.name)
+                else:
+                    rendered.append(repr(operand))
+            text = f"{mnemonic} {', '.join(rendered)}" if rendered else mnemonic
+        if self.comment:
+            text = f"{text}  ; {self.comment}"
+        return text
+
+
+def make(opcode: Opcode, *operands: Operand, cond: Optional[Cond] = None,
+         predicated: bool = False, comment: str = "") -> MachineInstr:
+    """Convenience constructor used throughout codegen and tests."""
+    return MachineInstr(opcode, list(operands), cond=cond, predicated=predicated,
+                        comment=comment)

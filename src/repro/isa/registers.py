@@ -1,0 +1,94 @@
+"""Register definitions for the Thumb-2-like target.
+
+The register file mirrors the ARMv7-M general purpose registers: ``r0``-``r12``
+plus the stack pointer, link register and program counter.  The calling
+convention follows a simplified AAPCS:
+
+* arguments are passed in ``r0``-``r3`` (at most four word arguments),
+* the result is returned in ``r0``,
+* ``r0``-``r3`` and ``r12`` are caller-saved,
+* ``r4``-``r11`` are callee-saved,
+* ``r12`` is reserved as an assembler/codegen scratch register and is never
+  allocated to user values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Reg:
+    """A physical or virtual register.
+
+    Physical registers have ``index >= 0`` and ``virtual=False``.  Virtual
+    registers (used between instruction selection and register allocation)
+    have ``virtual=True`` and an arbitrary non-negative index in a separate
+    namespace.
+    """
+
+    index: int
+    virtual: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+    @property
+    def name(self) -> str:
+        if self.virtual:
+            return f"%v{self.index}"
+        special = {13: "sp", 14: "lr", 15: "pc"}
+        return special.get(self.index, f"r{self.index}")
+
+    @property
+    def is_physical(self) -> bool:
+        return not self.virtual
+
+
+def vreg(index: int) -> Reg:
+    """Create a virtual register with the given index."""
+    return Reg(index, virtual=True)
+
+
+R0 = Reg(0)
+R1 = Reg(1)
+R2 = Reg(2)
+R3 = Reg(3)
+R4 = Reg(4)
+R5 = Reg(5)
+R6 = Reg(6)
+R7 = Reg(7)
+R8 = Reg(8)
+R9 = Reg(9)
+R10 = Reg(10)
+R11 = Reg(11)
+R12 = Reg(12)
+SP = Reg(13)
+LR = Reg(14)
+PC = Reg(15)
+
+PHYSICAL_REGS = tuple(Reg(i) for i in range(16))
+
+#: Registers used for the first four word-sized arguments and the return value.
+ARG_REGS = (R0, R1, R2, R3)
+
+#: Registers a callee must preserve across a call.
+CALLEE_SAVED_REGS = (R4, R5, R6, R7, R8, R9, R10, R11)
+
+#: Registers a caller must assume are clobbered by a call.
+CALLER_SAVED_REGS = (R0, R1, R2, R3, R12)
+
+#: Scratch register reserved for code generation / instrumentation sequences.
+#: The paper's Figure 4 instrumentation uses ``r5`` freely because the rewrite
+#: happens at the end of a basic block where the terminator's own condition
+#: register pressure is known; we instead reserve ``r12`` so the rewrite never
+#: interferes with allocated values.
+SCRATCH_REG = R12
+
+#: Registers the linear-scan allocator may hand out to virtual registers.
+#: ``r10``-``r12`` are kept back as spill/materialisation scratch registers so
+#: that any instruction with spilled operands can always be rewritten.
+ALLOCATABLE_REGS = (R0, R1, R2, R3, R4, R5, R6, R7, R8, R9)
+
+#: Scratch registers used when rewriting instructions with spilled operands.
+SPILL_SCRATCH_REGS = (R10, R11, R12)

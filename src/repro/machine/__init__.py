@@ -1,0 +1,20 @@
+"""Machine-level program representation: blocks, functions, sections, layout."""
+
+from repro.machine.blocks import MachineBlock, MachineFunction, TerminatorKind
+from repro.machine.program import MachineProgram, Section, MemoryRegion
+from repro.machine.frame import FrameRef, FrameLayout
+from repro.machine.layout import assign_addresses, LayoutError, LayoutResult
+
+__all__ = [
+    "MachineBlock",
+    "MachineFunction",
+    "TerminatorKind",
+    "MachineProgram",
+    "Section",
+    "MemoryRegion",
+    "FrameRef",
+    "FrameLayout",
+    "assign_addresses",
+    "LayoutError",
+    "LayoutResult",
+]

@@ -1,0 +1,183 @@
+"""Machine basic blocks and machine functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional
+
+from repro.isa.encoding import size_of
+from repro.isa.instructions import MachineInstr, Opcode
+from repro.isa.timing import cycles_for
+
+
+class TerminatorKind(Enum):
+    """How a block ends, mirroring the instrumentation cases of Figure 4."""
+
+    UNCONDITIONAL = "unconditional"      # ends in `b label`
+    CONDITIONAL = "conditional"          # ends in `b<cc> label` (+ fall-through)
+    SHORT_CONDITIONAL = "short_conditional"  # ends in `cbz`/`cbnz` (+ fall-through)
+    FALLTHROUGH = "fallthrough"          # no branch at all
+    RETURN = "return"                    # `bx lr` / `pop {..., pc}`
+    INDIRECT = "indirect"                # already an indirect branch
+
+
+class MachineBlock:
+    """A machine basic block.
+
+    ``branch_target`` / ``fallthrough`` record the CFG edges explicitly so the
+    placement pass and the simulator never have to re-derive them from label
+    arithmetic.  ``section`` is ``"flash"`` originally; the flash-RAM
+    transformation moves selected blocks to ``"ram"``.
+    """
+
+    def __init__(self, name: str, function_name: str):
+        self.name = name
+        self.function_name = function_name
+        self.instructions: List[MachineInstr] = []
+        self.branch_target: Optional[str] = None
+        self.extra_target: Optional[str] = None
+        self.fallthrough: Optional[str] = None
+        self.section: str = "flash"
+        self.address: Optional[int] = None
+        self.instrumented: bool = False
+
+    # ------------------------------------------------------------------ #
+    def append(self, instr: MachineInstr) -> MachineInstr:
+        self.instructions.append(instr)
+        return instr
+
+    def successors(self) -> List[str]:
+        succs: List[str] = []
+        if self.branch_target is not None:
+            succs.append(self.branch_target)
+        if self.extra_target is not None and self.extra_target not in succs:
+            succs.append(self.extra_target)
+        if self.fallthrough is not None and self.fallthrough not in succs:
+            succs.append(self.fallthrough)
+        return succs
+
+    def all_instructions(self) -> List[MachineInstr]:
+        return list(self.instructions)
+
+    # ------------------------------------------------------------------ #
+    # Size / cycle bookkeeping for the cost model
+    # ------------------------------------------------------------------ #
+    def size_bytes(self) -> int:
+        """The ``S_b`` parameter: total code size of the block in bytes."""
+        return sum(size_of(i) for i in self.instructions)
+
+    def cycle_estimate(self) -> int:
+        """The ``C_b`` parameter: estimated cycles for one execution.
+
+        Conditional branches are costed at the average of the taken and
+        not-taken cases, matching the paper's remark that ``C_b`` is always a
+        best estimate.
+        """
+        total = 0.0
+        for instr in self.instructions:
+            if instr.opcode in (Opcode.BCC, Opcode.CBZ, Opcode.CBNZ):
+                total += (cycles_for(instr, taken=True) +
+                          cycles_for(instr, taken=False)) / 2.0
+            else:
+                total += cycles_for(instr, taken=True)
+        return max(1, int(round(total)))
+
+    def load_store_count(self) -> int:
+        """Number of data-memory accesses (drives the ``L_b`` contention cost)."""
+        return sum(1 for i in self.instructions
+                   if i.opcode in (Opcode.LDR, Opcode.LDRB, Opcode.STR,
+                                   Opcode.STRB, Opcode.LDR_LIT))
+
+    def terminator_kind(self) -> TerminatorKind:
+        """Classify how the block transfers control (Figure 4 cases)."""
+        tail = self.instructions[-2:]
+        opcodes = [instr.opcode for instr in tail]
+        if not opcodes:
+            return TerminatorKind.FALLTHROUGH
+        last = opcodes[-1]
+        if last is Opcode.B:
+            # A `b<cc>`/`cbz` immediately before the `b` makes this the
+            # two-way conditional case.
+            if len(opcodes) == 2 and opcodes[0] is Opcode.BCC:
+                return TerminatorKind.CONDITIONAL
+            if len(opcodes) == 2 and opcodes[0] in (Opcode.CBZ, Opcode.CBNZ):
+                return TerminatorKind.SHORT_CONDITIONAL
+            return TerminatorKind.UNCONDITIONAL
+        if last is Opcode.BCC:
+            return TerminatorKind.CONDITIONAL
+        if last in (Opcode.CBZ, Opcode.CBNZ):
+            return TerminatorKind.SHORT_CONDITIONAL
+        if last is Opcode.BX or (last is Opcode.POP and tail[-1].is_terminator):
+            return TerminatorKind.RETURN
+        if last is Opcode.LDR_PC_LIT:
+            return TerminatorKind.INDIRECT
+        return TerminatorKind.FALLTHROUGH
+
+    def __repr__(self) -> str:
+        return f"<MachineBlock {self.function_name}/{self.name} [{self.section}]>"
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:  ; section={self.section}"]
+        for instr in self.instructions:
+            lines.append(f"    {instr}")
+        return "\n".join(lines)
+
+
+class MachineFunction:
+    """A machine function: ordered machine blocks plus frame information."""
+
+    def __init__(self, name: str, num_params: int = 0, is_library: bool = False):
+        self.name = name
+        self.num_params = num_params
+        self.is_library = is_library
+        self.blocks: Dict[str, MachineBlock] = {}
+        self.block_order: List[str] = []
+        self.frame_size: int = 0
+        self.frame_objects: Dict[str, int] = {}
+        self.saved_registers: List = []
+        self.makes_calls: bool = False
+
+    # ------------------------------------------------------------------ #
+    def add_block(self, name: str) -> MachineBlock:
+        if name in self.blocks:
+            raise ValueError(f"block {name} already exists in {self.name}")
+        block = MachineBlock(name, self.name)
+        self.blocks[name] = block
+        self.block_order.append(name)
+        return block
+
+    @property
+    def entry_block(self) -> MachineBlock:
+        return self.blocks[self.block_order[0]]
+
+    def iter_blocks(self) -> Iterator[MachineBlock]:
+        for name in self.block_order:
+            yield self.blocks[name]
+
+    def get_block(self, name: str) -> MachineBlock:
+        return self.blocks[name]
+
+    def size_bytes(self) -> int:
+        return sum(block.size_bytes() for block in self.iter_blocks())
+
+    def callee_names(self) -> List[str]:
+        """Names of functions this function calls (via ``bl``)."""
+        names: List[str] = []
+        for block in self.iter_blocks():
+            for instr in block.instructions:
+                if instr.opcode is Opcode.BL and instr.operands:
+                    target = instr.operands[0]
+                    name = getattr(target, "name", None)
+                    if name is not None and name not in names:
+                        names.append(name)
+        return names
+
+    def __repr__(self) -> str:
+        return f"<MachineFunction {self.name} ({len(self.block_order)} blocks)>"
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:  ; frame={self.frame_size} bytes"]
+        for block in self.iter_blocks():
+            lines.append(str(block))
+        return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Stack-frame references and frame layout.
+
+Before frame lowering, instructions may reference stack objects (local
+arrays, spill slots) symbolically through :class:`FrameRef` operands.  The
+:class:`FrameLayout` assigns every object a byte offset from SP and the frame
+lowering pass rewrites the references into plain immediates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class FrameRef:
+    """A symbolic reference to a stack-frame object (by name)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"[frame:{self.name}]"
+
+
+@dataclass
+class FrameLayout:
+    """Assigns byte offsets (relative to SP after the prologue) to objects."""
+
+    offsets: Dict[str, int] = field(default_factory=dict)
+    size: int = 0
+
+    def add(self, name: str, size: int, alignment: int = 4) -> int:
+        if name in self.offsets:
+            return self.offsets[name]
+        self.size = _align(self.size, alignment)
+        self.offsets[name] = self.size
+        self.size += _align(size, 4)
+        return self.offsets[name]
+
+    def offset_of(self, name: str) -> int:
+        return self.offsets[name]
+
+    def aligned_size(self, alignment: int = 8) -> int:
+        """Total frame size rounded up to the AAPCS stack alignment."""
+        return _align(self.size, alignment)
+
+
+def _align(value: int, alignment: int) -> int:
+    remainder = value % alignment
+    return value if remainder == 0 else value + alignment - remainder

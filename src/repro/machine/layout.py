@@ -1,0 +1,94 @@
+"""Address assignment ("linking") for machine programs.
+
+Code blocks in the ``flash`` section are placed in flash after the constant
+data; blocks moved to the ``ram`` section are placed in RAM after the mutable
+data, exactly like the custom linker section the paper loads into RAM at
+startup.  The resulting addresses feed the simulator (fetch memory selection)
+and the RAM-budget accounting of the placement constraint (Equation 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.machine.program import MachineProgram
+
+
+class LayoutError(Exception):
+    """Raised when a program does not fit in its memory regions."""
+
+
+@dataclass
+class LayoutResult:
+    """Summary of the address assignment."""
+
+    flash_code_bytes: int = 0
+    ram_code_bytes: int = 0
+    rodata_bytes: int = 0
+    data_bytes: int = 0
+    stack_base: int = 0
+    ram_free_bytes: int = 0
+
+
+def _align(value: int, alignment: int = 4) -> int:
+    remainder = value % alignment
+    return value if remainder == 0 else value + alignment - remainder
+
+
+def assign_addresses(program: MachineProgram, stack_reserve: int = 1024) -> LayoutResult:
+    """Assign addresses to every global and basic block of *program*.
+
+    ``stack_reserve`` is how much RAM is kept for the stack; the stack grows
+    down from the top of RAM, so it is only used for the overflow check.
+    """
+    result = LayoutResult()
+
+    # --- constant data in flash ------------------------------------------ #
+    flash_cursor = program.flash.origin
+    for data in program.globals.values():
+        if data.const:
+            program.global_addresses[data.name] = flash_cursor
+            flash_cursor += _align(data.size)
+    result.rodata_bytes = flash_cursor - program.flash.origin
+
+    # --- code kept in flash ----------------------------------------------- #
+    for function in program.iter_functions():
+        for name in function.block_order:
+            block = function.blocks[name]
+            if block.section != "ram":
+                block.address = flash_cursor
+                program.block_addresses[program.block_key(block)] = flash_cursor
+                flash_cursor += _align(block.size_bytes(), 2)
+    result.flash_code_bytes = (flash_cursor - program.flash.origin
+                               - result.rodata_bytes)
+    if flash_cursor > program.flash.end:
+        raise LayoutError(
+            f"program does not fit in flash: needs {flash_cursor - program.flash.origin}"
+            f" bytes, flash is {program.flash.size}")
+
+    # --- mutable data in RAM ---------------------------------------------- #
+    ram_cursor = program.ram.origin
+    for data in program.globals.values():
+        if not data.const:
+            program.global_addresses[data.name] = ram_cursor
+            ram_cursor += _align(data.size)
+    result.data_bytes = ram_cursor - program.ram.origin
+
+    # --- relocated code in RAM -------------------------------------------- #
+    for function in program.iter_functions():
+        for name in function.block_order:
+            block = function.blocks[name]
+            if block.section == "ram":
+                block.address = ram_cursor
+                program.block_addresses[program.block_key(block)] = ram_cursor
+                ram_cursor += _align(block.size_bytes(), 2)
+    result.ram_code_bytes = ram_cursor - program.ram.origin - result.data_bytes
+
+    result.stack_base = program.ram.end
+    result.ram_free_bytes = program.ram.end - ram_cursor
+    if ram_cursor + stack_reserve > program.ram.end:
+        raise LayoutError(
+            f"RAM overflow: data+ramcode needs {ram_cursor - program.ram.origin} bytes "
+            f"plus {stack_reserve} stack, RAM is {program.ram.size}")
+    return result

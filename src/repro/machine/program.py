@@ -1,0 +1,120 @@
+"""Whole-program machine representation and the target memory map."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.module import GlobalData
+from repro.machine.blocks import MachineBlock, MachineFunction
+
+
+class Section(Enum):
+    """Linker sections used by the layout stage."""
+
+    TEXT = ".text"        # code executed from flash
+    RAMCODE = ".ramcode"  # code relocated to RAM by the optimization
+    RODATA = ".rodata"    # constant data, stays in flash
+    DATA = ".data"        # mutable data, copied to RAM at startup
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A physical memory region of the SoC."""
+
+    name: str
+    origin: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.origin + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.origin <= address < self.end
+
+
+#: Memory map of the STM32F100RB used in the paper: 64 KB flash, 8 KB RAM.
+FLASH_REGION = MemoryRegion("flash", 0x0800_0000, 64 * 1024)
+RAM_REGION = MemoryRegion("ram", 0x2000_0000, 8 * 1024)
+
+
+class MachineProgram:
+    """A linked machine program: functions plus global data plus memory map."""
+
+    def __init__(self, name: str = "program", entry: str = "main",
+                 flash: MemoryRegion = FLASH_REGION,
+                 ram: MemoryRegion = RAM_REGION):
+        self.name = name
+        self.entry = entry
+        self.flash = flash
+        self.ram = ram
+        self.functions: Dict[str, MachineFunction] = {}
+        self.function_order: List[str] = []
+        self.globals: Dict[str, GlobalData] = {}
+        self.global_addresses: Dict[str, int] = {}
+        self.block_addresses: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def add_function(self, function: MachineFunction) -> MachineFunction:
+        if function.name in self.functions:
+            raise ValueError(f"function {function.name} already defined")
+        self.functions[function.name] = function
+        self.function_order.append(function.name)
+        return function
+
+    def add_global(self, data: GlobalData) -> GlobalData:
+        if data.name in self.globals:
+            raise ValueError(f"global {data.name} already defined")
+        self.globals[data.name] = data
+        return data
+
+    def get_function(self, name: str) -> MachineFunction:
+        return self.functions[name]
+
+    def iter_functions(self) -> Iterator[MachineFunction]:
+        for name in self.function_order:
+            yield self.functions[name]
+
+    def iter_blocks(self) -> Iterator[MachineBlock]:
+        for function in self.iter_functions():
+            yield from function.iter_blocks()
+
+    def block_key(self, block: MachineBlock) -> str:
+        """Globally unique key for a block (function-qualified)."""
+        return f"{block.function_name}:{block.name}"
+
+    def find_block(self, key: str) -> MachineBlock:
+        function_name, block_name = key.split(":", 1)
+        return self.functions[function_name].blocks[block_name]
+
+    # ------------------------------------------------------------------ #
+    # Size queries used by the evaluation and by R_spare derivation
+    # ------------------------------------------------------------------ #
+    def code_size(self) -> int:
+        return sum(f.size_bytes() for f in self.iter_functions())
+
+    def ram_code_size(self) -> int:
+        return sum(b.size_bytes() for b in self.iter_blocks() if b.section == "ram")
+
+    def mutable_data_size(self) -> int:
+        return sum(g.size for g in self.globals.values() if not g.const)
+
+    def const_data_size(self) -> int:
+        return sum(g.size for g in self.globals.values() if g.const)
+
+    def __repr__(self) -> str:
+        return (f"<MachineProgram {self.name}: {len(self.functions)} functions, "
+                f"{self.code_size()} bytes of code>")
+
+    def to_text(self) -> str:
+        """Assembly-like dump of the whole program."""
+        lines = [f"; program {self.name} (entry: {self.entry})"]
+        for data in self.globals.values():
+            section = Section.RODATA.value if data.const else Section.DATA.value
+            lines.append(f"; global {data.name} in {section}, {data.size} bytes")
+        for function in self.iter_functions():
+            lines.append("")
+            lines.append(str(function))
+        return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""IR-level optimization passes and the pass manager."""
+
+from repro.passes.pass_manager import PassManager, FunctionPass
+from repro.passes.constant_folding import ConstantFoldingPass
+from repro.passes.copy_propagation import CopyPropagationPass
+from repro.passes.dce import DeadCodeEliminationPass
+from repro.passes.cse import CommonSubexpressionEliminationPass
+from repro.passes.simplify_cfg import SimplifyCFGPass
+
+__all__ = [
+    "PassManager",
+    "FunctionPass",
+    "ConstantFoldingPass",
+    "CopyPropagationPass",
+    "DeadCodeEliminationPass",
+    "CommonSubexpressionEliminationPass",
+    "SimplifyCFGPass",
+]

@@ -1,0 +1,126 @@
+"""Constant folding of IR binary operations and constant branches."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import BinOp, Branch, Jump, Mov
+from repro.ir.module import Module
+from repro.ir.values import Const
+from repro.passes.pass_manager import FunctionPass
+
+_MASK = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    value &= _MASK
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def fold_binop(op: str, lhs: int, rhs: int) -> Optional[int]:
+    """Fold one binary operation on 32-bit values; None if undefined (div 0)."""
+    lhs &= _MASK
+    rhs &= _MASK
+    slhs, srhs = _signed(lhs), _signed(rhs)
+    if op == "add":
+        return (lhs + rhs) & _MASK
+    if op == "sub":
+        return (lhs - rhs) & _MASK
+    if op == "mul":
+        return (lhs * rhs) & _MASK
+    if op == "and":
+        return lhs & rhs
+    if op == "or":
+        return lhs | rhs
+    if op == "xor":
+        return lhs ^ rhs
+    if op == "shl":
+        return (lhs << (rhs & 31)) & _MASK
+    if op == "lshr":
+        return (lhs >> (rhs & 31)) & _MASK
+    if op == "ashr":
+        return (slhs >> (rhs & 31)) & _MASK
+    if op == "sdiv":
+        if srhs == 0:
+            return None
+        return int(slhs / srhs) & _MASK if srhs else None
+    if op == "udiv":
+        if rhs == 0:
+            return None
+        return (lhs // rhs) & _MASK
+    if op == "srem":
+        if srhs == 0:
+            return None
+        return (slhs - int(slhs / srhs) * srhs) & _MASK
+    if op == "urem":
+        if rhs == 0:
+            return None
+        return (lhs % rhs) & _MASK
+    return None
+
+
+def evaluate_condition(cond: str, lhs: int, rhs: int) -> bool:
+    """Evaluate an IR compare condition on constant operands."""
+    lhs &= _MASK
+    rhs &= _MASK
+    slhs, srhs = _signed(lhs), _signed(rhs)
+    table = {
+        "eq": lhs == rhs,
+        "ne": lhs != rhs,
+        "lt": slhs < srhs,
+        "le": slhs <= srhs,
+        "gt": slhs > srhs,
+        "ge": slhs >= srhs,
+        "lo": lhs < rhs,
+        "ls": lhs <= rhs,
+        "hi": lhs > rhs,
+        "hs": lhs >= rhs,
+    }
+    return table[cond]
+
+
+class ConstantFoldingPass(FunctionPass):
+    """Folds BinOps with constant operands and branches with constant inputs."""
+
+    name = "constant-folding"
+
+    def run(self, function: Function, module: Module) -> bool:
+        changed = False
+        for block in function.iter_blocks():
+            new_instructions = []
+            for instr in block.instructions:
+                if (isinstance(instr, BinOp) and isinstance(instr.lhs, Const)
+                        and isinstance(instr.rhs, Const)):
+                    folded = fold_binop(instr.op, instr.lhs.value, instr.rhs.value)
+                    if folded is not None:
+                        new_instructions.append(Mov(instr.dst, Const(folded)))
+                        changed = True
+                        continue
+                # Algebraic identities.
+                if isinstance(instr, BinOp) and isinstance(instr.rhs, Const):
+                    value = instr.rhs.value & _MASK
+                    if value == 0 and instr.op in ("add", "sub", "or", "xor",
+                                                   "shl", "lshr", "ashr"):
+                        new_instructions.append(Mov(instr.dst, instr.lhs))
+                        changed = True
+                        continue
+                    if value == 1 and instr.op in ("mul", "sdiv", "udiv"):
+                        new_instructions.append(Mov(instr.dst, instr.lhs))
+                        changed = True
+                        continue
+                    if value == 0 and instr.op in ("mul", "and"):
+                        new_instructions.append(Mov(instr.dst, Const(0)))
+                        changed = True
+                        continue
+                new_instructions.append(instr)
+            block.instructions = new_instructions
+
+            term = block.terminator
+            if (isinstance(term, Branch) and isinstance(term.lhs, Const)
+                    and isinstance(term.rhs, Const)):
+                taken = evaluate_condition(term.cond, term.lhs.value, term.rhs.value)
+                target = term.then_target if taken else term.else_target
+                block.terminator = Jump(target)
+                changed = True
+        return changed

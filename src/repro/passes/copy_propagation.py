@@ -1,0 +1,47 @@
+"""Block-local copy and constant propagation.
+
+The IR is not in SSA form, so propagation is restricted to within a basic
+block, where redefinitions can be tracked precisely: a mapping from virtual
+register to its known copy source (another register or a constant) is
+maintained and invalidated whenever either side is redefined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Instruction, Mov
+from repro.ir.module import Module
+from repro.ir.values import Const, Operand, VReg
+from repro.passes.pass_manager import FunctionPass
+
+
+class CopyPropagationPass(FunctionPass):
+    """Propagates ``mov`` sources to later uses inside each block."""
+
+    name = "copy-propagation"
+
+    def run(self, function: Function, module: Module) -> bool:
+        changed = False
+        for block in function.iter_blocks():
+            copies: Dict[VReg, Operand] = {}
+            for instr in block.all_instructions():
+                # First rewrite the uses with what we currently know.
+                mapping = {src: dst for src, dst in copies.items()}
+                before = [repr(op) for op in instr.operands()]
+                instr.replace_operands(mapping)
+                after = [repr(op) for op in instr.operands()]
+                if before != after:
+                    changed = True
+
+                # Then update the copy map with this instruction's effect.
+                result = instr.result()
+                if result is not None:
+                    # Any copy that mentions the redefined register is stale.
+                    copies = {dst: src for dst, src in copies.items()
+                              if dst != result and src != result}
+                if isinstance(instr, Mov):
+                    if isinstance(instr.src, (Const, VReg)) and instr.src != instr.dst:
+                        copies[instr.dst] = instr.src
+        return changed

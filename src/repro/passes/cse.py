@@ -1,0 +1,73 @@
+"""Block-local common subexpression elimination.
+
+Within a block, identical pure expressions (binary operations, address
+formation) whose operands have not been redefined since are replaced by a
+copy of the earlier result.  Loads are also unified until a store or call is
+seen (which may alias anything in this simple memory model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import AddrOf, BinOp, Call, FrameAddr, Load, Mov, Store
+from repro.ir.module import Module
+from repro.ir.values import Const, VReg
+from repro.passes.pass_manager import FunctionPass
+
+
+def _operand_key(operand) -> Tuple[str, int]:
+    if isinstance(operand, Const):
+        return ("const", operand.value)
+    return ("vreg", operand.index)
+
+
+class CommonSubexpressionEliminationPass(FunctionPass):
+    """Replaces recomputed pure expressions with copies inside a block."""
+
+    name = "cse"
+
+    def run(self, function: Function, module: Module) -> bool:
+        changed = False
+        for block in function.iter_blocks():
+            available: Dict[tuple, VReg] = {}
+            new_instructions = []
+            for instr in block.instructions:
+                key = self._expression_key(instr)
+                if key is not None and key in available:
+                    new_instructions.append(Mov(instr.result(), available[key]))
+                    changed = True
+                    continue
+
+                result = instr.result()
+                if result is not None:
+                    # Invalidate expressions that used the redefined register,
+                    # and expressions that produced it.
+                    available = {
+                        k: v for k, v in available.items()
+                        if v != result and ("vreg", result.index) not in k[1:]
+                    }
+                if isinstance(instr, (Store, Call)):
+                    # Conservatively kill remembered loads.
+                    available = {k: v for k, v in available.items()
+                                 if k[0] != "load"}
+                if key is not None and instr.result() is not None:
+                    available[key] = instr.result()
+                new_instructions.append(instr)
+            block.instructions = new_instructions
+        return changed
+
+    @staticmethod
+    def _expression_key(instr):
+        if isinstance(instr, BinOp):
+            return ("binop", ("op", hash(instr.op)), _operand_key(instr.lhs),
+                    _operand_key(instr.rhs), ("name", hash(instr.op)))
+        if isinstance(instr, AddrOf):
+            return ("addrof", ("sym", hash(instr.symbol)))
+        if isinstance(instr, FrameAddr):
+            return ("frameaddr", ("sym", hash(instr.object_name)))
+        if isinstance(instr, Load):
+            return ("load", _operand_key(instr.base), _operand_key(instr.offset),
+                    ("width", instr.width))
+        return None

@@ -1,0 +1,61 @@
+"""Dead code elimination.
+
+Removes instructions whose result is never used anywhere in the function and
+which have no side effects.  Calls, stores and loads are always kept: loads
+are treated as observable because embedded code frequently reads
+memory-mapped peripherals, and the energy model cares about the memory
+traffic they generate.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.function import Function
+from repro.ir.instructions import Call, Instruction, Load, Store
+from repro.ir.module import Module
+from repro.ir.values import VReg
+from repro.passes.pass_manager import FunctionPass
+
+
+def _used_registers(function: Function) -> Set[VReg]:
+    used: Set[VReg] = set()
+    for block in function.iter_blocks():
+        for instr in block.all_instructions():
+            for operand in instr.operands():
+                if isinstance(operand, VReg):
+                    used.add(operand)
+    return used
+
+
+class DeadCodeEliminationPass(FunctionPass):
+    """Iteratively removes side-effect-free instructions with unused results."""
+
+    name = "dce"
+
+    def run(self, function: Function, module: Module) -> bool:
+        changed = False
+        while True:
+            used = _used_registers(function)
+            removed_this_round = False
+            for block in function.iter_blocks():
+                kept = []
+                for instr in block.instructions:
+                    if self._is_removable(instr, used):
+                        removed_this_round = True
+                        changed = True
+                        continue
+                    kept.append(instr)
+                block.instructions = kept
+            if not removed_this_round:
+                break
+        return changed
+
+    @staticmethod
+    def _is_removable(instr: Instruction, used: Set[VReg]) -> bool:
+        if isinstance(instr, (Call, Store, Load)):
+            return False
+        result = instr.result()
+        if result is None:
+            return False
+        return result not in used

@@ -1,0 +1,47 @@
+"""Pass manager: runs an ordered list of function passes over a module."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+class FunctionPass:
+    """Base class for passes operating on a single function.
+
+    ``run`` returns True if the pass changed anything, which lets the pass
+    manager iterate pass groups to a fixed point.
+    """
+
+    name = "function-pass"
+
+    def run(self, function: Function, module: Module) -> bool:
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs passes over every function of a module.
+
+    ``iterate`` controls how many times the whole pipeline is repeated (later
+    passes often expose opportunities for earlier ones); iteration stops early
+    once a full sweep makes no changes.
+    """
+
+    def __init__(self, passes: Iterable[FunctionPass], iterate: int = 2):
+        self.passes: List[FunctionPass] = list(passes)
+        self.iterate = max(1, iterate)
+
+    def run(self, module: Module) -> bool:
+        changed_any = False
+        for _ in range(self.iterate):
+            changed_this_round = False
+            for function in module.functions.values():
+                for pass_ in self.passes:
+                    if pass_.run(function, module):
+                        changed_this_round = True
+            changed_any = changed_any or changed_this_round
+            if not changed_this_round:
+                break
+        return changed_any

@@ -1,0 +1,95 @@
+"""CFG simplification: unreachable-block removal, jump threading, merging."""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import cfg_of_ir_function, reachable_blocks
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, Jump
+from repro.ir.module import Module
+from repro.passes.pass_manager import FunctionPass
+
+
+class SimplifyCFGPass(FunctionPass):
+    """Cleans up the control-flow graph after other passes."""
+
+    name = "simplify-cfg"
+
+    def run(self, function: Function, module: Module) -> bool:
+        changed = False
+        changed |= self._remove_unreachable(function)
+        changed |= self._thread_jumps(function)
+        changed |= self._merge_blocks(function)
+        if changed:
+            self._remove_unreachable(function)
+        return changed
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _remove_unreachable(function: Function) -> bool:
+        cfg = cfg_of_ir_function(function)
+        reachable = reachable_blocks(cfg)
+        dead = [name for name in function.block_order if name not in reachable]
+        for name in dead:
+            function.remove_block(name)
+        return bool(dead)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _thread_jumps(function: Function) -> bool:
+        """Redirect edges that point at empty forwarding blocks."""
+        changed = False
+        forwarding = {}
+        for block in function.iter_blocks():
+            if (not block.instructions and isinstance(block.terminator, Jump)
+                    and block.terminator.target != block.name):
+                forwarding[block.name] = block.terminator.target
+
+        def resolve(name: str) -> str:
+            seen = set()
+            while name in forwarding and name not in seen:
+                seen.add(name)
+                name = forwarding[name]
+            return name
+
+        for block in function.iter_blocks():
+            term = block.terminator
+            if isinstance(term, Jump):
+                target = resolve(term.target)
+                if target != term.target:
+                    term.target = target
+                    changed = True
+            elif isinstance(term, Branch):
+                then_target = resolve(term.then_target)
+                else_target = resolve(term.else_target)
+                if then_target != term.then_target or else_target != term.else_target:
+                    term.then_target = then_target
+                    term.else_target = else_target
+                    changed = True
+        return changed
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _merge_blocks(function: Function) -> bool:
+        """Merge ``A -> jump B`` when B's only predecessor is A."""
+        changed = True
+        any_change = False
+        while changed:
+            changed = False
+            preds = function.predecessors()
+            for block in list(function.iter_blocks()):
+                term = block.terminator
+                if not isinstance(term, Jump):
+                    continue
+                target_name = term.target
+                if target_name == block.name or target_name == function.block_order[0]:
+                    continue
+                if len(preds.get(target_name, [])) != 1:
+                    continue
+                target = function.blocks[target_name]
+                block.instructions.extend(target.instructions)
+                block.terminator = target.terminator
+                function.remove_block(target_name)
+                changed = True
+                any_change = True
+                break
+        return any_change

@@ -1,0 +1,35 @@
+"""Flash-RAM basic-block placement: the paper's primary contribution.
+
+Pipeline: extract per-block parameters from the compiled program
+(:mod:`parameters`), build the energy cost model of Section 4
+(:mod:`cost_model`), formulate the linearized ILP (:mod:`ilp`), solve it with
+the built-in branch-and-bound solver (or the greedy / exhaustive baselines in
+:mod:`solvers`), and hand the chosen block set to
+:func:`repro.transform.apply_placement`.
+
+The public entry point is :class:`FlashRAMOptimizer` /
+:func:`optimize_program`.
+"""
+
+from repro.placement.parameters import BlockParameters, extract_parameters
+from repro.placement.cost_model import PlacementCostModel, PlacementEstimate
+from repro.placement.ilp import ILPProblem, build_placement_ilp
+from repro.placement.optimizer import (
+    FlashRAMOptimizer,
+    PlacementConfig,
+    PlacementSolution,
+    optimize_program,
+)
+
+__all__ = [
+    "BlockParameters",
+    "extract_parameters",
+    "PlacementCostModel",
+    "PlacementEstimate",
+    "ILPProblem",
+    "build_placement_ilp",
+    "FlashRAMOptimizer",
+    "PlacementConfig",
+    "PlacementSolution",
+    "optimize_program",
+]

@@ -1,0 +1,152 @@
+"""The energy cost model of Section 4.3 (Equations 1-9).
+
+Given the per-block parameters and the two memory energy coefficients
+``E_flash`` and ``E_ram`` (Joules per cycle), the model predicts, for any
+candidate set ``R`` of blocks placed in RAM:
+
+* which blocks must be instrumented (``I``, Equation 5),
+* the energy of every block (Equation 2) and the program total (Equation 1),
+* the execution-time ratio against the all-in-flash baseline (Equation 9),
+* the RAM bytes consumed (Equation 7).
+
+The same model is used by the ILP formulation (linearised), by the greedy and
+exhaustive solvers directly, and by the Figure 6 design-space sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set
+
+from repro.placement.parameters import BlockParameters
+
+
+@dataclass
+class PlacementEstimate:
+    """Model predictions for one candidate placement."""
+
+    energy_j: float
+    cycles: float
+    time_ratio: float
+    ram_bytes: int
+    instrumented: Set[str]
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy_j / self.cycles if self.cycles else 0.0
+
+
+class PlacementCostModel:
+    """Evaluates Equations 1-9 for arbitrary placements."""
+
+    def __init__(self, parameters: Dict[str, BlockParameters],
+                 e_flash: float, e_ram: float):
+        if e_flash <= 0 or e_ram <= 0:
+            raise ValueError("energy coefficients must be positive")
+        self.parameters = parameters
+        self.e_flash = e_flash
+        self.e_ram = e_ram
+
+    # ------------------------------------------------------------------ #
+    # Equation 5: the instrumented set I
+    # ------------------------------------------------------------------ #
+    def instrumented_set(self, ram_set: Set[str]) -> Set[str]:
+        instrumented: Set[str] = set()
+        for key, params in self.parameters.items():
+            in_ram = key in ram_set
+            for succ in params.successors:
+                succ_in_ram = succ in ram_set
+                if succ_in_ram != in_ram:
+                    instrumented.add(key)
+                    break
+        return instrumented
+
+    # ------------------------------------------------------------------ #
+    # Equations 2-6: per-block energy
+    # ------------------------------------------------------------------ #
+    def memory_energy(self, in_ram: bool) -> float:
+        """Equation 3: the per-cycle energy coefficient M(b)."""
+        return self.e_ram if in_ram else self.e_flash
+
+    def block_cycles(self, params: BlockParameters, in_ram: bool,
+                     instrumented: bool) -> float:
+        """``C_b + O_c(b) + O_r(b)`` for one execution of the block."""
+        cycles = float(params.cycles)
+        if instrumented:
+            cycles += params.instrument_cycles
+        if in_ram:
+            cycles += params.ram_stall_cycles
+        return cycles
+
+    def block_energy(self, params: BlockParameters, in_ram: bool,
+                     instrumented: bool) -> float:
+        """Equation 2: ``E(b) = (C_b + O_c + O_r) * M(b) * F_b``."""
+        cycles = self.block_cycles(params, in_ram, instrumented)
+        return cycles * self.memory_energy(in_ram) * params.frequency
+
+    # ------------------------------------------------------------------ #
+    # Program-level sums
+    # ------------------------------------------------------------------ #
+    def baseline_cycles(self) -> float:
+        """Weighted cycles with everything in flash (denominator of Eq. 9)."""
+        return sum(p.cycles * p.frequency for p in self.parameters.values())
+
+    def baseline_energy(self) -> float:
+        """Equation 1 evaluated at R = {} (the all-in-flash base case)."""
+        return sum(self.block_energy(p, False, False)
+                   for p in self.parameters.values())
+
+    def total_energy(self, ram_set: Set[str],
+                     instrumented: Optional[Set[str]] = None) -> float:
+        instrumented = (self.instrumented_set(ram_set)
+                        if instrumented is None else instrumented)
+        return sum(
+            self.block_energy(p, key in ram_set, key in instrumented)
+            for key, p in self.parameters.items())
+
+    def total_cycles(self, ram_set: Set[str],
+                     instrumented: Optional[Set[str]] = None) -> float:
+        instrumented = (self.instrumented_set(ram_set)
+                        if instrumented is None else instrumented)
+        return sum(
+            self.block_cycles(p, key in ram_set, key in instrumented) * p.frequency
+            for key, p in self.parameters.items())
+
+    def ram_usage(self, ram_set: Set[str],
+                  instrumented: Optional[Set[str]] = None) -> int:
+        """Equation 7's left-hand side: bytes of RAM consumed by the placement."""
+        instrumented = (self.instrumented_set(ram_set)
+                        if instrumented is None else instrumented)
+        total = 0
+        for key in ram_set:
+            params = self.parameters[key]
+            total += params.size
+            if key in instrumented:
+                total += params.instrument_bytes
+        return total
+
+    def evaluate(self, ram_set: Iterable[str]) -> PlacementEstimate:
+        """Full model evaluation of one candidate placement."""
+        ram = set(ram_set)
+        instrumented = self.instrumented_set(ram)
+        energy = self.total_energy(ram, instrumented)
+        cycles = self.total_cycles(ram, instrumented)
+        baseline = self.baseline_cycles()
+        ratio = cycles / baseline if baseline else 1.0
+        return PlacementEstimate(
+            energy_j=energy,
+            cycles=cycles,
+            time_ratio=ratio,
+            ram_bytes=self.ram_usage(ram, instrumented),
+            instrumented=instrumented,
+        )
+
+    # ------------------------------------------------------------------ #
+    def eligible_keys(self):
+        """Blocks the solver may consider moving (non-library)."""
+        return [key for key, params in self.parameters.items() if params.eligible]
+
+    def is_feasible(self, ram_set: Set[str], r_spare: int, x_limit: float) -> bool:
+        """Check Equations 7 and 9 for a candidate placement."""
+        estimate = self.evaluate(ram_set)
+        return estimate.ram_bytes <= r_spare and estimate.time_ratio <= x_limit + 1e-9

@@ -1,0 +1,155 @@
+"""Linearised ILP formulation of the placement problem (Section 4.3).
+
+Decision variables per eligible (non-library) block ``b``:
+
+* ``r_b`` — 1 if the block is placed in RAM,
+* ``i_b`` — 1 if the block must be instrumented,
+* ``z_b`` — the linearisation of the product ``i_b * r_b`` (McCormick).
+
+Objective (minimisation, constant term dropped from the matrix but recorded)::
+
+    sum_b F_b [ C_b*Ef + C_b*(Er-Ef)*r_b + T_b*Ef*i_b + T_b*(Er-Ef)*z_b
+                + L_b*Er*r_b ]
+
+Constraints::
+
+    i_b >= r_b - r_s,  i_b >= r_s - r_b      for every successor s   (Eq. 5)
+    z_b >= i_b + r_b - 1,  z_b <= i_b,  z_b <= r_b
+    sum_b S_b*r_b + K_b*z_b <= R_spare                               (Eq. 7)
+    sum_b F_b*(T_b*i_b + L_b*r_b) <= (X_limit - 1) * sum_b F_b*C_b   (Eq. 9)
+    0 <= r_b <= 1 integral; i_b, z_b in [0, 1]
+
+Because ``i`` and ``z`` are forced to integral values once every ``r`` is
+integral, the branch-and-bound solver only branches on the ``r`` variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.placement.cost_model import PlacementCostModel
+
+
+@dataclass
+class ILPProblem:
+    """A minimisation ILP in the form ``min c.x  s.t.  A x <= b, x >= 0``."""
+
+    objective: np.ndarray
+    constant: float
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    var_names: List[str]
+    branch_vars: List[int]
+    r_index: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.var_names)
+
+
+def build_placement_ilp(model: PlacementCostModel, r_spare: float,
+                        x_limit: float) -> ILPProblem:
+    """Build the linearised placement ILP from a cost model and the two knobs."""
+    if x_limit < 1.0:
+        raise ValueError("X_limit must be >= 1.0 (it is a slowdown bound)")
+    if r_spare < 0:
+        raise ValueError("R_spare must be non-negative")
+
+    eligible = model.eligible_keys()
+    index_of: Dict[str, int] = {}
+    var_names: List[str] = []
+    for key in eligible:
+        index_of[key] = len(var_names)
+        var_names.extend([f"r[{key}]", f"i[{key}]", f"z[{key}]"])
+
+    num_vars = len(var_names)
+    delta = model.e_ram - model.e_flash  # negative: RAM is cheaper
+
+    objective = np.zeros(num_vars)
+    constant = 0.0
+    for key, params in model.parameters.items():
+        constant += params.frequency * params.cycles * model.e_flash
+        if key not in index_of:
+            continue
+        base = index_of[key]
+        objective[base + 0] += params.frequency * (
+            params.cycles * delta + params.ram_stall_cycles * model.e_ram)
+        objective[base + 1] += params.frequency * params.instrument_cycles * model.e_flash
+        objective[base + 2] += params.frequency * params.instrument_cycles * delta
+
+    rows: List[np.ndarray] = []
+    rhs: List[float] = []
+
+    def add_row(coefficients: Dict[int, float], bound: float) -> None:
+        row = np.zeros(num_vars)
+        for column, value in coefficients.items():
+            row[column] += value
+        rows.append(row)
+        rhs.append(bound)
+
+    # Equation 5: instrumentation coupling with every successor.
+    for key in eligible:
+        base = index_of[key]
+        params = model.parameters[key]
+        for succ in params.successors:
+            if succ == key:
+                continue
+            succ_base = index_of.get(succ)
+            if succ_base is None:
+                # Successor cannot move (library): i_b >= r_b.
+                add_row({base + 0: 1.0, base + 1: -1.0}, 0.0)
+                continue
+            add_row({base + 0: 1.0, succ_base + 0: -1.0, base + 1: -1.0}, 0.0)
+            add_row({succ_base + 0: 1.0, base + 0: -1.0, base + 1: -1.0}, 0.0)
+
+    # McCormick envelope for z = i * r.
+    for key in eligible:
+        base = index_of[key]
+        add_row({base + 1: 1.0, base + 0: 1.0, base + 2: -1.0}, 1.0)
+        add_row({base + 2: 1.0, base + 1: -1.0}, 0.0)
+        add_row({base + 2: 1.0, base + 0: -1.0}, 0.0)
+
+    # Equation 7: RAM budget.
+    ram_row: Dict[int, float] = {}
+    for key in eligible:
+        base = index_of[key]
+        params = model.parameters[key]
+        ram_row[base + 0] = float(params.size)
+        ram_row[base + 2] = float(params.instrument_bytes)
+    add_row(ram_row, float(r_spare))
+
+    # Equation 9: execution-time bound.
+    time_row: Dict[int, float] = {}
+    for key in eligible:
+        base = index_of[key]
+        params = model.parameters[key]
+        time_row[base + 1] = params.frequency * params.instrument_cycles
+        time_row[base + 0] = params.frequency * params.ram_stall_cycles
+    add_row(time_row, (x_limit - 1.0) * model.baseline_cycles())
+
+    # Upper bounds for the r variables (i and z are bounded via the rows above
+    # and their objective signs).
+    for key in eligible:
+        add_row({index_of[key] + 0: 1.0}, 1.0)
+        add_row({index_of[key] + 1: 1.0}, 1.0)
+
+    problem = ILPProblem(
+        objective=objective,
+        constant=constant,
+        a_ub=np.vstack(rows) if rows else np.zeros((0, num_vars)),
+        b_ub=np.array(rhs),
+        var_names=var_names,
+        branch_vars=[index_of[key] for key in eligible],
+        r_index={key: index_of[key] for key in eligible},
+    )
+    return problem
+
+
+def solution_to_ram_set(problem: ILPProblem, values: np.ndarray,
+                        threshold: float = 0.5) -> List[str]:
+    """Convert an assignment vector into the list of block keys placed in RAM."""
+    return [key for key, index in problem.r_index.items()
+            if values[index] > threshold]

@@ -1,0 +1,158 @@
+"""Extraction of the per-block model parameters of Section 4.1.
+
+For every basic block ``b`` of the compiled program we compute
+
+========  ====================================================================
+``S_b``   size in bytes
+``C_b``   estimated execution cycles
+``F_b``   execution frequency (static loop-depth estimate or profiled counts)
+``K_b``   extra bytes if the block must be instrumented (Figure 4)
+``T_b``   extra cycles if the block must be instrumented (Figure 4)
+``L_b``   stall cycles caused by RAM-bus contention when the block runs
+          from RAM (one per data-memory access)
+Succ(b)   successor blocks within the same function
+========  ====================================================================
+
+Library blocks (soft-float runtime) are extracted too — their energy counts in
+the total — but are marked ``library`` so the solver never moves them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.cfg import CFGView
+from repro.analysis.frequency import DEFAULT_LOOP_WEIGHT, estimate_block_frequencies
+from repro.isa.instructions import Opcode
+from repro.isa.timing import RAM_CONTENTION_STALL
+from repro.machine.blocks import MachineFunction, TerminatorKind
+from repro.machine.program import MachineProgram
+from repro.sim.profiler import BlockProfile
+from repro.transform.instrumentation import instrumentation_overhead
+
+
+@dataclass
+class BlockParameters:
+    """The cost-model parameters of one basic block."""
+
+    key: str
+    function: str
+    name: str
+    size: int
+    cycles: int
+    frequency: float
+    instrument_bytes: int
+    instrument_cycles: int
+    ram_stall_cycles: int
+    successors: List[str] = field(default_factory=list)
+    library: bool = False
+    terminator: TerminatorKind = TerminatorKind.FALLTHROUGH
+
+    @property
+    def eligible(self) -> bool:
+        """Whether the block may be moved to RAM at all."""
+        return not self.library
+
+
+def _cfg_of_machine_function(function: MachineFunction) -> CFGView:
+    successors = {block.name: block.successors() for block in function.iter_blocks()}
+    return CFGView(entry=function.block_order[0], successors=successors)
+
+
+def _call_site_weights(function: MachineFunction,
+                       block_frequencies: Dict[str, float]) -> Dict[str, float]:
+    """How often *function* calls each callee, per invocation of *function*."""
+    weights: Dict[str, float] = {}
+    for block in function.iter_blocks():
+        freq = block_frequencies.get(block.name, 0.0)
+        for instr in block.instructions:
+            if instr.opcode is Opcode.BL and instr.operands:
+                callee = getattr(instr.operands[0], "name", None)
+                if callee is not None:
+                    weights[callee] = weights.get(callee, 0.0) + freq
+    return weights
+
+
+def _static_function_frequencies(program: MachineProgram,
+                                 per_function_block_freq: Dict[str, Dict[str, float]],
+                                 entry: str) -> Dict[str, float]:
+    """Estimate how many times each function is invoked, starting from *entry*.
+
+    The call graph is traversed breadth-first from the entry; recursive cycles
+    are simply not propagated further (a bounded, conservative treatment).
+    """
+    frequencies: Dict[str, float] = {name: 0.0 for name in program.functions}
+    if entry not in program.functions:
+        return frequencies
+    frequencies[entry] = 1.0
+    worklist = [entry]
+    visited_edges = set()
+    while worklist:
+        caller = worklist.pop(0)
+        function = program.functions[caller]
+        weights = _call_site_weights(function, per_function_block_freq[caller])
+        for callee, weight in weights.items():
+            if callee not in frequencies or (caller, callee) in visited_edges:
+                continue
+            visited_edges.add((caller, callee))
+            frequencies[callee] += frequencies[caller] * weight
+            worklist.append(callee)
+    return frequencies
+
+
+def extract_parameters(program: MachineProgram,
+                       frequency_mode: str = "static",
+                       profile: Optional[BlockProfile] = None,
+                       loop_weight: int = DEFAULT_LOOP_WEIGHT,
+                       entry: Optional[str] = None) -> Dict[str, BlockParameters]:
+    """Extract :class:`BlockParameters` for every block of *program*.
+
+    ``frequency_mode`` selects the paper's two ``F_b`` variants: ``"static"``
+    (loop-depth estimate, the default) or ``"profile"`` (exact counts from a
+    prior simulation, requires *profile*).
+    """
+    if frequency_mode not in ("static", "profile"):
+        raise ValueError(f"unknown frequency mode {frequency_mode!r}")
+    if frequency_mode == "profile" and profile is None:
+        raise ValueError("profile frequency mode requires a BlockProfile")
+
+    entry = entry or program.entry
+
+    per_function_block_freq: Dict[str, Dict[str, float]] = {}
+    for function in program.iter_functions():
+        cfg = _cfg_of_machine_function(function)
+        per_function_block_freq[function.name] = {
+            name: float(value)
+            for name, value in estimate_block_frequencies(cfg, loop_weight).items()
+        }
+
+    function_frequencies = _static_function_frequencies(
+        program, per_function_block_freq, entry)
+
+    parameters: Dict[str, BlockParameters] = {}
+    for function in program.iter_functions():
+        for block in function.iter_blocks():
+            key = program.block_key(block)
+            if frequency_mode == "profile":
+                frequency = float(profile.count(key))
+            else:
+                frequency = (per_function_block_freq[function.name][block.name]
+                             * function_frequencies[function.name])
+            kind = block.terminator_kind()
+            overhead = instrumentation_overhead(kind)
+            parameters[key] = BlockParameters(
+                key=key,
+                function=function.name,
+                name=block.name,
+                size=block.size_bytes(),
+                cycles=block.cycle_estimate(),
+                frequency=frequency,
+                instrument_bytes=overhead.extra_bytes,
+                instrument_cycles=overhead.extra_cycles,
+                ram_stall_cycles=block.load_store_count() * RAM_CONTENTION_STALL,
+                successors=[f"{function.name}:{s}" for s in block.successors()],
+                library=function.is_library,
+                terminator=kind,
+            )
+    return parameters

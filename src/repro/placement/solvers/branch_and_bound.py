@@ -1,0 +1,109 @@
+"""0/1 branch-and-bound ILP solver built on the simplex LP relaxation.
+
+Branching is restricted to the ``r`` (block-in-RAM) variables: as argued in
+:mod:`repro.placement.ilp`, once every ``r`` is integral the auxiliary ``i``
+and ``z`` variables are forced to integral values by their constraints and
+objective signs.  Best-first search with LP lower bounds keeps the tree small
+(the relaxation of this knapsack-like problem is mostly integral already).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.placement.ilp import ILPProblem
+from repro.placement.solvers.lp import LPStatus, solve_lp
+
+_INTEGRALITY_TOL = 1e-6
+
+
+@dataclass
+class ILPResult:
+    """Result of a branch-and-bound run."""
+
+    status: str
+    objective: float = float("inf")
+    values: Optional[np.ndarray] = None
+    nodes_explored: int = 0
+    optimal: bool = False
+
+
+def _fractional_branch_var(problem: ILPProblem, values: np.ndarray) -> Optional[int]:
+    """Most fractional branch variable, or None if all are integral."""
+    best_var = None
+    best_distance = _INTEGRALITY_TOL
+    for var in problem.branch_vars:
+        fraction = abs(values[var] - round(values[var]))
+        if fraction > best_distance:
+            best_distance = fraction
+            best_var = var
+    return best_var
+
+
+def solve_ilp(problem: ILPProblem, max_nodes: int = 400,
+              gap_tolerance: float = 1e-9) -> ILPResult:
+    """Solve the placement ILP with best-first branch and bound."""
+    counter = itertools.count()
+    root = solve_lp(problem.objective, problem.a_ub, problem.b_ub, fixed={})
+    result = ILPResult(status="infeasible")
+    if root.status is not LPStatus.OPTIMAL:
+        result.status = root.status.value
+        return result
+
+    best_objective = float("inf")
+    best_values: Optional[np.ndarray] = None
+    heap = [(root.objective, next(counter), {}, root)]
+    nodes = 0
+
+    while heap and nodes < max_nodes:
+        bound, _, fixed, relaxation = heapq.heappop(heap)
+        if bound >= best_objective - gap_tolerance:
+            continue
+        nodes += 1
+        branch_var = _fractional_branch_var(problem, relaxation.values)
+        if branch_var is None:
+            rounded = np.clip(np.round(relaxation.values), 0.0, None)
+            if relaxation.objective < best_objective:
+                best_objective = relaxation.objective
+                best_values = relaxation.values
+            continue
+        for value in (1.0, 0.0):
+            child_fixed: Dict[int, float] = dict(fixed)
+            child_fixed[branch_var] = value
+            child = solve_lp(problem.objective, problem.a_ub, problem.b_ub,
+                             fixed=child_fixed)
+            if child.status is not LPStatus.OPTIMAL:
+                continue
+            if child.objective >= best_objective - gap_tolerance:
+                continue
+            heapq.heappush(heap, (child.objective, next(counter), child_fixed, child))
+
+    if best_values is None:
+        # Fall back to a rounded root solution if the node budget ran out
+        # before any integral point was found.
+        if root.values is not None:
+            rounded = {var: float(round(root.values[var]))
+                       for var in problem.branch_vars}
+            repaired = solve_lp(problem.objective, problem.a_ub, problem.b_ub,
+                                fixed=rounded)
+            if repaired.status is LPStatus.OPTIMAL:
+                result.status = "feasible"
+                result.objective = repaired.objective
+                result.values = repaired.values
+                result.nodes_explored = nodes
+                return result
+        result.status = "infeasible"
+        result.nodes_explored = nodes
+        return result
+
+    result.status = "optimal" if not heap or nodes < max_nodes else "feasible"
+    result.optimal = result.status == "optimal"
+    result.objective = best_objective
+    result.values = best_values
+    result.nodes_explored = nodes
+    return result

@@ -1,0 +1,73 @@
+"""Exhaustive enumeration of placements (the clouds of Figure 6).
+
+The paper enumerates all ``2^k`` combinations of basic blocks in RAM/flash to
+show where the ILP solutions sit in the energy/time/RAM trade-off space.  Full
+enumeration is only tractable for small ``k``; for larger programs the
+``significant_blocks`` helper restricts the space to the blocks that matter
+most (by modelled energy impact), which is also how the interesting clusters
+of Figure 6 arise (the paper notes int_matmult's clusters come from its three
+large, hot blocks).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.placement.cost_model import PlacementCostModel, PlacementEstimate
+
+
+@dataclass
+class EnumeratedPoint:
+    """One point of the design space: a placement and its model estimate."""
+
+    ram_blocks: Tuple[str, ...]
+    estimate: PlacementEstimate
+
+
+def significant_blocks(model: PlacementCostModel, limit: int) -> List[str]:
+    """The *limit* eligible blocks with the largest modelled energy impact."""
+    scored = []
+    for key in model.eligible_keys():
+        params = model.parameters[key]
+        impact = (model.block_energy(params, False, False)
+                  - model.block_energy(params, True, False))
+        scored.append((impact, key))
+    scored.sort(reverse=True)
+    return [key for _, key in scored[:limit]]
+
+
+def enumerate_placements(model: PlacementCostModel,
+                         blocks: Optional[Iterable[str]] = None,
+                         max_blocks: int = 14) -> Iterator[EnumeratedPoint]:
+    """Yield every subset of *blocks* with its cost-model evaluation.
+
+    ``max_blocks`` caps the exponential blow-up; if *blocks* is None the most
+    significant ``max_blocks`` blocks are enumerated (matching how the paper's
+    Figure 6 clusters are dominated by a handful of large hot blocks).
+    """
+    block_list = list(blocks) if blocks is not None else \
+        significant_blocks(model, max_blocks)
+    if len(block_list) > max_blocks:
+        block_list = block_list[:max_blocks]
+    for size in range(len(block_list) + 1):
+        for combination in itertools.combinations(block_list, size):
+            yield EnumeratedPoint(combination, model.evaluate(combination))
+
+
+def exhaustive_best_placement(model: PlacementCostModel, r_spare: float,
+                              x_limit: float,
+                              blocks: Optional[Iterable[str]] = None,
+                              max_blocks: int = 14) -> Set[str]:
+    """Best feasible placement by brute force (ground truth for small cases)."""
+    best: Set[str] = set()
+    best_energy = model.baseline_energy()
+    for point in enumerate_placements(model, blocks, max_blocks):
+        estimate = point.estimate
+        if estimate.ram_bytes > r_spare or estimate.time_ratio > x_limit + 1e-9:
+            continue
+        if estimate.energy_j < best_energy - 1e-15:
+            best_energy = estimate.energy_j
+            best = set(point.ram_blocks)
+    return best

@@ -1,0 +1,46 @@
+"""Greedy knapsack-style baseline placement heuristic.
+
+Used as the comparison baseline for the solver-quality ablation: blocks are
+ranked by modelled energy saving per byte of RAM and added while the RAM and
+execution-time constraints (Equations 7 and 9) stay satisfied.  Unlike the
+ILP, the greedy pass cannot discover the "cluster small joining blocks to
+avoid instrumentation" behaviour the paper highlights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.placement.cost_model import PlacementCostModel
+
+
+def greedy_placement(model: PlacementCostModel, r_spare: float,
+                     x_limit: float) -> Set[str]:
+    """Select a feasible block set by greedy energy-per-byte ranking."""
+    ram: Set[str] = set()
+    current_energy = model.baseline_energy()
+
+    candidates: List[str] = []
+    for key in model.eligible_keys():
+        params = model.parameters[key]
+        if params.frequency <= 0 or params.size == 0:
+            continue
+        saving = (model.block_energy(params, False, False)
+                  - model.block_energy(params, True, True))
+        if saving > 0:
+            candidates.append(key)
+    candidates.sort(
+        key=lambda k: ((model.block_energy(model.parameters[k], False, False)
+                        - model.block_energy(model.parameters[k], True, True))
+                       / max(model.parameters[k].size, 1)),
+        reverse=True)
+
+    for key in candidates:
+        trial = ram | {key}
+        estimate = model.evaluate(trial)
+        if estimate.ram_bytes > r_spare or estimate.time_ratio > x_limit:
+            continue
+        if estimate.energy_j < current_energy:
+            ram = trial
+            current_energy = estimate.energy_j
+    return ram

@@ -1,0 +1,185 @@
+"""Dense two-phase simplex LP solver (NumPy tableau implementation).
+
+Solves ``min c.x  s.t.  A x <= b, x >= 0`` with arbitrary-sign right-hand
+sides.  This is the LP-relaxation engine used by the branch-and-bound ILP
+solver; GLPK (used by the paper) is replaced by this self-contained
+implementation.  Variable fixing (needed for branching) is handled by column
+substitution before the tableau is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+import numpy as np
+
+_EPS = 1e-9
+_MAX_ITERATIONS = 20_000
+
+
+class LPStatus(Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+
+
+@dataclass
+class LPResult:
+    status: LPStatus
+    objective: float = float("inf")
+    values: Optional[np.ndarray] = None
+
+
+def _simplex(tableau: np.ndarray, basis: np.ndarray, num_cols: int) -> LPStatus:
+    """Run the primal simplex on an in-place tableau; last row is -objective."""
+    rows = tableau.shape[0] - 1
+    for _ in range(_MAX_ITERATIONS):
+        objective_row = tableau[-1, :num_cols]
+        pivot_col = int(np.argmin(objective_row))
+        if objective_row[pivot_col] >= -_EPS:
+            return LPStatus.OPTIMAL
+        column = tableau[:rows, pivot_col]
+        positive = column > _EPS
+        if not np.any(positive):
+            return LPStatus.UNBOUNDED
+        ratios = np.full(rows, np.inf)
+        ratios[positive] = tableau[:rows, -1][positive] / column[positive]
+        pivot_row = int(np.argmin(ratios))
+        _pivot(tableau, basis, pivot_row, pivot_col)
+    return LPStatus.ITERATION_LIMIT
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    tableau[row, :] /= tableau[row, col]
+    factors = tableau[:, col].copy()
+    factors[row] = 0.0
+    tableau -= np.outer(factors, tableau[row, :])
+    basis[row] = col
+
+
+def solve_lp(c: np.ndarray, a_ub: np.ndarray, b_ub: np.ndarray,
+             fixed: Optional[Dict[int, float]] = None) -> LPResult:
+    """Solve ``min c.x`` subject to ``a_ub x <= b_ub`` and ``x >= 0``.
+
+    ``fixed`` maps variable indices to forced values (used by branch and
+    bound); fixed columns are substituted out before solving and re-inserted
+    in the returned assignment.
+    """
+    c = np.asarray(c, dtype=float)
+    a_ub = np.asarray(a_ub, dtype=float)
+    b_ub = np.asarray(b_ub, dtype=float)
+    num_vars = c.shape[0]
+    fixed = fixed or {}
+
+    free_vars = [j for j in range(num_vars) if j not in fixed]
+    fixed_vector = np.zeros(num_vars)
+    for index, value in fixed.items():
+        fixed_vector[index] = value
+
+    reduced_c = c[free_vars]
+    constant = float(c @ fixed_vector)
+    if a_ub.size:
+        reduced_a = a_ub[:, free_vars]
+        reduced_b = b_ub - a_ub @ fixed_vector
+    else:
+        reduced_a = np.zeros((0, len(free_vars)))
+        reduced_b = np.zeros(0)
+
+    num_rows = reduced_a.shape[0]
+    num_free = len(free_vars)
+
+    # Normalise rows so every RHS is non-negative (flip the row sign turns a
+    # <= constraint into a >= constraint, which then needs a surplus variable
+    # and an artificial variable).
+    surplus_rows = []
+    for row in range(num_rows):
+        if reduced_b[row] < -_EPS:
+            reduced_a[row, :] *= -1.0
+            reduced_b[row] *= -1.0
+            surplus_rows.append(row)
+
+    num_slack = num_rows
+    num_artificial = len(surplus_rows)
+    total_cols = num_free + num_slack + num_artificial
+
+    tableau = np.zeros((num_rows + 1, total_cols + 1))
+    tableau[:num_rows, :num_free] = reduced_a
+    tableau[:num_rows, -1] = reduced_b
+    basis = np.zeros(num_rows, dtype=int)
+
+    artificial_index = 0
+    artificial_cols = []
+    for row in range(num_rows):
+        slack_col = num_free + row
+        sign = -1.0 if row in surplus_rows else 1.0
+        tableau[row, slack_col] = sign
+        if row in surplus_rows:
+            art_col = num_free + num_slack + artificial_index
+            tableau[row, art_col] = 1.0
+            basis[row] = art_col
+            artificial_cols.append(art_col)
+            artificial_index += 1
+        else:
+            basis[row] = slack_col
+
+    # ---------------- Phase 1 ---------------- #
+    # Maximisation-tableau convention: to minimise the sum of artificials we
+    # maximise its negation, so the bottom row starts at +1 on the artificial
+    # columns and is then priced out against the artificial basis rows.
+    if num_artificial:
+        phase1 = np.zeros(total_cols + 1)
+        for col in artificial_cols:
+            phase1[col] = 1.0
+        tableau = np.vstack([tableau, phase1])
+        # Price out the artificial basis columns.
+        for row in range(num_rows):
+            if basis[row] in artificial_cols:
+                tableau[-1, :] -= tableau[row, :]
+        status = _simplex(tableau, basis, total_cols)
+        if status is not LPStatus.OPTIMAL or tableau[-1, -1] < -1e-6:
+            return LPResult(LPStatus.INFEASIBLE)
+        # Drive any artificial variable out of the basis if possible.
+        tableau = tableau[:-1, :]
+        for row in range(num_rows):
+            if basis[row] in artificial_cols:
+                candidates = np.where(np.abs(tableau[row, :num_free + num_slack]) > _EPS)[0]
+                if candidates.size:
+                    _pivot(tableau, basis, row, int(candidates[0]))
+        # Remove artificial columns.
+        keep = [col for col in range(total_cols) if col not in artificial_cols] + [total_cols]
+        remap = {old: new for new, old in enumerate(keep[:-1])}
+        tableau = tableau[:, keep]
+        basis = np.array([remap.get(b, 0) for b in basis], dtype=int)
+        total_cols = num_free + num_slack
+        tableau_rows = tableau
+    else:
+        tableau_rows = tableau
+
+    # ---------------- Phase 2 ---------------- #
+    # Minimising reduced_c.x is maximising (-reduced_c).x, whose tableau
+    # bottom row starts as +reduced_c.
+    objective_row = np.zeros(total_cols + 1)
+    objective_row[:num_free] = reduced_c
+    tableau = np.vstack([tableau_rows[:num_rows, :], objective_row])
+    # Price out basic variables that appear in the objective.
+    for row in range(num_rows):
+        coefficient = tableau[-1, basis[row]]
+        if abs(coefficient) > _EPS:
+            tableau[-1, :] -= coefficient * tableau[row, :]
+    status = _simplex(tableau, basis, total_cols)
+    if status is LPStatus.UNBOUNDED:
+        return LPResult(LPStatus.UNBOUNDED)
+    if status is LPStatus.ITERATION_LIMIT:
+        return LPResult(LPStatus.ITERATION_LIMIT)
+
+    values_reduced = np.zeros(total_cols)
+    for row in range(num_rows):
+        values_reduced[basis[row]] = tableau[row, -1]
+    values = np.array(fixed_vector, dtype=float)
+    for position, var_index in enumerate(free_vars):
+        values[var_index] = values_reduced[position]
+    objective = float(c @ values)
+    return LPResult(LPStatus.OPTIMAL, objective=objective, values=values)

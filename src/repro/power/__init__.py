@@ -1,0 +1,15 @@
+"""Application-level power modelling: the periodic-sensing case study."""
+
+from repro.power.sleep_model import (
+    PeriodicSensingModel,
+    SleepParameters,
+    energy_saved,
+    battery_life_extension,
+)
+
+__all__ = [
+    "PeriodicSensingModel",
+    "SleepParameters",
+    "energy_saved",
+    "battery_life_extension",
+]

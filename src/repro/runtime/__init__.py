@@ -1,0 +1,5 @@
+"""Runtime support library (soft-float), compiled as opaque library code."""
+
+from repro.runtime.softfloat import soft_float_module, SOFT_FLOAT_SOURCE
+
+__all__ = ["soft_float_module", "SOFT_FLOAT_SOURCE"]

@@ -1,0 +1,222 @@
+"""Soft-float runtime, written in the mini-C dialect itself.
+
+The paper observes that benchmarks dominated by statically-linked library
+code (``cubic``, ``float_matmult`` use emulated floating point) benefit little
+from the optimization because the pass cannot see or relocate library basic
+blocks.  To reproduce that behaviour faithfully, float arithmetic in user code
+is lowered to calls into these routines, which are compiled through the very
+same backend but tagged ``is_library`` so the placement optimizer must leave
+them in flash.
+
+The implementation is a reduced-precision IEEE-754 single-precision emulation
+(16-bit mantissa arithmetic, truncation rounding, no NaN/denormal handling).
+It preserves the *shape* of soft-float code — unpack, align, integer
+arithmetic, renormalise, repack — which is what matters for the energy and
+placement experiments; it is not a bit-exact libgcc replacement.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.irgen.lowering import compile_source_to_ir
+
+SOFT_FLOAT_SOURCE = r"""
+// Reduced-precision IEEE-754 single soft-float runtime.
+// All values are raw bit patterns carried in unsigned registers.
+
+unsigned __fp_pack(unsigned sign, int exp, unsigned mant)
+{
+    // Renormalise the 24-bit mantissa (with implicit bit) and clamp exponents.
+    if (mant == 0) {
+        return sign << 31;
+    }
+    while (mant >= 16777216) {       // 1 << 24
+        mant = mant >> 1;
+        exp = exp + 1;
+    }
+    while (mant < 8388608) {         // 1 << 23
+        mant = mant << 1;
+        exp = exp - 1;
+    }
+    if (exp <= 0) {
+        return sign << 31;           // underflow -> signed zero
+    }
+    if (exp >= 255) {
+        return (sign << 31) | 2139095040;  // overflow -> infinity
+    }
+    return (sign << 31) | (exp << 23) | (mant & 8388607);
+}
+
+unsigned __fp_add(unsigned a, unsigned b)
+{
+    unsigned mag_a = a & 2147483647;
+    unsigned mag_b = b & 2147483647;
+    if (mag_a == 0) { return b; }
+    if (mag_b == 0) { return a; }
+    if (mag_a < mag_b) {
+        unsigned t = a;
+        a = b;
+        b = t;
+        t = mag_a;
+        mag_a = mag_b;
+        mag_b = t;
+    }
+    unsigned sign_a = a >> 31;
+    unsigned sign_b = b >> 31;
+    int exp_a = (mag_a >> 23) & 255;
+    int exp_b = (mag_b >> 23) & 255;
+    unsigned mant_a = (mag_a & 8388607) | 8388608;
+    unsigned mant_b = (mag_b & 8388607) | 8388608;
+    int shift = exp_a - exp_b;
+    if (shift > 24) {
+        return a;
+    }
+    mant_b = mant_b >> shift;
+    unsigned mant;
+    if (sign_a == sign_b) {
+        mant = mant_a + mant_b;
+    } else {
+        mant = mant_a - mant_b;
+    }
+    return __fp_pack(sign_a, exp_a, mant);
+}
+
+unsigned __fp_sub(unsigned a, unsigned b)
+{
+    return __fp_add(a, b ^ 2147483648);
+}
+
+unsigned __fp_mul(unsigned a, unsigned b)
+{
+    unsigned mag_a = a & 2147483647;
+    unsigned mag_b = b & 2147483647;
+    unsigned sign = (a >> 31) ^ (b >> 31);
+    if (mag_a == 0 || mag_b == 0) {
+        return sign << 31;
+    }
+    int exp_a = (mag_a >> 23) & 255;
+    int exp_b = (mag_b >> 23) & 255;
+    // Keep the top 16 bits of each 24-bit mantissa so the product fits in 32.
+    unsigned mant_a = ((mag_a & 8388607) | 8388608) >> 8;
+    unsigned mant_b = ((mag_b & 8388607) | 8388608) >> 8;
+    unsigned product = mant_a * mant_b;       // in [2^30, 2^32)
+    int exp = exp_a + exp_b - 127;
+    // The product has 2*(23-8) = 30 fractional bits relative to the implicit
+    // one; shift back down to a 23-fraction-bit mantissa.
+    unsigned mant = product >> 7;
+    return __fp_pack(sign, exp, mant);
+}
+
+unsigned __fp_div(unsigned a, unsigned b)
+{
+    unsigned mag_a = a & 2147483647;
+    unsigned mag_b = b & 2147483647;
+    unsigned sign = (a >> 31) ^ (b >> 31);
+    if (mag_a == 0) {
+        return sign << 31;
+    }
+    if (mag_b == 0) {
+        return (sign << 31) | 2139095040;     // divide by zero -> infinity
+    }
+    int exp_a = (mag_a >> 23) & 255;
+    int exp_b = (mag_b >> 23) & 255;
+    unsigned mant_a = ((mag_a & 8388607) | 8388608) >> 8;   // 16 bits
+    unsigned mant_b = ((mag_b & 8388607) | 8388608) >> 8;   // 16 bits
+    unsigned quotient = (mant_a << 15) / mant_b;            // ~15-16 bits
+    int exp = exp_a - exp_b + 127;
+    // quotient carries 15 fractional bits; widen to 23.
+    unsigned mant = quotient << 8;
+    return __fp_pack(sign, exp, mant);
+}
+
+int __fp_lt(unsigned a, unsigned b)
+{
+    unsigned sign_a = a >> 31;
+    unsigned sign_b = b >> 31;
+    unsigned mag_a = a & 2147483647;
+    unsigned mag_b = b & 2147483647;
+    if (mag_a == 0 && mag_b == 0) { return 0; }
+    if (sign_a != sign_b) {
+        if (sign_a == 1) { return 1; }
+        return 0;
+    }
+    if (sign_a == 0) {
+        if (mag_a < mag_b) { return 1; }
+        return 0;
+    }
+    if (mag_a > mag_b) { return 1; }
+    return 0;
+}
+
+int __fp_le(unsigned a, unsigned b)
+{
+    if (__fp_eq(a, b) == 1) { return 1; }
+    return __fp_lt(a, b);
+}
+
+int __fp_eq(unsigned a, unsigned b)
+{
+    unsigned mag_a = a & 2147483647;
+    unsigned mag_b = b & 2147483647;
+    if (mag_a == 0 && mag_b == 0) { return 1; }
+    if (a == b) { return 1; }
+    return 0;
+}
+
+unsigned __fp_itof(int value)
+{
+    unsigned sign = 0;
+    unsigned magnitude = value;
+    if (value < 0) {
+        sign = 1;
+        magnitude = 0 - value;
+    }
+    if (magnitude == 0) {
+        return 0;
+    }
+    // Normalise the integer into a 24-bit mantissa with exponent 127+23.
+    int exp = 150;
+    unsigned mant = magnitude;
+    while (mant >= 16777216) {
+        mant = mant >> 1;
+        exp = exp + 1;
+    }
+    while (mant < 8388608) {
+        mant = mant << 1;
+        exp = exp - 1;
+    }
+    return (sign << 31) | (exp << 23) | (mant & 8388607);
+}
+
+int __fp_ftoi(unsigned a)
+{
+    unsigned mag = a & 2147483647;
+    if (mag == 0) { return 0; }
+    int exp = (mag >> 23) & 255;
+    unsigned mant = (mag & 8388607) | 8388608;
+    int shift = exp - 150;
+    unsigned value;
+    if (shift >= 0) {
+        if (shift > 7) { shift = 7; }
+        value = mant << shift;
+    } else {
+        int down = 0 - shift;
+        if (down > 31) { return 0; }
+        value = mant >> down;
+    }
+    if ((a >> 31) == 1) {
+        return 0 - value;
+    }
+    return value;
+}
+"""
+
+def soft_float_module() -> Module:
+    """Compile and return a fresh soft-float runtime IR module.
+
+    Every function in the returned module is tagged ``is_library`` so that the
+    flash-RAM placement optimizer treats it as opaque.  A fresh module is
+    lowered on every call because the optimization pipeline mutates IR in
+    place and different programs are compiled at different ``-O`` levels.
+    """
+    return compile_source_to_ir(SOFT_FLOAT_SOURCE, "softfloat", is_library=True)

@@ -1,0 +1,26 @@
+"""Cortex-M3-like microcontroller simulator with an energy model.
+
+This package stands in for the paper's power-instrumented STM32VLDISCOVERY
+board.  It executes linked :class:`~repro.machine.MachineProgram` objects,
+counts cycles (including the RAM-contention stalls the paper's ``L_b``
+parameter models), attributes per-cycle power according to which memory the
+instruction stream is fetched from (flash or RAM, Figure 1), and produces
+per-block execution counts used as the "actual frequency" input of Figure 5.
+"""
+
+from repro.sim.memory import MemorySystem, MemoryError_
+from repro.sim.energy import EnergyModel, PowerTable, DEFAULT_POWER_TABLE
+from repro.sim.profiler import BlockProfile
+from repro.sim.cpu import Simulator, SimulationResult, SimulationError
+
+__all__ = [
+    "MemorySystem",
+    "MemoryError_",
+    "EnergyModel",
+    "PowerTable",
+    "DEFAULT_POWER_TABLE",
+    "BlockProfile",
+    "Simulator",
+    "SimulationResult",
+    "SimulationError",
+]

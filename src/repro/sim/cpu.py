@@ -1,0 +1,452 @@
+"""Instruction-level simulator for linked machine programs.
+
+The simulator is structural rather than binary: it walks
+:class:`~repro.machine.blocks.MachineBlock` objects directly, using the
+addresses assigned by the layout stage only where real code would need them
+(indirect branches, literal loads of symbol addresses, data accesses).  This
+keeps it fast while still modelling everything the paper's evaluation needs:
+cycle counts with RAM-contention stalls, per-cycle power depending on the
+fetch memory, per-block execution counts and return values for correctness
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.conditions import Cond, cond_holds
+from repro.isa.instructions import Imm, InstrClass, MachineInstr, Opcode, RegList, Sym
+from repro.isa.registers import LR, PC, SP, Reg
+from repro.isa.timing import RAM_CONTENTION_STALL, cycles_for, instr_class
+from repro.machine.blocks import MachineBlock, MachineFunction
+from repro.machine.program import MachineProgram
+from repro.sim.energy import EnergyModel
+from repro.sim.memory import MemorySystem
+from repro.sim.profiler import BlockProfile
+
+_MASK = 0xFFFFFFFF
+
+#: Link-register token returned to when the entry function finishes.
+EXIT_TOKEN = 0xFFFFFFF1
+#: Base value for call-site return tokens.
+RETURN_TOKEN_BASE = 0xF0000000
+
+
+class SimulationError(Exception):
+    """Raised on illegal execution (unknown symbol, runaway loop, bad jump)."""
+
+
+@dataclass
+class SimulationResult:
+    """Everything the evaluation harness needs from one program run."""
+
+    return_value: int
+    cycles: int
+    instructions: int
+    energy_j: float
+    time_s: float
+    profile: BlockProfile
+    cycles_by_section: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy_j / self.time_s if self.time_s > 0 else 0.0
+
+    @property
+    def average_power_mw(self) -> float:
+        return self.average_power_w * 1e3
+
+    @property
+    def signed_return_value(self) -> int:
+        value = self.return_value & _MASK
+        return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _signed(value: int) -> int:
+    value &= _MASK
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+class Simulator:
+    """Executes a linked machine program and accounts cycles and energy."""
+
+    def __init__(self, program: MachineProgram,
+                 energy_model: Optional[EnergyModel] = None,
+                 max_instructions: int = 20_000_000):
+        self.program = program
+        self.energy_model = energy_model or EnergyModel()
+        self.max_instructions = max_instructions
+
+        self.memory = MemorySystem(program.flash, program.ram)
+        self._init_data()
+
+        self._address_to_block: Dict[int, Tuple[str, str]] = {}
+        for function in program.iter_functions():
+            for block in function.iter_blocks():
+                if block.address is not None:
+                    self._address_to_block[block.address] = (function.name, block.name)
+
+        # Return tokens for calls: token value -> (function, block, instr index).
+        self._return_sites: List[Tuple[str, str, int]] = []
+
+        self.registers: List[int] = [0] * 16
+        self.flag_n = False
+        self.flag_z = False
+        self.flag_c = False
+        self.flag_v = False
+
+    # ------------------------------------------------------------------ #
+    # Setup helpers
+    # ------------------------------------------------------------------ #
+    def _init_data(self) -> None:
+        for name, data in self.program.globals.items():
+            address = self.program.global_addresses.get(name)
+            if address is None:
+                raise SimulationError(f"global {name} has no address (layout not run?)")
+            self.memory.load_words(address, data.words)
+
+    def _resolve_symbol(self, name: str, current_function: str) -> int:
+        if name in self.program.global_addresses:
+            return self.program.global_addresses[name]
+        if name in self.program.functions:
+            entry = self.program.functions[name].entry_block
+            if entry.address is None:
+                raise SimulationError(f"function {name} has no address")
+            return entry.address
+        function = self.program.functions[current_function]
+        if name in function.blocks:
+            block = function.blocks[name]
+            if block.address is None:
+                raise SimulationError(f"block {name} has no address")
+            return block.address
+        raise SimulationError(f"unresolved symbol {name!r} in {current_function}")
+
+    # ------------------------------------------------------------------ #
+    # Register / flag helpers
+    # ------------------------------------------------------------------ #
+    def _get(self, reg: Reg) -> int:
+        return self.registers[reg.index] & _MASK
+
+    def _set(self, reg: Reg, value: int) -> None:
+        self.registers[reg.index] = value & _MASK
+
+    def _operand_value(self, operand, current_function: str) -> int:
+        if isinstance(operand, Reg):
+            return self._get(operand)
+        if isinstance(operand, Imm):
+            return operand.value & _MASK
+        if isinstance(operand, Sym):
+            return (self._resolve_symbol(operand.name, current_function)
+                    + operand.addend) & _MASK
+        raise SimulationError(f"cannot evaluate operand {operand!r}")
+
+    def _set_flags_sub(self, a: int, b: int) -> None:
+        result = (a - b) & _MASK
+        self.flag_n = bool(result & 0x80000000)
+        self.flag_z = result == 0
+        self.flag_c = a >= b
+        self.flag_v = ((a ^ b) & (a ^ result) & 0x80000000) != 0
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def run(self, entry: Optional[str] = None,
+            args: Optional[List[int]] = None) -> SimulationResult:
+        entry = entry or self.program.entry
+        if entry not in self.program.functions:
+            raise SimulationError(f"entry function {entry!r} not found")
+
+        self.registers = [0] * 16
+        for index, value in enumerate(args or []):
+            self.registers[index] = value & _MASK
+        self.registers[SP.index] = self.program.ram.end
+        self.registers[LR.index] = EXIT_TOKEN
+
+        profile = BlockProfile()
+        total_cycles = 0
+        total_instructions = 0
+        total_energy = 0.0
+        cycles_by_section = {"flash": 0, "ram": 0}
+
+        function_name = entry
+        block = self.program.functions[entry].entry_block
+        index = 0
+        pending_cond: Optional[Cond] = None
+        block_cycle_start = 0
+        current_block_key = self.program.block_key(block)
+
+        while True:
+            if total_instructions > self.max_instructions:
+                raise SimulationError(
+                    f"instruction limit exceeded ({self.max_instructions}); "
+                    f"likely an infinite loop in {function_name}")
+
+            function = self.program.functions[function_name]
+            if index >= len(block.instructions):
+                # End of block without explicit control transfer: fall through.
+                profile.record(current_block_key, total_cycles - block_cycle_start)
+                next_name = block.fallthrough
+                if next_name is None:
+                    raise SimulationError(
+                        f"fell off the end of {function_name}/{block.name}")
+                block = function.blocks[next_name]
+                index = 0
+                block_cycle_start = total_cycles
+                current_block_key = self.program.block_key(block)
+                continue
+
+            instr = block.instructions[index]
+            fetch_region = "ram" if block.section == "ram" else "flash"
+
+            # --- predication (it blocks) ---------------------------------- #
+            if instr.opcode is Opcode.IT:
+                pending_cond = instr.cond
+                total_cycles += 1
+                total_instructions += 1
+                cycles_by_section[fetch_region] += 1
+                total_energy += self.energy_model.energy_j(
+                    1, fetch_region, InstrClass.ALU)
+                index += 1
+                continue
+
+            if instr.predicated:
+                condition = instr.cond if instr.cond is not None else pending_cond
+                take = cond_holds(condition, self.flag_n, self.flag_z,
+                                  self.flag_c, self.flag_v)
+                if not take:
+                    total_cycles += 1
+                    total_instructions += 1
+                    cycles_by_section[fetch_region] += 1
+                    total_energy += self.energy_model.energy_j(
+                        1, fetch_region, InstrClass.ALU)
+                    index += 1
+                    continue
+
+            # --- execute --------------------------------------------------- #
+            outcome = self._execute(instr, function_name, block, index)
+            (cycles, data_region, transfer) = outcome
+
+            # RAM bus contention: executing from RAM while touching RAM data.
+            if (fetch_region == "ram" and data_region == "ram"
+                    and instr.opcode in (Opcode.LDR, Opcode.LDRB, Opcode.STR,
+                                         Opcode.STRB, Opcode.LDR_LIT)):
+                cycles += RAM_CONTENTION_STALL
+
+            total_cycles += cycles
+            total_instructions += 1
+            cycles_by_section[fetch_region] += cycles
+            total_energy += self.energy_model.energy_j(
+                cycles, fetch_region, instr_class(instr), data_region)
+
+            if transfer is None:
+                index += 1
+                continue
+
+            kind, payload = transfer
+            profile.record(current_block_key, total_cycles - block_cycle_start)
+            block_cycle_start = total_cycles
+
+            if kind == "exit":
+                time_s = total_cycles * self.energy_model.cycle_time_s
+                return SimulationResult(
+                    return_value=self.registers[0] & _MASK,
+                    cycles=total_cycles,
+                    instructions=total_instructions,
+                    energy_j=total_energy,
+                    time_s=time_s,
+                    profile=profile,
+                    cycles_by_section=cycles_by_section,
+                )
+            if kind == "block":
+                target_function, target_block = payload
+                function_name = target_function
+                block = self.program.functions[target_function].blocks[target_block]
+                index = 0
+            elif kind == "call":
+                callee, return_site = payload
+                token = RETURN_TOKEN_BASE + len(self._return_sites)
+                self._return_sites.append(return_site)
+                self.registers[LR.index] = token
+                function_name = callee
+                block = self.program.functions[callee].entry_block
+                index = 0
+            elif kind == "return":
+                site_function, site_block, site_index = payload
+                function_name = site_function
+                block = self.program.functions[site_function].blocks[site_block]
+                index = site_index
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown transfer kind {kind}")
+            current_block_key = self.program.block_key(block)
+
+    # ------------------------------------------------------------------ #
+    # Instruction execution
+    # ------------------------------------------------------------------ #
+    def _execute(self, instr: MachineInstr, function_name: str,
+                 block: MachineBlock, index: int):
+        """Execute one instruction.
+
+        Returns ``(cycles, data_region, transfer)`` where *transfer* is None
+        for straight-line execution or a tuple describing a control transfer.
+        """
+        op = instr.opcode
+        operands = instr.operands
+        data_region: Optional[str] = None
+        transfer = None
+        taken = True
+
+        if op in (Opcode.MOV, Opcode.MVN):
+            value = self._operand_value(operands[1], function_name)
+            if op is Opcode.MVN:
+                value = ~value & _MASK
+            self._set(operands[0], value)
+
+        elif op is Opcode.LDR_LIT:
+            value = self._operand_value(operands[1], function_name)
+            self._set(operands[0], value)
+            data_region = "ram" if block.section == "ram" else "flash"
+
+        elif op in (Opcode.ADD, Opcode.SUB, Opcode.RSB, Opcode.MUL, Opcode.SDIV,
+                    Opcode.UDIV, Opcode.AND, Opcode.ORR, Opcode.EOR, Opcode.LSL,
+                    Opcode.LSR, Opcode.ASR):
+            self._execute_alu(op, operands, function_name)
+
+        elif op is Opcode.CMP:
+            a = self._operand_value(operands[0], function_name)
+            b = self._operand_value(operands[1], function_name)
+            self._set_flags_sub(a, b)
+
+        elif op in (Opcode.LDR, Opcode.LDRB):
+            base = self._operand_value(operands[1], function_name)
+            offset = self._operand_value(operands[2], function_name)
+            address = (base + offset) & _MASK
+            data_region = self.memory.region_of(address)
+            value = (self.memory.read_word(address) if op is Opcode.LDR
+                     else self.memory.read_byte(address))
+            self._set(operands[0], value)
+
+        elif op in (Opcode.STR, Opcode.STRB):
+            value = self._get(operands[0])
+            base = self._operand_value(operands[1], function_name)
+            offset = self._operand_value(operands[2], function_name)
+            address = (base + offset) & _MASK
+            data_region = self.memory.region_of(address)
+            if op is Opcode.STR:
+                self.memory.write_word(address, value)
+            else:
+                self.memory.write_byte(address, value)
+
+        elif op is Opcode.PUSH:
+            regs = sorted(operands[0].regs, key=lambda r: r.index)
+            sp = self._get(SP) - 4 * len(regs)
+            for position, reg in enumerate(regs):
+                self.memory.write_word(sp + 4 * position, self._get(reg))
+            self._set(SP, sp)
+            data_region = "ram"
+
+        elif op is Opcode.POP:
+            regs = sorted(operands[0].regs, key=lambda r: r.index)
+            sp = self._get(SP)
+            jump_value = None
+            for position, reg in enumerate(regs):
+                value = self.memory.read_word(sp + 4 * position)
+                if reg is PC:
+                    jump_value = value
+                else:
+                    self._set(reg, value)
+            self._set(SP, sp + 4 * len(regs))
+            data_region = "ram"
+            if jump_value is not None:
+                transfer = self._transfer_to_address(jump_value, function_name)
+
+        elif op is Opcode.B:
+            target = operands[0].name
+            transfer = ("block", (function_name, target))
+
+        elif op is Opcode.BCC:
+            taken = cond_holds(instr.cond, self.flag_n, self.flag_z,
+                               self.flag_c, self.flag_v)
+            if taken:
+                transfer = ("block", (function_name, operands[0].name))
+
+        elif op in (Opcode.CBZ, Opcode.CBNZ):
+            value = self._get(operands[0])
+            zero = value == 0
+            taken = zero if op is Opcode.CBZ else not zero
+            if taken:
+                transfer = ("block", (function_name, operands[1].name))
+
+        elif op is Opcode.BL:
+            callee = operands[0].name
+            if callee not in self.program.functions:
+                raise SimulationError(f"call to unknown function {callee!r}")
+            return_site = (function_name, block.name, index + 1)
+            transfer = ("call", (callee, return_site))
+
+        elif op is Opcode.BX:
+            value = self._get(operands[0])
+            transfer = self._transfer_to_address(value, function_name)
+
+        elif op is Opcode.LDR_PC_LIT:
+            target = operands[0].name
+            transfer = ("block", (function_name, target))
+            data_region = "ram" if block.section == "ram" else "flash"
+
+        elif op is Opcode.NOP:
+            pass
+
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"cannot execute {instr}")
+
+        cycles = cycles_for(instr, taken=taken)
+        return cycles, data_region, transfer
+
+    def _execute_alu(self, op: Opcode, operands, function_name: str) -> None:
+        dst = operands[0]
+        a = self._operand_value(operands[1], function_name)
+        b = self._operand_value(operands[2], function_name)
+        if op is Opcode.ADD:
+            result = a + b
+        elif op is Opcode.SUB:
+            result = a - b
+        elif op is Opcode.RSB:
+            result = b - a
+        elif op is Opcode.MUL:
+            result = a * b
+        elif op is Opcode.SDIV:
+            sa, sb = _signed(a), _signed(b)
+            result = 0 if sb == 0 else int(sa / sb)
+        elif op is Opcode.UDIV:
+            result = 0 if b == 0 else a // b
+        elif op is Opcode.AND:
+            result = a & b
+        elif op is Opcode.ORR:
+            result = a | b
+        elif op is Opcode.EOR:
+            result = a ^ b
+        elif op is Opcode.LSL:
+            result = a << (b & 31)
+        elif op is Opcode.LSR:
+            result = a >> (b & 31)
+        elif op is Opcode.ASR:
+            result = _signed(a) >> (b & 31)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown ALU op {op}")
+        self._set(dst, result)
+
+    # ------------------------------------------------------------------ #
+    def _transfer_to_address(self, value: int, function_name: str):
+        """Classify an indirect jump value: exit token, return token or address."""
+        if value == EXIT_TOKEN:
+            return ("exit", None)
+        if value >= RETURN_TOKEN_BASE and value != EXIT_TOKEN:
+            site_index = value - RETURN_TOKEN_BASE
+            if site_index >= len(self._return_sites):
+                raise SimulationError(f"bad return token {value:#010x}")
+            return ("return", self._return_sites[site_index])
+        target = self._address_to_block.get(value)
+        if target is None:
+            raise SimulationError(
+                f"indirect jump to {value:#010x} does not hit a block start")
+        return ("block", target)

@@ -1,0 +1,106 @@
+"""Per-cycle power/energy model calibrated against the paper's Figure 1.
+
+Figure 1 of the paper measures the average power of 16-instruction loops of a
+single instruction kind, executed once from flash and once from RAM.  The key
+observations encoded here:
+
+* executing from RAM costs roughly 40 % less power than from flash for every
+  instruction class;
+* the exception is a load whose *data* resides in flash while the code runs
+  from RAM — the flash stays active and the power remains as high as
+  flash-fetched execution (the last bar of Figure 1);
+* loads and stores are the most expensive classes, nops the cheapest.
+
+The absolute milliwatt numbers are representative of an STM32F100 at 24 MHz;
+only the *relative* structure matters for reproducing the paper's results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.isa.instructions import InstrClass
+from repro.isa.timing import CYCLE_TIME_S
+
+#: (fetch region, instruction class) -> average power in milliwatts.
+_FLASH_POWER_MW: Dict[InstrClass, float] = {
+    InstrClass.NOP: 11.6,
+    InstrClass.ALU: 12.4,
+    InstrClass.MUL: 13.0,
+    InstrClass.DIV: 13.2,
+    InstrClass.LOAD: 15.8,
+    InstrClass.STORE: 14.6,
+    InstrClass.BRANCH: 12.8,
+    InstrClass.CALL: 13.0,
+    InstrClass.RETURN: 12.8,
+    InstrClass.STACK: 14.0,
+    InstrClass.OTHER: 12.4,
+}
+
+_RAM_POWER_MW: Dict[InstrClass, float] = {
+    InstrClass.NOP: 6.6,
+    InstrClass.ALU: 7.2,
+    InstrClass.MUL: 7.8,
+    InstrClass.DIV: 8.0,
+    InstrClass.LOAD: 9.4,
+    InstrClass.STORE: 8.8,
+    InstrClass.BRANCH: 7.6,
+    InstrClass.CALL: 7.8,
+    InstrClass.RETURN: 7.6,
+    InstrClass.STACK: 8.4,
+    InstrClass.OTHER: 7.2,
+}
+
+#: Power of a load executed from RAM whose data lives in flash: the flash
+#: remains active, so little is saved (Figure 1, right-most bar).
+_RAM_FETCH_FLASH_DATA_LOAD_MW = 15.2
+
+
+@dataclass
+class PowerTable:
+    """Average power (mW) per (fetch region, instruction class)."""
+
+    flash: Dict[InstrClass, float] = field(default_factory=lambda: dict(_FLASH_POWER_MW))
+    ram: Dict[InstrClass, float] = field(default_factory=lambda: dict(_RAM_POWER_MW))
+    ram_fetch_flash_data_load: float = _RAM_FETCH_FLASH_DATA_LOAD_MW
+
+    def power_mw(self, fetch_region: str, instr_class: InstrClass,
+                 data_region: Optional[str] = None) -> float:
+        if fetch_region == "ram":
+            if (instr_class is InstrClass.LOAD and data_region == "flash"):
+                return self.ram_fetch_flash_data_load
+            return self.ram[instr_class]
+        return self.flash[instr_class]
+
+    def average_power_mw(self, fetch_region: str) -> float:
+        """Unweighted average over instruction classes (used by the cost model)."""
+        table = self.ram if fetch_region == "ram" else self.flash
+        return sum(table.values()) / len(table)
+
+
+DEFAULT_POWER_TABLE = PowerTable()
+
+
+@dataclass
+class EnergyModel:
+    """Accumulates energy from per-instruction (cycles, power) contributions."""
+
+    table: PowerTable = field(default_factory=PowerTable)
+    cycle_time_s: float = CYCLE_TIME_S
+
+    def energy_j(self, cycles: int, fetch_region: str, instr_class: InstrClass,
+                 data_region: Optional[str] = None) -> float:
+        power_w = self.table.power_mw(fetch_region, instr_class, data_region) * 1e-3
+        return power_w * cycles * self.cycle_time_s
+
+    # Convenience coefficients for the placement cost model (Section 4.1).
+    @property
+    def e_flash(self) -> float:
+        """Energy cost coefficient per cycle when executing from flash (J)."""
+        return self.table.average_power_mw("flash") * 1e-3 * self.cycle_time_s
+
+    @property
+    def e_ram(self) -> float:
+        """Energy cost coefficient per cycle when executing from RAM (J)."""
+        return self.table.average_power_mw("ram") * 1e-3 * self.cycle_time_s

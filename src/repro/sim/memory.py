@@ -1,0 +1,75 @@
+"""Byte-addressable memory system with flash and RAM regions."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.machine.program import MemoryRegion
+
+
+class MemoryError_(Exception):
+    """Raised on out-of-range or illegal accesses (flash writes at runtime)."""
+
+
+class MemorySystem:
+    """Sparse byte-addressable memory backed by a dictionary.
+
+    Two regions exist, mirroring the paper's SoC: embedded flash (code +
+    constant data + literal pools) and SRAM (mutable data, stack, and the
+    ``.ramcode`` section the optimization creates).
+    """
+
+    def __init__(self, flash: MemoryRegion, ram: MemoryRegion,
+                 allow_flash_writes: bool = False):
+        self.flash = flash
+        self.ram = ram
+        self.allow_flash_writes = allow_flash_writes
+        self._bytes: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def region_of(self, address: int) -> Optional[str]:
+        if self.flash.contains(address):
+            return "flash"
+        if self.ram.contains(address):
+            return "ram"
+        return None
+
+    def _check(self, address: int, for_write: bool) -> str:
+        region = self.region_of(address)
+        if region is None:
+            raise MemoryError_(f"access to unmapped address {address:#010x}")
+        if for_write and region == "flash" and not self.allow_flash_writes:
+            raise MemoryError_(f"write to flash address {address:#010x} at runtime")
+        return region
+
+    # ------------------------------------------------------------------ #
+    def read_byte(self, address: int) -> int:
+        self._check(address, for_write=False)
+        return self._bytes.get(address, 0)
+
+    def write_byte(self, address: int, value: int, initializing: bool = False) -> None:
+        if not initializing:
+            self._check(address, for_write=True)
+        self._bytes[address] = value & 0xFF
+
+    def read_word(self, address: int) -> int:
+        self._check(address, for_write=False)
+        return (self._bytes.get(address, 0)
+                | (self._bytes.get(address + 1, 0) << 8)
+                | (self._bytes.get(address + 2, 0) << 16)
+                | (self._bytes.get(address + 3, 0) << 24))
+
+    def write_word(self, address: int, value: int, initializing: bool = False) -> None:
+        if not initializing:
+            self._check(address, for_write=True)
+        value &= 0xFFFFFFFF
+        self._bytes[address] = value & 0xFF
+        self._bytes[address + 1] = (value >> 8) & 0xFF
+        self._bytes[address + 2] = (value >> 16) & 0xFF
+        self._bytes[address + 3] = (value >> 24) & 0xFF
+
+    # ------------------------------------------------------------------ #
+    def load_words(self, address: int, words, initializing: bool = True) -> None:
+        """Bulk-initialise a region with 32-bit words (startup data load)."""
+        for index, word in enumerate(words):
+            self.write_word(address + 4 * index, word, initializing=initializing)

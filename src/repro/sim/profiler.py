@@ -1,0 +1,34 @@
+"""Block-level execution profiling.
+
+The profile provides the "actual basic block frequency" variant of the
+paper's ``F_b`` parameter (the dots in Figure 5), as opposed to the static
+loop-depth estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class BlockProfile:
+    """Execution counts and cycle totals per (function-qualified) block key."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    cycles: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, block_key: str, cycles: int) -> None:
+        self.counts[block_key] = self.counts.get(block_key, 0) + 1
+        self.cycles[block_key] = self.cycles.get(block_key, 0) + cycles
+
+    def count(self, block_key: str) -> int:
+        return self.counts.get(block_key, 0)
+
+    def total_executions(self) -> int:
+        return sum(self.counts.values())
+
+    def hottest(self, limit: int = 10):
+        """The *limit* most frequently executed blocks, hottest first."""
+        ranked = sorted(self.counts.items(), key=lambda kv: kv[1], reverse=True)
+        return ranked[:limit]

@@ -1,0 +1,18 @@
+"""Code transformation: basic-block relocation to RAM and branch instrumentation."""
+
+from repro.transform.instrumentation import (
+    instrumentation_overhead,
+    instrumentation_sequence,
+    figure4_cost_table,
+    InstrumentationCost,
+)
+from repro.transform.relocation import apply_placement, TransformError
+
+__all__ = [
+    "instrumentation_overhead",
+    "instrumentation_sequence",
+    "figure4_cost_table",
+    "InstrumentationCost",
+    "apply_placement",
+    "TransformError",
+]

@@ -1,0 +1,152 @@
+"""Branch instrumentation sequences and their costs (the paper's Figure 4).
+
+A basic block whose successors may live in the other memory must end in
+long-range *indirect* branches.  Figure 4 of the paper gives one rewrite per
+terminator kind; this module builds those instruction sequences and derives
+the per-block instrumentation costs ``T_b`` (extra cycles) and ``K_b`` (extra
+bytes) that feed the ILP cost model.  Costs are computed from the very same
+sequences the transformation emits, so the model and the generated code are
+self-consistent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.conditions import Cond, invert_cond
+from repro.isa.encoding import size_of
+from repro.isa.instructions import Imm, MachineInstr, Opcode, Sym
+from repro.isa.registers import SCRATCH_REG, Reg
+from repro.isa.timing import cycles_for
+from repro.machine.blocks import TerminatorKind
+
+
+@dataclass(frozen=True)
+class InstrumentationCost:
+    """Cycles/bytes of the original terminator and of its indirect rewrite."""
+
+    original_cycles: int
+    original_bytes: int
+    instrumented_cycles: int
+    instrumented_bytes: int
+
+    @property
+    def extra_cycles(self) -> int:
+        """The paper's ``T_b`` contribution for this terminator kind."""
+        return self.instrumented_cycles - self.original_cycles
+
+    @property
+    def extra_bytes(self) -> int:
+        """The paper's ``K_b`` contribution for this terminator kind."""
+        return self.instrumented_bytes - self.original_bytes
+
+
+def _sequence_cost(instrs: List[MachineInstr], taken_index: Optional[int]) -> Tuple[int, int]:
+    """(cycles, bytes) of a sequence; at most one predicated instr is 'taken'."""
+    cycles = 0
+    size = 0
+    for index, instr in enumerate(instrs):
+        taken = True
+        if instr.predicated:
+            taken = (taken_index is None) or (index == taken_index)
+        cycles += cycles_for(instr, taken=taken)
+        size += size_of(instr)
+    return cycles, size
+
+
+def instrumentation_sequence(kind: TerminatorKind, then_label: str,
+                             else_label: Optional[str] = None,
+                             cond: Optional[Cond] = None,
+                             compare_reg: Optional[Reg] = None,
+                             compare_is_nonzero: bool = False) -> List[MachineInstr]:
+    """Build the indirect-branch sequence replacing a terminator of *kind*.
+
+    * unconditional / fall-through: ``ldr pc, =label``
+    * conditional: ``it <c>; ldr<c> r12, =then; ldr<!c> r12, =else; bx r12``
+    * short conditional (``cbz``/``cbnz``): the conditional form prefixed with
+      an explicit ``cmp reg, #0`` because the compare was fused into the
+      original instruction.
+    """
+    scratch = SCRATCH_REG
+    if kind in (TerminatorKind.UNCONDITIONAL, TerminatorKind.FALLTHROUGH):
+        return [MachineInstr(Opcode.LDR_PC_LIT, [Sym(then_label)],
+                             comment="long branch")]
+    if kind in (TerminatorKind.CONDITIONAL, TerminatorKind.SHORT_CONDITIONAL):
+        if cond is None or else_label is None:
+            raise ValueError("conditional instrumentation needs a condition and "
+                             "both targets")
+        sequence: List[MachineInstr] = []
+        if kind is TerminatorKind.SHORT_CONDITIONAL:
+            if compare_reg is None:
+                raise ValueError("short conditional instrumentation needs the "
+                                 "compared register")
+            sequence.append(MachineInstr(Opcode.CMP, [compare_reg, Imm(0)],
+                                         comment="was cbz/cbnz"))
+            cond = Cond.NE if compare_is_nonzero else Cond.EQ
+        sequence.extend([
+            MachineInstr(Opcode.IT, [], cond=cond),
+            MachineInstr(Opcode.LDR_LIT, [scratch, Sym(then_label)], cond=cond,
+                         predicated=True, comment="long branch (taken)"),
+            MachineInstr(Opcode.LDR_LIT, [scratch, Sym(else_label)],
+                         cond=invert_cond(cond), predicated=True,
+                         comment="long branch (not taken)"),
+            MachineInstr(Opcode.BX, [scratch]),
+        ])
+        return sequence
+    raise ValueError(f"terminator kind {kind} needs no instrumentation")
+
+
+def _original_terminator_cost(kind: TerminatorKind) -> Tuple[int, int]:
+    if kind is TerminatorKind.UNCONDITIONAL:
+        instr = MachineInstr(Opcode.B, [Sym("x")])
+        return cycles_for(instr), size_of(instr)
+    if kind is TerminatorKind.CONDITIONAL:
+        instr = MachineInstr(Opcode.BCC, [Sym("x")], cond=Cond.NE)
+        # Average of taken / not-taken, matching C_b's treatment.
+        cycles = (cycles_for(instr, taken=True) + cycles_for(instr, taken=False)) // 2
+        return cycles, size_of(instr)
+    if kind is TerminatorKind.SHORT_CONDITIONAL:
+        instr = MachineInstr(Opcode.CBNZ, [Reg(0), Sym("x")])
+        cycles = (cycles_for(instr, taken=True) + cycles_for(instr, taken=False)) // 2
+        return cycles, size_of(instr)
+    if kind is TerminatorKind.FALLTHROUGH:
+        return 0, 0
+    return 0, 0
+
+
+def instrumentation_overhead(kind: TerminatorKind) -> InstrumentationCost:
+    """Cost of instrumenting a block whose terminator is of *kind*.
+
+    Returns zero overhead for returns and already-indirect terminators.
+    """
+    if kind in (TerminatorKind.RETURN, TerminatorKind.INDIRECT):
+        return InstrumentationCost(0, 0, 0, 0)
+    original_cycles, original_bytes = _original_terminator_cost(kind)
+    if kind in (TerminatorKind.UNCONDITIONAL, TerminatorKind.FALLTHROUGH):
+        sequence = instrumentation_sequence(kind, "x")
+        cycles, size = _sequence_cost(sequence, taken_index=None)
+    else:
+        sequence = instrumentation_sequence(
+            kind, "x", "y", cond=Cond.NE, compare_reg=Reg(0))
+        taken_index = next(i for i, instr in enumerate(sequence) if instr.predicated)
+        cycles, size = _sequence_cost(sequence, taken_index=taken_index)
+    return InstrumentationCost(original_cycles, original_bytes, cycles, size)
+
+
+#: The paper's Figure 4 numbers (cycles, bytes) for original and instrumented
+#: terminators, kept as reference data for the reproduction report.
+PAPER_FIGURE4 = {
+    TerminatorKind.UNCONDITIONAL: InstrumentationCost(3, 2, 4, 4),
+    TerminatorKind.CONDITIONAL: InstrumentationCost(3, 2, 7, 8),
+    TerminatorKind.SHORT_CONDITIONAL: InstrumentationCost(3, 2, 8, 10),
+    TerminatorKind.FALLTHROUGH: InstrumentationCost(0, 0, 4, 4),
+}
+
+
+def figure4_cost_table() -> Dict[str, Dict[str, InstrumentationCost]]:
+    """Paper vs model instrumentation costs, keyed by terminator kind name."""
+    table: Dict[str, Dict[str, InstrumentationCost]] = {}
+    for kind, paper in PAPER_FIGURE4.items():
+        table[kind.value] = {"paper": paper, "model": instrumentation_overhead(kind)}
+    return table

@@ -1,0 +1,147 @@
+"""Apply a placement solution: relocate blocks to RAM and rewrite branches.
+
+This is the paper's Section 5 transformation, performed "at the very end of
+compilation": the chosen basic blocks are moved into a section loaded to RAM
+at start-up and every block with a successor in the other memory has its
+terminator rewritten into the long-range indirect forms of Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.isa.conditions import Cond
+from repro.isa.instructions import MachineInstr, Opcode, Sym
+from repro.isa.registers import Reg
+from repro.machine.blocks import MachineBlock, MachineFunction, TerminatorKind
+from repro.machine.layout import assign_addresses
+from repro.machine.program import MachineProgram
+from repro.transform.instrumentation import instrumentation_sequence
+
+
+class TransformError(Exception):
+    """Raised when a placement cannot be applied to the program."""
+
+
+def apply_placement(program: MachineProgram, ram_blocks: Iterable[str],
+                    stack_reserve: int = 1024) -> List[str]:
+    """Move the blocks named in *ram_blocks* (function-qualified keys) to RAM.
+
+    Returns the list of block keys that had to be instrumented.  The program
+    is modified in place and re-laid-out; callers can simulate it directly
+    afterwards.
+    """
+    ram_set: Set[str] = set(ram_blocks)
+
+    # Validate and set sections.
+    for key in ram_set:
+        block = _find_block(program, key)
+        if program.functions[block.function_name].is_library:
+            raise TransformError(f"cannot move library block {key} to RAM")
+        block.section = "ram"
+    for block in program.iter_blocks():
+        if program.block_key(block) not in ram_set:
+            block.section = "flash"
+        block.instrumented = False
+
+    instrumented: List[str] = []
+    for function in program.iter_functions():
+        for block in function.iter_blocks():
+            if _needs_instrumentation(function, block):
+                _instrument_block(function, block)
+                block.instrumented = True
+                instrumented.append(program.block_key(block))
+
+    assign_addresses(program, stack_reserve=stack_reserve)
+    return instrumented
+
+
+def _find_block(program: MachineProgram, key: str) -> MachineBlock:
+    try:
+        return program.find_block(key)
+    except KeyError as exc:
+        raise TransformError(f"unknown block key {key!r}") from exc
+
+
+def _needs_instrumentation(function: MachineFunction, block: MachineBlock) -> bool:
+    """Equation 5: instrument when any successor lives in the other memory."""
+    for succ_name in block.successors():
+        succ = function.blocks[succ_name]
+        if succ.section != block.section:
+            return True
+    return False
+
+
+def _instrument_block(function: MachineFunction, block: MachineBlock) -> None:
+    kind = block.terminator_kind()
+    if kind in (TerminatorKind.RETURN, TerminatorKind.INDIRECT):
+        return
+
+    if kind is TerminatorKind.FALLTHROUGH:
+        target = block.fallthrough
+        if target is None:
+            raise TransformError(
+                f"{block.function_name}/{block.name} has no successor to reach")
+        block.instructions.extend(instrumentation_sequence(kind, target))
+        block.branch_target = target
+        block.fallthrough = None
+        return
+
+    if kind is TerminatorKind.UNCONDITIONAL:
+        branch = block.instructions[-1]
+        target = branch.operands[0].name
+        block.instructions = block.instructions[:-1]
+        block.instructions.extend(instrumentation_sequence(kind, target))
+        block.branch_target = target
+        block.fallthrough = None
+        return
+
+    if kind in (TerminatorKind.CONDITIONAL, TerminatorKind.SHORT_CONDITIONAL):
+        then_label, else_label, cond, compare_reg, nonzero, keep = \
+            _analyse_conditional(block)
+        block.instructions = keep
+        block.instructions.extend(instrumentation_sequence(
+            kind, then_label, else_label, cond=cond, compare_reg=compare_reg,
+            compare_is_nonzero=nonzero))
+        block.branch_target = then_label
+        block.extra_target = else_label
+        block.fallthrough = None
+        return
+
+    raise TransformError(f"cannot instrument terminator kind {kind}")
+
+
+def _analyse_conditional(block: MachineBlock):
+    """Pull apart a conditional terminator (bcc/cbz [+ trailing b])."""
+    instrs = block.instructions
+    trailing_branch: Optional[MachineInstr] = None
+    conditional_index = len(instrs) - 1
+    if instrs and instrs[-1].opcode is Opcode.B:
+        trailing_branch = instrs[-1]
+        conditional_index -= 1
+    conditional = instrs[conditional_index]
+
+    if conditional.opcode is Opcode.BCC:
+        then_label = conditional.operands[0].name
+        cond = conditional.cond
+        compare_reg = None
+        nonzero = False
+    elif conditional.opcode in (Opcode.CBZ, Opcode.CBNZ):
+        compare_reg = conditional.operands[0]
+        then_label = conditional.operands[1].name
+        cond = Cond.EQ if conditional.opcode is Opcode.CBZ else Cond.NE
+        nonzero = conditional.opcode is Opcode.CBNZ
+    else:
+        raise TransformError(
+            f"block {block.function_name}/{block.name} has no conditional terminator")
+
+    if trailing_branch is not None:
+        else_label = trailing_branch.operands[0].name
+    else:
+        else_label = block.fallthrough
+    if else_label is None:
+        raise TransformError(
+            f"block {block.function_name}/{block.name} has no else successor")
+
+    keep = instrs[:conditional_index]
+    return then_label, else_label, cond, compare_reg, nonzero, keep

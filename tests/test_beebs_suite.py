@@ -1,0 +1,50 @@
+"""Benchmark-suite tests: compilation correctness and optimization behaviour."""
+
+import pytest
+
+from repro.beebs import BENCHMARK_NAMES, get_benchmark, iter_benchmarks
+from repro.codegen import CompileOptions, compile_source
+from repro.evaluation.pipeline import run_optimized_benchmark
+from repro.sim import Simulator
+
+
+def test_registry_contains_the_paper_suite():
+    assert set(BENCHMARK_NAMES) == {
+        "2dfir", "blowfish", "crc32", "cubic", "dijkstra", "fdct",
+        "float_matmult", "int_matmult", "rijndael", "sha"}
+    assert get_benchmark("fdct").name == "fdct"
+    with pytest.raises(KeyError):
+        get_benchmark("quicksort")
+
+
+def test_float_benchmarks_are_marked():
+    assert get_benchmark("cubic").uses_float
+    assert get_benchmark("float_matmult").uses_float
+    assert not get_benchmark("crc32").uses_float
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_benchmark_results_agree_between_o0_and_o2(name):
+    benchmark = get_benchmark(name)
+    results = {}
+    for level in ("O0", "O2"):
+        program = compile_source(benchmark.source, CompileOptions.for_level(level))
+        results[level] = Simulator(program).run()
+    assert results["O0"].return_value == results["O2"].return_value
+    assert results["O2"].cycles <= results["O0"].cycles
+
+
+@pytest.mark.parametrize("name", ["int_matmult", "fdct", "crc32"])
+def test_optimization_preserves_benchmark_results(name):
+    run = run_optimized_benchmark(name, "O2")
+    assert run.optimized.return_value == run.baseline.return_value
+    assert run.power_change < 0
+    assert run.energy_change < 0.05  # never significantly worse
+
+
+def test_float_benchmarks_gain_little_like_the_paper():
+    """cubic / float_matmult are dominated by soft-float library code the
+    optimizer cannot move, so their savings are small (paper Section 6)."""
+    library_bound = run_optimized_benchmark("float_matmult", "O2")
+    pure_integer = run_optimized_benchmark("int_matmult", "O2")
+    assert abs(library_bound.energy_change) < abs(pure_integer.energy_change)

@@ -1,0 +1,163 @@
+"""Lexer and parser unit tests."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.lexer import Lexer, LexerError, TokenKind, tokenize
+from repro.frontend.parser import ParseError, parse_program
+
+
+# --------------------------------------------------------------------------- #
+# Lexer
+# --------------------------------------------------------------------------- #
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def test_lexer_keywords_and_identifiers():
+    assert kinds("int unsigned float void if else while for return") == [
+        TokenKind.KW_INT, TokenKind.KW_UNSIGNED, TokenKind.KW_FLOAT,
+        TokenKind.KW_VOID, TokenKind.KW_IF, TokenKind.KW_ELSE,
+        TokenKind.KW_WHILE, TokenKind.KW_FOR, TokenKind.KW_RETURN]
+    tokens = tokenize("foo _bar baz42")
+    assert [t.text for t in tokens[:-1]] == ["foo", "_bar", "baz42"]
+    assert all(t.kind is TokenKind.IDENT for t in tokens[:-1])
+
+
+def test_lexer_integer_literals():
+    tokens = tokenize("0 42 0x1F 4294967295 7u")
+    values = [t.int_value for t in tokens[:-1]]
+    assert values == [0, 42, 31, 4294967295, 7]
+
+
+def test_lexer_float_literals():
+    tokens = tokenize("1.5 0.25 2.0f 3e2 1.5e-1")
+    assert [t.kind for t in tokens[:-1]] == [TokenKind.FLOAT_LIT] * 5
+    assert tokens[0].float_value == pytest.approx(1.5)
+    assert tokens[3].float_value == pytest.approx(300.0)
+    assert tokens[4].float_value == pytest.approx(0.15)
+
+
+def test_lexer_operators_maximal_munch():
+    assert kinds("a<<=b") == [TokenKind.IDENT, TokenKind.SHL_ASSIGN, TokenKind.IDENT]
+    assert kinds("a<<b") == [TokenKind.IDENT, TokenKind.SHL, TokenKind.IDENT]
+    assert kinds("a<=b") == [TokenKind.IDENT, TokenKind.LE, TokenKind.IDENT]
+    assert kinds("a<b") == [TokenKind.IDENT, TokenKind.LT, TokenKind.IDENT]
+    assert kinds("x++ + ++y") == [TokenKind.IDENT, TokenKind.PLUS_PLUS,
+                                  TokenKind.PLUS, TokenKind.PLUS_PLUS,
+                                  TokenKind.IDENT]
+
+
+def test_lexer_comments_are_skipped():
+    source = """
+    // line comment
+    int x; /* block
+    comment */ int y;
+    """
+    assert kinds(source) == [TokenKind.KW_INT, TokenKind.IDENT, TokenKind.SEMI,
+                             TokenKind.KW_INT, TokenKind.IDENT, TokenKind.SEMI]
+
+
+def test_lexer_unterminated_comment_raises():
+    with pytest.raises(LexerError):
+        tokenize("int x; /* oops")
+
+
+def test_lexer_bad_character_raises():
+    with pytest.raises(LexerError):
+        tokenize("int x = @;")
+
+
+def test_lexer_tracks_line_numbers():
+    tokens = tokenize("int x;\nint y;")
+    assert tokens[0].line == 1
+    assert tokens[3].line == 2
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def test_parse_simple_function():
+    program = parse_program("int add(int a, int b) { return a + b; }")
+    assert len(program.functions) == 1
+    func = program.functions[0]
+    assert func.name == "add"
+    assert [p.name for p in func.params] == ["a", "b"]
+    assert isinstance(func.body.statements[0], ast.Return)
+
+
+def test_parse_global_declarations():
+    program = parse_program("""
+        const int table[4] = {1, 2, 3, 4};
+        int counter = 10;
+        unsigned mask;
+    """)
+    assert [g.name for g in program.globals] == ["table", "counter", "mask"]
+    assert program.globals[0].const is True
+    assert len(program.globals[0].array_init) == 4
+
+
+def test_parse_precedence():
+    program = parse_program("int f(void) { return 1 + 2 * 3; }")
+    ret = program.functions[0].body.statements[0]
+    assert isinstance(ret.value, ast.BinaryOp)
+    assert ret.value.op == "+"
+    assert isinstance(ret.value.rhs, ast.BinaryOp)
+    assert ret.value.rhs.op == "*"
+
+
+def test_parse_if_else_chain_and_loops():
+    program = parse_program("""
+        int f(int x) {
+            int total = 0;
+            if (x > 0) { total = 1; } else if (x < 0) { total = -1; } else { total = 0; }
+            while (x > 0) { x--; }
+            for (int i = 0; i < 4; ++i) { total += i; }
+            do { total += 1; } while (total < 0);
+            return total;
+        }
+    """)
+    body = program.functions[0].body.statements
+    assert isinstance(body[1], ast.If)
+    assert isinstance(body[1].otherwise, ast.If)
+    assert isinstance(body[2], ast.While)
+    assert isinstance(body[3], ast.For)
+    assert isinstance(body[4], ast.DoWhile)
+
+
+def test_parse_ternary_and_compound_assignment():
+    program = parse_program("int f(int x) { x += 2; x <<= 1; return x > 0 ? x : -x; }")
+    statements = program.functions[0].body.statements
+    assert statements[0].expr.op == "+"
+    assert statements[1].expr.op == "<<"
+    assert isinstance(statements[2].value, ast.Conditional)
+
+
+def test_parse_array_indexing_and_calls():
+    program = parse_program("""
+        int buffer[8];
+        int get(int i) { return buffer[i + 1]; }
+        int main(void) { return get(3) + buffer[0]; }
+    """)
+    get_body = program.functions[0].body.statements[0]
+    assert isinstance(get_body.value, ast.Index)
+    main_body = program.functions[1].body.statements[0]
+    assert isinstance(main_body.value.lhs, ast.Call)
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_program("int f( { return 0; }")
+    with pytest.raises(ParseError):
+        parse_program("int f(void) { return 0 }")
+    with pytest.raises(ParseError):
+        parse_program("banana f(void) { return 0; }")
+    with pytest.raises(ParseError):
+        parse_program("const int f(void) { return 0; }")
+
+
+def test_parse_multiple_declarators_in_one_statement():
+    program = parse_program("int f(void) { int a = 1, b = 2; return a + b; }")
+    group = program.functions[0].body.statements[0]
+    assert isinstance(group, ast.DeclGroup)
+    assert [d.name for d in group.declarations] == ["a", "b"]

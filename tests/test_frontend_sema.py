@@ -1,0 +1,130 @@
+"""Semantic-analysis unit tests."""
+
+import pytest
+
+from repro.frontend.parser import parse_program
+from repro.frontend.sema import SemanticError, analyze
+from repro.frontend.types import FLOAT, INT, UINT, ArrayType
+
+
+def analyze_source(source):
+    program = parse_program(source)
+    return program, analyze(program)
+
+
+def test_global_initializers_are_evaluated():
+    _, symbols = analyze_source("""
+        int a = 2 + 3 * 4;
+        const int table[3] = {1, 1 << 4, 7 % 3};
+        float pi = 3.5;
+    """)
+    assert symbols.globals["a"].init_values == [14.0]
+    assert symbols.globals["table"].init_values == [1.0, 16.0, 1.0]
+    assert symbols.globals["pi"].init_values == [3.5]
+
+
+def test_expression_types_are_annotated():
+    program, _ = analyze_source("""
+        int f(int x, unsigned u, float g) {
+            int a = x + 1;
+            unsigned b = u + 1;
+            float c = g + 1.0;
+            return a;
+        }
+    """)
+    body = program.functions[0].body.statements
+    assert body[0].init.ty == INT
+    assert body[1].init.ty == UINT
+    assert body[2].init.ty == FLOAT
+
+
+def test_unknown_identifier_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("int f(void) { return missing; }")
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("int f(void) { return g(1); }")
+
+
+def test_wrong_argument_count_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("int g(int a) { return a; } int f(void) { return g(1, 2); }")
+
+
+def test_too_many_parameters_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("int f(int a, int b, int c, int d, int e) { return a; }")
+
+
+def test_void_function_cannot_return_value():
+    with pytest.raises(SemanticError):
+        analyze_source("void f(void) { return 1; }")
+
+
+def test_non_void_function_must_return_value():
+    with pytest.raises(SemanticError):
+        analyze_source("int f(void) { return; }")
+
+
+def test_array_cannot_be_assigned():
+    with pytest.raises(SemanticError):
+        analyze_source("int buf[4]; int f(void) { buf = 3; return 0; }")
+
+
+def test_subscript_of_scalar_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("int f(int x) { return x[0]; }")
+
+
+def test_float_modulo_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("int f(float x) { return x % 2; }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("int f(void) { break; return 0; }")
+
+
+def test_redefinition_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("int f(void) { int a = 1; int a = 2; return a; }")
+    with pytest.raises(SemanticError):
+        analyze_source("int g(void) { return 0; } int g(void) { return 1; }")
+
+
+def test_array_parameter_accepts_array_argument_only():
+    with pytest.raises(SemanticError):
+        analyze_source("""
+            int f(int data[]) { return data[0]; }
+            int main(void) { return f(3); }
+        """)
+    # And the valid form is accepted.
+    analyze_source("""
+        int buf[4];
+        int f(int data[]) { return data[0]; }
+        int main(void) { return f(buf); }
+    """)
+
+
+def test_unsigned_and_int_mix_promotes_to_unsigned():
+    program, _ = analyze_source("unsigned f(unsigned u, int x) { return u + x; }")
+    ret = program.functions[0].body.statements[0]
+    assert ret.value.ty == UINT
+
+
+def test_shadowing_in_nested_scopes_allowed():
+    analyze_source("""
+        int f(int x) {
+            int y = 1;
+            { int y = 2; x += y; }
+            return x + y;
+        }
+    """)
+
+
+def test_global_array_requires_positive_length():
+    with pytest.raises(SemanticError):
+        analyze_source("int buf[0]; int main(void) { return 0; }")

@@ -1,0 +1,206 @@
+"""IR construction/verification and optimization-pass unit tests."""
+
+import pytest
+
+from repro.ir import (
+    BasicBlock,
+    Const,
+    Function,
+    GlobalData,
+    IRBuilder,
+    IRVerificationError,
+    Module,
+    VReg,
+    verify_function,
+    verify_module,
+)
+from repro.ir.instructions import BinOp, Branch, Call, Jump, Load, Mov, Ret, Store
+from repro.irgen import compile_source_to_ir
+from repro.passes import (
+    ConstantFoldingPass,
+    CopyPropagationPass,
+    DeadCodeEliminationPass,
+    SimplifyCFGPass,
+)
+from repro.passes.constant_folding import evaluate_condition, fold_binop
+
+
+def build_simple_function():
+    function = Function("f", num_params=1)
+    builder = IRBuilder(function)
+    entry = builder.new_block("entry")
+    builder.set_block(entry)
+    doubled = builder.add(function.params[0], function.params[0])
+    builder.ret(doubled)
+    return function
+
+
+# --------------------------------------------------------------------------- #
+# IR structure and verification
+# --------------------------------------------------------------------------- #
+def test_builder_and_verifier_accept_simple_function():
+    function = build_simple_function()
+    verify_function(function)
+    assert function.entry_block.is_terminated
+
+
+def test_verifier_rejects_missing_terminator():
+    function = Function("f")
+    function.new_block("entry")
+    with pytest.raises(IRVerificationError):
+        verify_function(function)
+
+
+def test_verifier_rejects_branch_to_unknown_block():
+    function = Function("f")
+    builder = IRBuilder(function)
+    entry = builder.new_block("entry")
+    builder.set_block(entry)
+    entry.append(Jump("nowhere"))
+    with pytest.raises(IRVerificationError):
+        verify_function(function)
+
+
+def test_verifier_rejects_undefined_vreg_use():
+    function = Function("f")
+    builder = IRBuilder(function)
+    entry = builder.new_block("entry")
+    builder.set_block(entry)
+    entry.append(Ret(VReg(99)))
+    with pytest.raises(IRVerificationError):
+        verify_function(function)
+
+
+def test_verifier_checks_cross_module_references():
+    module = Module("m")
+    function = Function("f")
+    builder = IRBuilder(function)
+    entry = builder.new_block("entry")
+    builder.set_block(entry)
+    builder.call("missing", [Const(1)])
+    builder.ret(Const(0))
+    module.add_function(function)
+    with pytest.raises(IRVerificationError):
+        verify_module(module)
+
+
+def test_block_rejects_second_terminator():
+    block = BasicBlock("b")
+    block.append(Ret())
+    with pytest.raises(ValueError):
+        block.append(Jump("x"))
+
+
+def test_module_merge_and_duplicate_detection():
+    first = Module("a")
+    first.add_function(build_simple_function())
+    second = Module("b")
+    second.add_global(GlobalData("table", [1, 2, 3], const=True))
+    first.merge(second)
+    assert "table" in first.globals
+    with pytest.raises(ValueError):
+        first.add_function(build_simple_function())
+
+
+# --------------------------------------------------------------------------- #
+# Constant folding
+# --------------------------------------------------------------------------- #
+def test_fold_binop_matches_two_complement_semantics():
+    assert fold_binop("add", 0xFFFFFFFF, 1) == 0
+    assert fold_binop("sub", 0, 1) == 0xFFFFFFFF
+    assert fold_binop("mul", 0x10000, 0x10000) == 0
+    assert fold_binop("sdiv", (-7) & 0xFFFFFFFF, 2) == (-3) & 0xFFFFFFFF
+    assert fold_binop("udiv", 0xFFFFFFFE, 2) == 0x7FFFFFFF
+    assert fold_binop("ashr", 0x80000000, 31) == 0xFFFFFFFF
+    assert fold_binop("lshr", 0x80000000, 31) == 1
+    assert fold_binop("sdiv", 5, 0) is None
+
+
+def test_evaluate_condition_signedness():
+    assert evaluate_condition("lt", (-1) & 0xFFFFFFFF, 1)
+    assert not evaluate_condition("lo", (-1) & 0xFFFFFFFF, 1)
+    assert evaluate_condition("hs", 5, 5)
+
+
+def test_constant_folding_pass_folds_and_simplifies_branches():
+    module = compile_source_to_ir("""
+        int main(void) {
+            int x = 3 * 4 + 1;
+            if (2 > 1) { x += 1; }
+            return x;
+        }
+    """)
+    main = module.functions["main"]
+    for _ in range(3):  # folding and propagation feed each other
+        ConstantFoldingPass().run(main, module)
+        CopyPropagationPass().run(main, module)
+    folded_movs = [i for block in main.iter_blocks()
+                   for i in block.instructions
+                   if isinstance(i, Mov) and isinstance(i.src, Const)
+                   and i.src.value == 13]
+    assert folded_movs, "3*4+1 should fold to 13"
+
+
+def test_dce_removes_unused_but_keeps_calls_and_stores():
+    module = compile_source_to_ir("""
+        int counter;
+        int touch(void) { counter += 1; return counter; }
+        int main(void) {
+            int unused = 5 + 6;
+            touch();
+            return 1;
+        }
+    """)
+    main = module.functions["main"]
+    before = sum(len(b.instructions) for b in main.iter_blocks())
+    DeadCodeEliminationPass().run(main, module)
+    after = sum(len(b.instructions) for b in main.iter_blocks())
+    assert after < before
+    calls = [i for b in main.iter_blocks() for i in b.instructions
+             if isinstance(i, Call)]
+    assert calls, "the call with side effects must survive DCE"
+
+
+def test_copy_propagation_rewrites_uses_within_block():
+    function = Function("f", num_params=1)
+    builder = IRBuilder(function)
+    entry = builder.new_block("entry")
+    builder.set_block(entry)
+    copy = builder.mov(function.params[0])
+    result = builder.add(copy, Const(1))
+    builder.ret(result)
+    CopyPropagationPass().run(function, Module("m"))
+    add = entry.instructions[-1]
+    assert isinstance(add, BinOp)
+    assert add.lhs == function.params[0]
+
+
+def test_simplify_cfg_removes_unreachable_and_merges_chains():
+    from repro.codegen.optlevels import OptLevel, pass_manager_for
+    module = compile_source_to_ir("""
+        int main(void) {
+            int x = 1;
+            if (x) { x = 2; } else { x = 3; }
+            return x;
+        }
+    """)
+    main = module.functions["main"]
+    pass_manager_for(OptLevel.O2).run(module)
+    # After folding the always-true branch and cleaning up, the dead `x = 3`
+    # block must be gone.
+    assert all("if.else" not in name for name in main.block_order)
+
+
+def test_pass_pipeline_preserves_program_semantics():
+    from tests.conftest import compile_and_run
+    source = """
+        int main(void) {
+            int x = 10;
+            int y = x * 0 + 7;
+            int z = y;
+            for (int i = 0; i < 3; ++i) { z = z + y * 1; }
+            return z;
+        }
+    """
+    assert compile_and_run(source, "O0").return_value == \
+        compile_and_run(source, "O3").return_value == 28

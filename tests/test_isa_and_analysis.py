@@ -1,0 +1,179 @@
+"""Unit tests for the ISA tables and the graph/dataflow analyses."""
+
+import pytest
+
+from repro.analysis import (
+    CFGView,
+    compute_dominators,
+    estimate_block_frequencies,
+    find_natural_loops,
+    loop_depths,
+)
+from repro.analysis.cfg import reachable_blocks, reverse_postorder
+from repro.analysis.dominators import immediate_dominators
+from repro.analysis.stack_usage import estimate_stack_usage, spare_ram_for_code
+from repro.isa import (
+    Cond,
+    Imm,
+    MachineInstr,
+    Opcode,
+    R0,
+    R1,
+    Sym,
+    cond_holds,
+    cycles_for,
+    invert_cond,
+    size_of,
+)
+from repro.isa.instructions import RegList
+from repro.isa.registers import LR, PC, Reg
+
+
+# --------------------------------------------------------------------------- #
+# Conditions
+# --------------------------------------------------------------------------- #
+def test_condition_inversion_is_involutive():
+    for cond in Cond:
+        if cond is Cond.AL:
+            continue
+        assert invert_cond(invert_cond(cond)) is cond
+
+
+def test_condition_evaluation_signed_and_unsigned():
+    # flags for 1 - 2 (signed): N=1, Z=0, C=0 (borrow), V=0
+    assert cond_holds(Cond.LT, True, False, False, False)
+    assert not cond_holds(Cond.GE, True, False, False, False)
+    assert cond_holds(Cond.LO, True, False, False, False)
+    # flags for 5 - 5
+    assert cond_holds(Cond.EQ, False, True, True, False)
+    assert cond_holds(Cond.LE, False, True, True, False)
+    assert cond_holds(Cond.HS, False, True, True, False)
+    assert not cond_holds(Cond.HI, False, True, True, False)
+
+
+def test_always_condition_cannot_be_inverted():
+    with pytest.raises(ValueError):
+        invert_cond(Cond.AL)
+
+
+# --------------------------------------------------------------------------- #
+# Sizes and timing
+# --------------------------------------------------------------------------- #
+def test_instruction_sizes():
+    assert size_of(MachineInstr(Opcode.MOV, [R0, Imm(5)])) == 2
+    assert size_of(MachineInstr(Opcode.MOV, [R0, Imm(5000)])) == 4
+    assert size_of(MachineInstr(Opcode.B, [Sym("x")])) == 2
+    assert size_of(MachineInstr(Opcode.BL, [Sym("f")])) == 4
+    assert size_of(MachineInstr(Opcode.LDR_PC_LIT, [Sym("x")])) == 4
+    assert size_of(MachineInstr(Opcode.LDR, [R0, R1, Imm(8)])) == 2
+    assert size_of(MachineInstr(Opcode.LDR, [R0, R1, Imm(512)])) == 4
+    assert size_of(MachineInstr(Opcode.SDIV, [R0, R0, R1])) == 4
+
+
+def test_cycle_costs():
+    assert cycles_for(MachineInstr(Opcode.ADD, [R0, R0, Imm(1)])) == 1
+    assert cycles_for(MachineInstr(Opcode.LDR, [R0, R1, Imm(0)])) == 2
+    assert cycles_for(MachineInstr(Opcode.B, [Sym("x")])) == 3
+    assert cycles_for(MachineInstr(Opcode.BCC, [Sym("x")], cond=Cond.NE), taken=False) == 1
+    assert cycles_for(MachineInstr(Opcode.BCC, [Sym("x")], cond=Cond.NE), taken=True) == 3
+    assert cycles_for(MachineInstr(Opcode.LDR_PC_LIT, [Sym("x")])) == 4
+    push = MachineInstr(Opcode.PUSH, [RegList((Reg(4), LR))])
+    assert cycles_for(push) == 3
+    pop_pc = MachineInstr(Opcode.POP, [RegList((Reg(4), PC))])
+    assert cycles_for(pop_pc) == 5
+
+
+def test_terminator_and_def_use_queries():
+    bx = MachineInstr(Opcode.BX, [LR])
+    assert bx.is_terminator
+    pop_pc = MachineInstr(Opcode.POP, [RegList((Reg(4), PC))])
+    assert pop_pc.is_terminator
+    add = MachineInstr(Opcode.ADD, [R0, R1, Imm(1)])
+    assert add.defs() == [R0]
+    assert add.uses() == [R1]
+    store = MachineInstr(Opcode.STR, [R0, R1, Imm(0)])
+    assert store.defs() == []
+    assert set(store.uses()) == {R0, R1}
+
+
+# --------------------------------------------------------------------------- #
+# CFG analyses
+# --------------------------------------------------------------------------- #
+def diamond_cfg():
+    return CFGView(entry="a", successors={
+        "a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []})
+
+
+def loop_cfg():
+    return CFGView(entry="entry", successors={
+        "entry": ["header"],
+        "header": ["body", "exit"],
+        "body": ["inner_header"],
+        "inner_header": ["inner_body", "latch"],
+        "inner_body": ["inner_header"],
+        "latch": ["header"],
+        "exit": [],
+    })
+
+
+def test_reachability_and_rpo():
+    cfg = diamond_cfg()
+    cfg.successors["unreachable"] = ["d"]
+    assert reachable_blocks(cfg) == {"a", "b", "c", "d"}
+    order = reverse_postorder(cfg)
+    assert order[0] == "a" and order[-1] == "d"
+
+
+def test_dominators_of_diamond():
+    doms = compute_dominators(diamond_cfg())
+    assert doms["d"] == {"a", "d"}
+    assert doms["b"] == {"a", "b"}
+    idom = immediate_dominators(diamond_cfg())
+    assert idom["d"] == "a"
+    assert idom["a"] is None
+
+
+def test_natural_loops_and_depths():
+    cfg = loop_cfg()
+    loops = find_natural_loops(cfg)
+    headers = {loop.header for loop in loops}
+    assert headers == {"header", "inner_header"}
+    depths = loop_depths(cfg)
+    assert depths["entry"] == 0
+    assert depths["header"] == 1
+    assert depths["inner_header"] == 2
+    assert depths["inner_body"] == 2
+    assert depths["exit"] == 0
+
+
+def test_frequency_estimate_follows_loop_depth():
+    freqs = estimate_block_frequencies(loop_cfg(), loop_weight=10)
+    assert freqs["entry"] == 1
+    assert freqs["header"] == 10
+    assert freqs["inner_body"] == 100
+    assert freqs["exit"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# Stack usage
+# --------------------------------------------------------------------------- #
+def test_stack_usage_worst_chain():
+    frames = {"main": 16, "a": 32, "b": 8, "leaf": 64}
+    calls = {"main": {"a", "b"}, "a": {"leaf"}, "b": set(), "leaf": set()}
+    report = estimate_stack_usage(frames, calls, "main")
+    assert report.worst_case == 16 + 32 + 64
+    assert report.worst_chain == ["main", "a", "leaf"]
+    assert not report.recursive
+
+
+def test_stack_usage_recursion_is_bounded():
+    frames = {"main": 8, "rec": 16}
+    calls = {"main": {"rec"}, "rec": {"rec"}}
+    report = estimate_stack_usage(frames, calls, "main", recursion_bound=4)
+    assert report.recursive
+    assert report.worst_case >= 8 + 16
+
+
+def test_spare_ram_derivation():
+    assert spare_ram_for_code(8192, 1000, 500, safety_margin=64) == 8192 - 1000 - 500 - 64
+    assert spare_ram_for_code(1024, 2000, 500) == 0

@@ -1,0 +1,256 @@
+"""End-to-end language-feature tests: compile with the full pipeline and run.
+
+Each test asserts the simulated return value of a small program, at both O0
+(spill-everything) and O2 (full pipeline), which exercises the frontend,
+lowering, passes, instruction selection, register allocation, frame lowering,
+layout and the simulator together.
+"""
+
+import pytest
+
+from tests.conftest import compile_and_run
+
+LEVELS = ["O0", "O2"]
+
+
+def expect(source, value, levels=LEVELS):
+    for level in levels:
+        result = compile_and_run(source, level)
+        assert result.signed_return_value == value, f"at {level}"
+
+
+def test_arithmetic_operators():
+    expect("int main(void) { return (7 + 3) * 2 - 5; }", 15)
+    expect("int main(void) { return 17 / 5; }", 3)
+    expect("int main(void) { return 17 % 5; }", 2)
+    expect("int main(void) { return -17 / 5; }", -3)
+    expect("int main(void) { return (1 << 10) >> 3; }", 128)
+
+
+def test_bitwise_operators():
+    expect("int main(void) { return (12 & 10) | (1 ^ 3); }", 10)
+    expect("int main(void) { return ~0 & 255; }", 255)
+    expect("unsigned main(void) { unsigned x = 4294967295; return (x >> 24) & 255; }",
+           255)
+
+
+def test_comparisons_and_logical_operators():
+    expect("int main(void) { return (3 < 5) + (5 <= 5) + (7 > 2) + (2 >= 3); }", 3)
+    expect("int main(void) { return (1 && 0) + (1 || 0) + !0; }", 2)
+    expect("int main(void) { int x = 0; return (x != 0 && 10 / x > 1) ? 1 : 2; }", 2)
+
+
+def test_signed_vs_unsigned_comparison():
+    expect("int main(void) { int a = -1; return a < 1; }", 1)
+    expect("int main(void) { unsigned a = 4294967295; return a < 1; }", 0)
+
+
+def test_if_else_and_ternary():
+    expect("""
+        int classify(int x) {
+            if (x > 10) { return 2; }
+            else if (x > 0) { return 1; }
+            return 0;
+        }
+        int main(void) { return classify(20) * 100 + classify(5) * 10 + classify(-3); }
+    """, 210)
+    expect("int main(void) { int x = 7; return x > 5 ? x * 2 : x; }", 14)
+
+
+def test_while_for_do_loops():
+    expect("""
+        int main(void) {
+            int total = 0;
+            for (int i = 1; i <= 10; ++i) { total += i; }
+            int j = 10;
+            while (j > 0) { total += 1; j--; }
+            int k = 0;
+            do { k += 3; } while (k < 10);
+            return total * 100 + k;
+        }
+    """, 6512)
+
+
+def test_break_and_continue():
+    expect("""
+        int main(void) {
+            int total = 0;
+            for (int i = 0; i < 100; ++i) {
+                if (i == 10) { break; }
+                if (i % 2 == 0) { continue; }
+                total += i;
+            }
+            return total;
+        }
+    """, 25)
+
+
+def test_nested_loops_and_arrays():
+    expect("""
+        int grid[25];
+        int main(void) {
+            for (int i = 0; i < 5; ++i)
+                for (int j = 0; j < 5; ++j)
+                    grid[i * 5 + j] = i * j;
+            int total = 0;
+            for (int k = 0; k < 25; ++k) total += grid[k];
+            return total;
+        }
+    """, 100)
+
+
+def test_local_arrays_with_initializers():
+    expect("""
+        int main(void) {
+            int weights[4] = {10, 20, 30, 40};
+            int total = 0;
+            for (int i = 0; i < 4; ++i) { total += weights[i] * (i + 1); }
+            return total;
+        }
+    """, 300)
+
+
+def test_global_scalars_and_const_tables():
+    expect("""
+        const int factors[3] = {2, 3, 5};
+        int counter = 100;
+        int main(void) {
+            counter += factors[0] * factors[1] * factors[2];
+            return counter;
+        }
+    """, 130)
+
+
+def test_function_calls_and_recursion():
+    expect("""
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main(void) { return fib(12); }
+    """, 144)
+
+
+def test_array_parameters():
+    expect("""
+        int data[6] = {1, 2, 3, 4, 5, 6};
+        int sum(int values[], int count) {
+            int total = 0;
+            for (int i = 0; i < count; ++i) { total += values[i]; }
+            return total;
+        }
+        int main(void) {
+            int local[3] = {7, 8, 9};
+            return sum(data, 6) * 100 + sum(local, 3);
+        }
+    """, 2124)
+
+
+def test_increment_decrement_semantics():
+    expect("""
+        int main(void) {
+            int x = 5;
+            int a = x++;
+            int b = ++x;
+            int c = x--;
+            return a * 100 + b * 10 + c - x;
+        }
+    """, 5 * 100 + 7 * 10 + 7 - 6)
+
+
+def test_compound_assignment_on_array_elements():
+    expect("""
+        int buf[3] = {1, 2, 3};
+        int main(void) {
+            buf[1] += 10;
+            buf[2] *= 4;
+            buf[0] <<= 3;
+            return buf[0] + buf[1] + buf[2];
+        }
+    """, 8 + 12 + 12)
+
+
+def test_void_functions_and_side_effects():
+    expect("""
+        int counter;
+        void bump(int amount) { counter += amount; }
+        int main(void) {
+            bump(3);
+            bump(4);
+            return counter;
+        }
+    """, 7)
+
+
+def test_float_arithmetic_via_softfloat():
+    expect("""
+        float area(float radius) { return 3.14159 * radius * radius; }
+        int main(void) { return area(10.0); }
+    """, 314)
+    expect("""
+        int main(void) {
+            float x = 2.0;
+            float y = x / 4.0 + 1.5;   // 2.0
+            if (y == 2.0) { return 42; }
+            return 0;
+        }
+    """, 42)
+
+
+def test_float_comparisons_and_conversion():
+    expect("""
+        int main(void) {
+            float a = -1.5;
+            float b = 2.25;
+            int less = a < b;
+            int conv = b * 4.0;        // 9
+            return less * 100 + conv;
+        }
+    """, 109)
+
+
+def test_large_constants_via_literal_pool():
+    expect("int main(void) { return 123456789 % 1000; }", 789)
+
+
+def test_deep_expression_register_pressure():
+    # Forces spilling at O2 as well (many simultaneously-live values).
+    expect("""
+        int main(void) {
+            int a = 1, b = 2, c = 3, d = 4, e = 5, f = 6, g = 7, h = 8;
+            int i = 9, j = 10, k = 11, l = 12, m = 13, n = 14;
+            int r = (a*b + c*d) + (e*f + g*h) + (i*j + k*l) + (m*n)
+                  + (a+b+c+d+e+f+g+h+i+j+k+l+m+n);
+            return r;
+        }
+    """, (1*2 + 3*4) + (5*6 + 7*8) + (9*10 + 11*12) + 13*14 + sum(range(1, 15)))
+
+
+def test_results_identical_across_all_levels():
+    source = """
+        int acc(int n) {
+            int s = 0;
+            for (int i = 1; i <= n; ++i) {
+                if (i % 3 == 0) { s += i * 2; } else { s += i; }
+            }
+            return s;
+        }
+        int main(void) { return acc(50); }
+    """
+    results = {level: compile_and_run(source, level).return_value
+               for level in ["O0", "O1", "O2", "O3", "Os"]}
+    assert len(set(results.values())) == 1
+
+
+def test_o2_is_faster_and_smaller_than_o0():
+    source = """
+        int main(void) {
+            int s = 0;
+            for (int i = 0; i < 200; ++i) { s += i * 3 + 1; }
+            return s;
+        }
+    """
+    o0 = compile_and_run(source, "O0")
+    o2 = compile_and_run(source, "O2")
+    assert o0.return_value == o2.return_value
+    assert o2.cycles < o0.cycles

@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import struct
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.lexer import tokenize
+from repro.irgen.lowering import bits_to_float, float_to_bits
+from repro.machine.frame import FrameLayout
+from repro.passes.constant_folding import evaluate_condition, fold_binop
+from repro.placement.cost_model import PlacementCostModel
+from repro.placement.parameters import BlockParameters
+from tests.conftest import compile_and_run
+
+int32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+small_int = st.integers(min_value=0, max_value=200)
+
+
+def signed(value):
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+# --------------------------------------------------------------------------- #
+# Constant folding matches 32-bit two's-complement semantics
+# --------------------------------------------------------------------------- #
+@given(int32, int32, st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]))
+def test_fold_binop_matches_reference(a, b, op):
+    reference = {
+        "add": (a + b), "sub": (a - b), "mul": (a * b),
+        "and": a & b, "or": a | b, "xor": a ^ b,
+    }[op] & 0xFFFFFFFF
+    assert fold_binop(op, a, b) == reference
+
+
+@given(int32, st.integers(min_value=0, max_value=31))
+def test_fold_shifts_match_reference(a, amount):
+    assert fold_binop("shl", a, amount) == (a << amount) & 0xFFFFFFFF
+    assert fold_binop("lshr", a, amount) == (a >> amount)
+    assert fold_binop("ashr", a, amount) == (signed(a) >> amount) & 0xFFFFFFFF
+
+
+@given(int32, int32)
+def test_condition_evaluation_consistency(a, b):
+    assert evaluate_condition("eq", a, b) == (a == b)
+    assert evaluate_condition("lt", a, b) == (signed(a) < signed(b))
+    assert evaluate_condition("lo", a, b) == (a < b)
+    # Trichotomy.
+    assert evaluate_condition("lt", a, b) + evaluate_condition("gt", a, b) + \
+        evaluate_condition("eq", a, b) == 1
+
+
+# --------------------------------------------------------------------------- #
+# Float bit conversions round-trip
+# --------------------------------------------------------------------------- #
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_float_bits_roundtrip(value):
+    assert bits_to_float(float_to_bits(value)) == struct.unpack(
+        "<f", struct.pack("<f", value))[0]
+
+
+# --------------------------------------------------------------------------- #
+# Lexer never loses or invents tokens for well-formed integer expressions
+# --------------------------------------------------------------------------- #
+@given(st.lists(small_int, min_size=1, max_size=8))
+def test_lexer_token_count_on_sums(values):
+    source = " + ".join(str(v) for v in values)
+    tokens = tokenize(source)
+    # n integers, n-1 plus signs, 1 EOF
+    assert len(tokens) == 2 * len(values)
+
+
+# --------------------------------------------------------------------------- #
+# Frame layout invariants
+# --------------------------------------------------------------------------- #
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=64),
+                          st.sampled_from([4, 8])), min_size=1, max_size=12))
+def test_frame_layout_offsets_do_not_overlap(objects):
+    layout = FrameLayout()
+    names = []
+    for index, (size, align) in enumerate(objects):
+        names.append((f"obj{index}", size))
+        layout.add(f"obj{index}", size, align)
+    intervals = sorted((layout.offset_of(name), layout.offset_of(name) + size)
+                       for name, size in names)
+    for (start_a, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+        assert end_a <= start_b or start_a == start_b  # no overlap
+    assert layout.aligned_size() >= max(end for _, end in intervals)
+    assert layout.aligned_size() % 8 == 0
+
+
+# --------------------------------------------------------------------------- #
+# Cost-model invariants on synthetic block graphs
+# --------------------------------------------------------------------------- #
+@st.composite
+def synthetic_parameters(draw):
+    count = draw(st.integers(min_value=2, max_value=8))
+    params = {}
+    keys = [f"f:b{i}" for i in range(count)]
+    for i, key in enumerate(keys):
+        succs = []
+        if i + 1 < count:
+            succs.append(keys[i + 1])
+        if draw(st.booleans()) and i > 0:
+            succs.append(keys[draw(st.integers(min_value=0, max_value=i - 1))])
+        params[key] = BlockParameters(
+            key=key, function="f", name=f"b{i}",
+            size=draw(st.integers(min_value=2, max_value=64)),
+            cycles=draw(st.integers(min_value=1, max_value=40)),
+            frequency=float(draw(st.integers(min_value=0, max_value=1000))),
+            instrument_bytes=draw(st.integers(min_value=0, max_value=12)),
+            instrument_cycles=draw(st.integers(min_value=0, max_value=8)),
+            ram_stall_cycles=draw(st.integers(min_value=0, max_value=4)),
+            successors=succs,
+        )
+    return params
+
+
+@given(synthetic_parameters(), st.sets(st.integers(min_value=0, max_value=7)))
+@settings(max_examples=60, deadline=None)
+def test_cost_model_invariants(params, subset_indices):
+    model = PlacementCostModel(params, e_flash=2.0, e_ram=1.0)
+    keys = list(params)
+    ram = {keys[i] for i in subset_indices if i < len(keys)}
+    estimate = model.evaluate(ram)
+    baseline = model.evaluate(set())
+    # Execution never gets faster by moving code to RAM in this machine model.
+    assert estimate.cycles >= baseline.cycles - 1e-9
+    assert estimate.time_ratio >= 1.0 - 1e-9
+    # RAM usage is monotone in the placement and zero for the empty placement.
+    assert baseline.ram_bytes == 0
+    assert estimate.ram_bytes >= 0
+    # Energy is bounded below by running everything from RAM with no overheads.
+    lower_bound = sum(p.cycles * p.frequency for p in params.values()) * 1.0
+    assert estimate.energy_j >= lower_bound - 1e-9
+    # Instrumented blocks are exactly those with a cross-memory successor.
+    for key, p in params.items():
+        crosses = any((succ in ram) != (key in ram) for succ in p.successors)
+        assert (key in estimate.instrumented) == crosses
+
+
+# --------------------------------------------------------------------------- #
+# Compiled arithmetic agrees with Python for random expressions
+# --------------------------------------------------------------------------- #
+@given(st.integers(min_value=-1000, max_value=1000),
+       st.integers(min_value=-1000, max_value=1000),
+       st.integers(min_value=1, max_value=50))
+@settings(max_examples=15, deadline=None)
+def test_compiled_expression_matches_python(a, b, c):
+    expected = (a * b + c) - (a - b) * 2 + (a + c) // c
+    source = f"""
+        int main(void) {{
+            int a = {a}; int b = {b}; int c = {c};
+            return (a * b + c) - (a - b) * 2 + (a + c) / c;
+        }}
+    """
+    # C division truncates toward zero; Python floors — align the reference.
+    quotient = int((a + c) / c)
+    expected = (a * b + c) - (a - b) * 2 + quotient
+    assert compile_and_run(source, "O1").signed_return_value == expected
