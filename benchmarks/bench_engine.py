@@ -1,0 +1,144 @@
+"""Perf smoke bench: the cached+parallel engine vs the sequential seed path.
+
+Runs the Figure 5 grid (all benchmarks, O2+Os, both frequency modes) twice:
+
+* **seed path** — what the repository did before the engine refactor: compile
+  each benchmark twice from source per cell, simulate with the interpreted
+  (non-decode-once) simulator, strictly sequentially, no caching;
+* **engine path** — one compile per (benchmark, level) through the
+  content-addressed cache, memoised baselines, decode-once simulation, grid
+  fanned out over a process pool.
+
+Asserts that the two produce bitwise-identical SuiteRow records and records
+wall-clock plus speedup to ``BENCH_engine.json``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--workers N] \
+        [--output BENCH_engine.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import List, Optional
+
+from repro.beebs import BENCHMARK_NAMES, get_benchmark
+from repro.codegen import CompileOptions, compile_source
+from repro.engine import ExperimentEngine, ProgramCache
+from repro.evaluation.figure5 import SuiteRow, suite_specs, evaluate_suite, summarize
+from repro.placement import FlashRAMOptimizer, PlacementConfig
+from repro.sim import Simulator
+
+LEVELS = ["O2", "Os"]
+FREQUENCY_MODES = ("static", "profile")
+
+
+# --------------------------------------------------------------------------- #
+# The pre-engine implementation, reproduced verbatim as the baseline
+# --------------------------------------------------------------------------- #
+def _seed_compile(name: str, opt_level: str):
+    benchmark = get_benchmark(name)
+    options = CompileOptions.for_level(opt_level, program_name=benchmark.name)
+    return compile_source(benchmark.source, options)
+
+
+def _seed_cell(spec) -> SuiteRow:
+    """One grid cell exactly as the seed pipeline ran it (double compile,
+    interpreted simulator, no caching)."""
+    baseline_program = _seed_compile(spec.benchmark, spec.opt_level)
+    baseline = Simulator(baseline_program, decode_once=False).run()
+
+    optimized_program = _seed_compile(spec.benchmark, spec.opt_level)
+    config = PlacementConfig(x_limit=spec.x_limit, r_spare=spec.r_spare,
+                             frequency_mode=spec.frequency_mode,
+                             solver=spec.solver)
+    optimizer = FlashRAMOptimizer(optimized_program, config=config)
+    profile = baseline.profile if spec.frequency_mode == "profile" else None
+    solution = optimizer.optimize(profile=profile)
+    optimized = Simulator(optimized_program, decode_once=False).run()
+    assert optimized.return_value == baseline.return_value
+
+    return SuiteRow(
+        benchmark=spec.benchmark,
+        opt_level=spec.opt_level,
+        frequency_mode=spec.frequency_mode,
+        energy_change=optimized.energy_j / baseline.energy_j - 1.0,
+        time_change=optimized.cycles / baseline.cycles - 1.0,
+        power_change=(optimized.average_power_w / baseline.average_power_w) - 1.0,
+        ram_bytes=solution.estimate.ram_bytes if solution.estimate else 0,
+        blocks_moved=len(solution.ram_blocks),
+    )
+
+
+def run_seed_path(benchmarks: List[str]) -> List[SuiteRow]:
+    return [_seed_cell(spec)
+            for spec in suite_specs(benchmarks, LEVELS, FREQUENCY_MODES)]
+
+
+# --------------------------------------------------------------------------- #
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="run a 4-benchmark subset instead of the suite")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="engine process fan-out (default: cpu count)")
+    parser.add_argument("--output", default="BENCH_engine.json",
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+
+    benchmarks = (["2dfir", "crc32", "fdct", "int_matmult"] if args.quick
+                  else list(BENCHMARK_NAMES))
+    workers = args.workers or os.cpu_count() or 1
+    cells = len(benchmarks) * len(LEVELS) * len(FREQUENCY_MODES)
+    print(f"Figure 5 grid: {len(benchmarks)} benchmarks x {LEVELS} x "
+          f"{list(FREQUENCY_MODES)} = {cells} cells")
+
+    t0 = time.perf_counter()
+    seed_rows = run_seed_path(benchmarks)
+    seed_seconds = time.perf_counter() - t0
+    print(f"sequential seed path : {seed_seconds:8.2f} s")
+
+    engine = ExperimentEngine(cache=ProgramCache(), max_workers=workers)
+    t0 = time.perf_counter()
+    engine_rows = evaluate_suite(benchmarks=benchmarks, levels=LEVELS,
+                                 frequency_modes=FREQUENCY_MODES,
+                                 engine=engine)
+    engine_seconds = time.perf_counter() - t0
+    print(f"cached+parallel engine ({workers} workers): {engine_seconds:8.2f} s")
+
+    seed_records = [row.as_dict() for row in seed_rows]
+    engine_records = [row.as_dict() for row in engine_rows]
+    bitwise_equal = seed_records == engine_records
+    speedup = seed_seconds / engine_seconds if engine_seconds else float("inf")
+    print(f"speedup              : {speedup:8.2f} x")
+    print(f"bitwise-equal rows   : {bitwise_equal}")
+
+    record = {
+        "grid": {"benchmarks": benchmarks, "levels": LEVELS,
+                 "frequency_modes": list(FREQUENCY_MODES), "cells": cells},
+        "workers": workers,
+        "seed_seconds": seed_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup_vs_sequential_seed": speedup,
+        "bitwise_equal_rows": bitwise_equal,
+        "summary": summarize(engine_rows),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if not bitwise_equal:
+        print("ERROR: engine rows differ from the seed path")
+        return 1
+    if speedup < 2.0:
+        print("WARNING: speedup below the 2x target (single-core host?)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,52 +1,25 @@
-"""Quickstart: compile a small kernel, optimize its flash/RAM placement, compare.
+"""Quickstart: run a kernel through the experiment engine, then a small grid.
+
+The engine compiles each program exactly once (content-addressed cache),
+simulates the baseline on the shared pristine program, optimizes a private
+copy, and can fan whole benchmark grids out over processes.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import CompileOptions, PlacementConfig, FlashRAMOptimizer, Simulator, compile_source
-
-# The paper's motivating example (Figure 2): a hot multiply loop plus a clamp.
-SOURCE = """
-int fn(int k)
-{
-    int i;
-    int x;
-    x = 1;
-    for (i = 0; i < 64; ++i) {
-        x *= k;
-    }
-    if (x > 255) {
-        x = 255;
-    }
-    return x;
-}
-
-int main(void)
-{
-    int total = 0;
-    for (int k = 1; k <= 16; ++k) {
-        total += fn(k) & 255;
-    }
-    return total;
-}
-"""
+from repro import ExperimentEngine, ExperimentSpec
 
 
 def main() -> None:
-    # 1. Compile at -O2 for the Cortex-M3-like target (64 KB flash / 8 KB RAM).
-    baseline_program = compile_source(SOURCE, CompileOptions.for_level("O2"))
-    baseline = Simulator(baseline_program).run()
+    engine = ExperimentEngine()
 
-    # 2. Compile again and let the ILP-based optimizer move basic blocks to RAM.
-    optimized_program = compile_source(SOURCE, CompileOptions.for_level("O2"))
-    optimizer = FlashRAMOptimizer(optimized_program,
-                                  config=PlacementConfig(x_limit=1.5))
-    solution = optimizer.optimize()
-    optimized = Simulator(optimized_program).run()
+    # 1. One full experiment: compile once, simulate baseline, let the
+    #    ILP-based optimizer move basic blocks to RAM, simulate the copy.
+    run = engine.run_optimized("int_matmult", "O2", x_limit=1.5)
+    baseline, optimized, solution = run.baseline, run.optimized, run.solution
 
-    # 3. Report.
     print("return value        :", baseline.signed_return_value,
           "(preserved)" if baseline.return_value == optimized.return_value else "(BROKEN)")
     print("blocks moved to RAM :", len(solution.ram_blocks),
@@ -55,11 +28,22 @@ def main() -> None:
         print("   ", key)
     print("instrumented blocks :", len(solution.instrumented))
     print(f"energy  : {baseline.energy_j * 1e6:8.3f} uJ -> {optimized.energy_j * 1e6:8.3f} uJ "
-          f"({100 * (optimized.energy_j / baseline.energy_j - 1):+.1f} %)")
+          f"({100 * run.energy_change:+.1f} %)")
     print(f"time    : {baseline.cycles:8d} cy -> {optimized.cycles:8d} cy "
-          f"({100 * (optimized.cycles / baseline.cycles - 1):+.1f} %)")
+          f"({100 * run.time_change:+.1f} %)")
     print(f"power   : {baseline.average_power_mw:8.2f} mW -> {optimized.average_power_mw:8.2f} mW "
-          f"({100 * (optimized.average_power_w / baseline.average_power_w - 1):+.1f} %)")
+          f"({100 * run.power_change:+.1f} %)")
+
+    # 2. A small grid, fanned out over worker processes with deterministic
+    #    (spec-order) results.  Re-running a benchmark at the same level hits
+    #    the program cache instead of recompiling.
+    specs = [ExperimentSpec(benchmark=name, opt_level=level)
+             for name in ("fdct", "crc32") for level in ("O2", "Os")]
+    print("\nbenchmark      level   energy %   time %   power %")
+    for spec, grid_run in zip(specs, engine.run_grid(specs)):
+        print(f"{spec.benchmark:14s} {spec.opt_level:5s} "
+              f"{100 * grid_run.energy_change:9.1f} {100 * grid_run.time_change:8.1f} "
+              f"{100 * grid_run.power_change:9.1f}")
 
 
 if __name__ == "__main__":

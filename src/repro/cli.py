@@ -1,0 +1,111 @@
+"""Console entry point: run a named figure of the paper through the engine.
+
+Installed as ``repro-eval`` (see ``setup.py``).  Examples::
+
+    repro-eval figure5 --benchmarks int_matmult crc32 --levels O2 --workers 4
+    repro-eval figure9 --output results/
+    repro-eval case-study
+    repro-eval figure1
+
+Every experiment goes through :class:`repro.engine.ExperimentEngine`, so
+programs compile once, grids fan out over processes, and ``--output DIR``
+persists the records via :class:`repro.engine.ResultStore` for cross-run
+comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.beebs import BENCHMARK_NAMES
+from repro.engine import ExperimentEngine, ResultStore, default_engine
+
+FIGURES = ["figure1", "figure2", "figure5", "figure6", "figure9", "case-study"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval",
+        description="Reproduce a figure of 'Optimizing the flash-RAM energy "
+                    "trade-off in deeply embedded systems' (CGO 2015).")
+    parser.add_argument("figure", choices=FIGURES,
+                        help="which figure / reported number to reproduce")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        metavar="NAME",
+                        help=f"benchmark subset (default: figure-specific; "
+                             f"known: {', '.join(BENCHMARK_NAMES)})")
+    parser.add_argument("--levels", nargs="*", default=None, metavar="LEVEL",
+                        help="optimization levels, e.g. O2 Os")
+    parser.add_argument("--frequency-modes", nargs="*", default=("static",),
+                        choices=("static", "profile"),
+                        help="block-frequency estimation modes (figure5)")
+    parser.add_argument("--x-limit", type=float, default=1.5,
+                        help="allowed slowdown factor X_limit (default 1.5)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process fan-out for grids (default: cpu count)")
+    parser.add_argument("--output", default=None, metavar="DIR",
+                        help="directory to persist JSON records into")
+    return parser
+
+
+def _emit(args, name: str, records: List[dict], meta: Optional[dict] = None) -> None:
+    if args.output:
+        path = ResultStore(args.output).save(name, records, meta=meta)
+        print(f"wrote {len(records)} records to {path}")
+    else:
+        json.dump({"meta": meta or {}, "records": records}, sys.stdout, indent=2)
+        print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    engine = default_engine() if args.workers is None else ExperimentEngine(
+        max_workers=args.workers)
+
+    if args.figure == "figure1":
+        from repro.evaluation.figure1 import instruction_power_rows
+        _emit(args, "figure1", instruction_power_rows())
+
+    elif args.figure == "figure2":
+        from repro.evaluation.figure2 import motivating_example_report
+        _emit(args, "figure2", [motivating_example_report(x_limit=args.x_limit)])
+
+    elif args.figure == "figure5":
+        from repro.evaluation.figure5 import evaluate_suite, summarize
+        rows = evaluate_suite(benchmarks=args.benchmarks, levels=args.levels,
+                              frequency_modes=tuple(args.frequency_modes),
+                              x_limit=args.x_limit, engine=engine,
+                              max_workers=args.workers)
+        _emit(args, "figure5", [row.as_dict() for row in rows],
+              meta=summarize(rows))
+
+    elif args.figure == "figure6":
+        from repro.evaluation.figure6 import solver_trajectories
+        benchmark = (args.benchmarks or ["int_matmult"])[0]
+        level = (args.levels or ["O2"])[0]
+        trajectories = solver_trajectories(benchmark, level)
+        _emit(args, "figure6",
+              [dict(row, sweep=sweep) for sweep, rows in trajectories.items()
+               for row in rows],
+              meta={"benchmark": benchmark, "opt_level": level})
+
+    elif args.figure == "figure9":
+        from repro.evaluation.figure9 import period_sweep
+        series = period_sweep(benchmarks=args.benchmarks,
+                              opt_level=(args.levels or ["O2"])[0],
+                              x_limit=args.x_limit, engine=engine)
+        _emit(args, "figure9", [row for rows in series.values() for row in rows])
+
+    elif args.figure == "case-study":
+        from repro.evaluation.case_study import case_study_report
+        report = case_study_report(x_limit=args.x_limit, engine=engine)
+        _emit(args, "case_study", [report])
+
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

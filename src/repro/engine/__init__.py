@@ -1,0 +1,53 @@
+"""Experiment engine: cached, parallel, decode-once evaluation pipeline.
+
+This subsystem is the single path every figure, benchmark and example uses to
+run compile→optimize→simulate experiments:
+
+* :class:`ProgramCache` — content-addressed compile-once cache
+  (`repro.engine.cache`);
+* :class:`ExperimentEngine` / :class:`ExperimentSpec` — single experiments and
+  parallel grids with deterministic ordering (`repro.engine.engine`);
+* :class:`BenchmarkRun` / :class:`ResultStore` — result records and JSON
+  persistence for cross-run comparison (`repro.engine.results`).
+
+See ``DESIGN.md`` for the architecture and the invariants (bitwise-identical
+results across sequential/parallel and decode-once/interpreted execution).
+"""
+
+from repro.engine.cache import (
+    CacheStats,
+    ProgramCache,
+    default_cache,
+    options_fingerprint,
+    program_key,
+)
+from repro.engine.engine import (
+    ExperimentEngine,
+    ExperimentSpec,
+    default_engine,
+)
+from repro.engine.results import (
+    BenchmarkRun,
+    ResultStore,
+    records_equal,
+    run_record,
+    simulation_record,
+    suite_row_record,
+)
+
+__all__ = [
+    "CacheStats",
+    "ProgramCache",
+    "default_cache",
+    "options_fingerprint",
+    "program_key",
+    "ExperimentEngine",
+    "ExperimentSpec",
+    "default_engine",
+    "BenchmarkRun",
+    "ResultStore",
+    "records_equal",
+    "run_record",
+    "simulation_record",
+    "suite_row_record",
+]

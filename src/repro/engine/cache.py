@@ -1,0 +1,139 @@
+"""Content-addressed program cache: each program is compiled exactly once.
+
+The paper's evaluation is a grid of compile→optimize→simulate experiments, and
+the seed harness recompiled the same (benchmark, opt level) pair from source
+for every figure that touched it — twice per optimized run alone.  The cache
+keys compiled :class:`~repro.machine.program.MachineProgram` objects by the
+SHA-256 of the source text plus a fingerprint of every
+:class:`~repro.codegen.CompileOptions` field, so
+
+* identical experiments share one compile per process,
+* any option change (opt level, entry, linking, stack reserve, …) is a
+  different key — there is no way to get a stale program back.
+
+Cached instances are pristine and shared; callers that mutate programs (the
+flash-RAM placement transformation rewrites blocks in place) take a
+``deepcopy`` via :meth:`ProgramCache.get_mutable`.  Copying is cheap relative
+to a compile and is kept correct by the value-type ``__deepcopy__`` hooks in
+:mod:`repro.isa` (register identity) and the decode-cache reset in
+:class:`~repro.machine.blocks.MachineBlock`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import threading
+from copy import deepcopy
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.beebs import get_benchmark
+from repro.codegen import CompileOptions, compile_source
+from repro.machine.program import MachineProgram
+
+
+@dataclass
+class CacheStats:
+    """Counters for cache behaviour; ``compiles`` is the number of misses."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def compiles(self) -> int:
+        return self.misses
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+
+def options_fingerprint(options: CompileOptions) -> Tuple:
+    """A hashable, order-stable digest of every compile option.
+
+    Derived from the dataclass fields so that options added to
+    :class:`CompileOptions` later automatically become part of the cache key —
+    two option sets that differ in any field can never alias.
+    """
+    return tuple(
+        (f.name, str(getattr(options, f.name)))
+        for f in dataclasses.fields(options)
+    )
+
+
+def program_key(source: str, options: CompileOptions) -> Tuple:
+    """Content-addressed cache key for (source, options)."""
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return (digest, options_fingerprint(options))
+
+
+class ProgramCache:
+    """Compile-once cache of linked machine programs."""
+
+    def __init__(self) -> None:
+        self._programs: Dict[Tuple, MachineProgram] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    def get(self, source: str, options: Optional[CompileOptions] = None) -> MachineProgram:
+        """The shared, pristine compiled program for (source, options).
+
+        Callers must treat the result as read-only; use :meth:`get_mutable`
+        for a program that will be transformed in place.
+        """
+        options = options or CompileOptions()
+        key = program_key(source, options)
+        with self._lock:
+            program = self._programs.get(key)
+            if program is not None:
+                self.stats.hits += 1
+                return program
+            self.stats.misses += 1
+        program = compile_source(source, options)
+        with self._lock:
+            # A concurrent thread may have compiled the same key; keep the
+            # first instance so shared references stay consistent.
+            return self._programs.setdefault(key, program)
+
+    def get_mutable(self, source: str,
+                    options: Optional[CompileOptions] = None) -> MachineProgram:
+        """A private deep copy of the cached program, safe to transform."""
+        return deepcopy(self.get(source, options))
+
+    # ------------------------------------------------------------------ #
+    def get_benchmark(self, name: str, opt_level: str = "O2") -> MachineProgram:
+        """Shared pristine program for a registered BEEBS benchmark."""
+        benchmark = get_benchmark(name)
+        options = CompileOptions.for_level(opt_level, program_name=benchmark.name)
+        return self.get(benchmark.source, options)
+
+    def get_benchmark_mutable(self, name: str, opt_level: str = "O2") -> MachineProgram:
+        """Private mutable copy of a registered BEEBS benchmark's program."""
+        benchmark = get_benchmark(name)
+        options = CompileOptions.for_level(opt_level, program_name=benchmark.name)
+        return self.get_mutable(benchmark.source, options)
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        with self._lock:
+            self._programs.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+
+_DEFAULT_CACHE: Optional[ProgramCache] = None
+_DEFAULT_CACHE_LOCK = threading.Lock()
+
+
+def default_cache() -> ProgramCache:
+    """The process-wide program cache shared by the default engine."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        with _DEFAULT_CACHE_LOCK:
+            if _DEFAULT_CACHE is None:
+                _DEFAULT_CACHE = ProgramCache()
+    return _DEFAULT_CACHE

@@ -1,0 +1,194 @@
+"""The experiment engine: cached, parallel compile→optimize→simulate runs.
+
+Every figure, benchmark and example funnels through
+:class:`ExperimentEngine`.  For one experiment cell the engine
+
+1. compiles the benchmark **once** through the shared
+   :class:`~repro.engine.cache.ProgramCache` (the seed pipeline compiled the
+   same source twice per optimized run),
+2. simulates the pristine shared program for the baseline — baseline results
+   are memoised per (program, engine) since simulation does not mutate the
+   program,
+3. deep-copies the pristine program for the placement optimizer, which
+   rewrites blocks in place, and simulates the optimized copy.
+
+Grids (benchmark × opt level × frequency mode) fan out over a
+``concurrent.futures.ProcessPoolExecutor`` with deterministic result
+ordering: results come back in spec order regardless of which worker finished
+first, and every worker computes the exact same floats the sequential path
+does, so parallel and sequential grids are bitwise identical.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.beebs import get_benchmark
+from repro.codegen import CompileOptions
+from repro.engine.cache import ProgramCache, default_cache
+from repro.engine.results import BenchmarkRun
+from repro.machine.program import MachineProgram
+from repro.placement import FlashRAMOptimizer, PlacementConfig
+from repro.sim import EnergyModel, SimulationResult, Simulator
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of an evaluation grid."""
+
+    benchmark: str
+    opt_level: str = "O2"
+    optimize: bool = True
+    x_limit: float = 1.5
+    r_spare: Optional[int] = None
+    frequency_mode: str = "static"
+    solver: str = "ilp"
+
+
+class ExperimentEngine:
+    """Runs compile/optimize/simulate experiments with caching and fan-out."""
+
+    def __init__(self, energy_model: Optional[EnergyModel] = None,
+                 cache: Optional[ProgramCache] = None,
+                 max_workers: Optional[int] = None):
+        self.energy_model = energy_model or EnergyModel()
+        self.cache = cache if cache is not None else default_cache()
+        self.max_workers = max_workers
+        self._baseline_results: Dict[Tuple, SimulationResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def compile_benchmark(self, name: str, opt_level: str = "O2") -> MachineProgram:
+        """The shared pristine program of one benchmark (compiled once)."""
+        return self.cache.get_benchmark(name, opt_level)
+
+    def compile_benchmark_mutable(self, name: str,
+                                  opt_level: str = "O2") -> MachineProgram:
+        """A private, transformable copy of the benchmark's program."""
+        return self.cache.get_benchmark_mutable(name, opt_level)
+
+    # ------------------------------------------------------------------ #
+    # Single experiments
+    # ------------------------------------------------------------------ #
+    def _baseline(self, name: str, opt_level: str) -> SimulationResult:
+        """Simulate the unmodified program; memoised per (benchmark, level)."""
+        key = (name, opt_level)
+        result = self._baseline_results.get(key)
+        if result is None:
+            program = self.compile_benchmark(name, opt_level)
+            result = Simulator(program, energy_model=self.energy_model).run()
+            self._baseline_results[key] = result
+        return result
+
+    def run_baseline(self, name: str, opt_level: str = "O2") -> BenchmarkRun:
+        """Compile and simulate one benchmark without the optimization."""
+        get_benchmark(name)  # fail fast on unknown names
+        return BenchmarkRun(name=name, opt_level=opt_level,
+                            baseline=self._baseline(name, opt_level))
+
+    def run_optimized(self, name: str, opt_level: str = "O2",
+                      x_limit: float = 1.5,
+                      r_spare: Optional[int] = None,
+                      frequency_mode: str = "static",
+                      solver: str = "ilp") -> BenchmarkRun:
+        """Full experiment for one benchmark: baseline, optimize, re-run.
+
+        ``frequency_mode="profile"`` feeds the baseline simulation's block
+        counts to the optimizer (the dotted points of Figure 5).
+        """
+        baseline = self._baseline(name, opt_level)
+
+        optimized_program = self.compile_benchmark_mutable(name, opt_level)
+        config = PlacementConfig(x_limit=x_limit, r_spare=r_spare,
+                                 frequency_mode=frequency_mode, solver=solver)
+        optimizer = FlashRAMOptimizer(optimized_program,
+                                      energy_model=self.energy_model,
+                                      config=config)
+        profile = baseline.profile if frequency_mode == "profile" else None
+        solution = optimizer.optimize(profile=profile)
+        optimized = Simulator(optimized_program,
+                              energy_model=self.energy_model).run()
+
+        if optimized.return_value != baseline.return_value:
+            raise AssertionError(
+                f"{name}/{opt_level}: optimization changed the result "
+                f"({baseline.return_value} -> {optimized.return_value})")
+
+        return BenchmarkRun(name=name, opt_level=opt_level, baseline=baseline,
+                            optimized=optimized, solution=solution,
+                            frequency_mode=frequency_mode)
+
+    def run_spec(self, spec: ExperimentSpec) -> BenchmarkRun:
+        """Run one grid cell."""
+        if not spec.optimize:
+            return self.run_baseline(spec.benchmark, spec.opt_level)
+        return self.run_optimized(spec.benchmark, spec.opt_level,
+                                  x_limit=spec.x_limit, r_spare=spec.r_spare,
+                                  frequency_mode=spec.frequency_mode,
+                                  solver=spec.solver)
+
+    # ------------------------------------------------------------------ #
+    # Grids
+    # ------------------------------------------------------------------ #
+    def run_grid(self, specs: Sequence[ExperimentSpec],
+                 max_workers: Optional[int] = None) -> List[BenchmarkRun]:
+        """Run a grid of experiments; results are in spec order.
+
+        ``max_workers`` (falling back to the engine default, then to the CPU
+        count) caps the process fan-out; ``<= 1`` runs sequentially in
+        process, which shares this engine's caches and is what tests use for
+        determinism checks.
+        """
+        specs = list(specs)
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = min(workers, len(specs)) if specs else 1
+
+        if workers <= 1 or len(specs) <= 1:
+            return [self.run_spec(spec) for spec in specs]
+
+        payloads = [(spec, self.energy_model) for spec in specs]
+        # Contiguous chunks keep same-(benchmark, level) cells — adjacent in
+        # every grid this repo builds — on one worker, whose per-process
+        # engine then reuses the compile and the memoised baseline instead of
+        # redoing them in another process.
+        chunksize = -(-len(payloads) // workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_grid_worker, payloads, chunksize=chunksize))
+
+
+# --------------------------------------------------------------------------- #
+# Worker-process plumbing
+# --------------------------------------------------------------------------- #
+#: Per-process engines reused across tasks, one per distinct energy model
+#: (models are small dataclasses, compared by value).
+_WORKER_ENGINES: List[Tuple[EnergyModel, ExperimentEngine]] = []
+
+
+def _grid_worker(payload: Tuple[ExperimentSpec, EnergyModel]) -> BenchmarkRun:
+    spec, energy_model = payload
+    for model, engine in _WORKER_ENGINES:
+        if model == energy_model:
+            return engine.run_spec(spec)
+    engine = ExperimentEngine(energy_model=energy_model, max_workers=1)
+    _WORKER_ENGINES.append((energy_model, engine))
+    return engine.run_spec(spec)
+
+
+# --------------------------------------------------------------------------- #
+# Default engine
+# --------------------------------------------------------------------------- #
+_DEFAULT_ENGINE: Optional[ExperimentEngine] = None
+
+
+def default_engine() -> ExperimentEngine:
+    """The process-wide engine used by the evaluation convenience wrappers."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExperimentEngine()
+    return _DEFAULT_ENGINE

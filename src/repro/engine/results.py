@@ -1,0 +1,146 @@
+"""Experiment result records and the JSON-backed :class:`ResultStore`.
+
+:class:`BenchmarkRun` is the unit of measurement of the whole evaluation (one
+benchmark at one optimization level, baseline and optionally optimized); it
+used to live in ``repro.evaluation.pipeline`` and is re-exported from there
+for compatibility.  :class:`ResultStore` serializes grids of
+``BenchmarkRun``/``SuiteRow`` records to JSON so independent runs (sequential
+vs parallel, decode-once vs interpreted, before vs after a change) can be
+compared bitwise: Python's ``repr``-based float serialization round-trips
+exactly, so equal floats stay equal through the store.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.placement import PlacementSolution
+from repro.sim import SimulationResult
+
+
+@dataclass
+class BenchmarkRun:
+    """Everything measured for one benchmark at one optimization level."""
+
+    name: str
+    opt_level: str
+    baseline: SimulationResult
+    optimized: Optional[SimulationResult] = None
+    solution: Optional[PlacementSolution] = None
+    frequency_mode: str = "static"
+
+    @property
+    def energy_change(self) -> float:
+        """Relative energy change (negative = saving), e.g. -0.22 for -22 %."""
+        if self.optimized is None:
+            return 0.0
+        return self.optimized.energy_j / self.baseline.energy_j - 1.0
+
+    @property
+    def time_change(self) -> float:
+        if self.optimized is None:
+            return 0.0
+        return self.optimized.cycles / self.baseline.cycles - 1.0
+
+    @property
+    def power_change(self) -> float:
+        if self.optimized is None:
+            return 0.0
+        return (self.optimized.average_power_w / self.baseline.average_power_w) - 1.0
+
+    @property
+    def ke(self) -> float:
+        """The case-study energy factor k_e."""
+        return 1.0 + self.energy_change
+
+    @property
+    def kt(self) -> float:
+        """The case-study time factor k_t."""
+        return 1.0 + self.time_change
+
+
+# --------------------------------------------------------------------------- #
+# Record construction
+# --------------------------------------------------------------------------- #
+def simulation_record(result: SimulationResult) -> Dict:
+    """Flat JSON-safe record of one simulation (profile omitted)."""
+    return {
+        "return_value": result.return_value,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "energy_j": result.energy_j,
+        "time_s": result.time_s,
+        "cycles_by_section": dict(result.cycles_by_section),
+    }
+
+
+def run_record(run: BenchmarkRun) -> Dict:
+    """Flat JSON-safe record of one :class:`BenchmarkRun`."""
+    record = {
+        "name": run.name,
+        "opt_level": run.opt_level,
+        "frequency_mode": run.frequency_mode,
+        "baseline": simulation_record(run.baseline),
+        "optimized": (simulation_record(run.optimized)
+                      if run.optimized is not None else None),
+        "energy_change": run.energy_change,
+        "time_change": run.time_change,
+        "power_change": run.power_change,
+    }
+    if run.solution is not None:
+        record["ram_blocks"] = sorted(run.solution.ram_blocks)
+        record["instrumented"] = sorted(run.solution.instrumented)
+        record["solver"] = run.solution.solver
+    return record
+
+
+def suite_row_record(row) -> Dict:
+    """Record for a Figure-5 ``SuiteRow`` (anything with ``as_dict``)."""
+    return row.as_dict()
+
+
+class ResultStore:
+    """Directory of named JSON result files for cross-run comparison."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def path_for(self, name: str) -> Path:
+        return self.root / f"{name}.json"
+
+    # ------------------------------------------------------------------ #
+    def save(self, name: str, records: Sequence[Dict],
+             meta: Optional[Dict] = None) -> Path:
+        """Write *records* (flat dicts) under *name*; returns the file path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(name)
+        payload = {"meta": meta or {}, "records": list(records)}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
+    def load(self, name: str) -> List[Dict]:
+        """Load the records previously saved under *name*."""
+        payload = json.loads(self.path_for(name).read_text(encoding="utf-8"))
+        return payload["records"]
+
+    def load_meta(self, name: str) -> Dict:
+        payload = json.loads(self.path_for(name).read_text(encoding="utf-8"))
+        return payload.get("meta", {})
+
+    # ------------------------------------------------------------------ #
+    def save_runs(self, name: str, runs: Sequence[BenchmarkRun],
+                  meta: Optional[Dict] = None) -> Path:
+        return self.save(name, [run_record(run) for run in runs], meta=meta)
+
+    def save_suite(self, name: str, rows: Sequence,
+                   meta: Optional[Dict] = None) -> Path:
+        return self.save(name, [suite_row_record(row) for row in rows], meta=meta)
+
+
+def records_equal(first: Sequence[Dict], second: Sequence[Dict]) -> bool:
+    """Exact (bitwise for floats) equality of two record lists."""
+    return list(first) == list(second)

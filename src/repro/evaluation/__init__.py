@@ -7,7 +7,7 @@ from repro.evaluation.pipeline import (
 )
 from repro.evaluation.figure1 import instruction_power_rows
 from repro.evaluation.figure2 import motivating_example_report
-from repro.evaluation.figure5 import evaluate_suite, summarize, SuiteRow
+from repro.evaluation.figure5 import evaluate_suite, summarize, suite_specs, SuiteRow
 from repro.evaluation.figure6 import design_space, solver_trajectories
 from repro.evaluation.figure9 import period_sweep
 from repro.evaluation.case_study import case_study_report
@@ -20,6 +20,7 @@ __all__ = [
     "motivating_example_report",
     "evaluate_suite",
     "summarize",
+    "suite_specs",
     "SuiteRow",
     "design_space",
     "solver_trajectories",

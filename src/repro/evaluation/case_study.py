@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.evaluation.pipeline import run_optimized_benchmark
+from repro.engine import ExperimentEngine, default_engine
 from repro.power.sleep_model import (
     PAPER_FDCT_E0_J,
     PAPER_FDCT_KE,
@@ -51,9 +51,11 @@ def paper_worked_example() -> Dict[str, float]:
 
 def case_study_report(benchmark: str = "fdct", opt_level: str = "O2",
                       sleep_power_w: float = PAPER_SLEEP_POWER_W,
-                      x_limit: float = 1.5) -> Dict[str, Dict]:
+                      x_limit: float = 1.5,
+                      engine: Optional[ExperimentEngine] = None) -> Dict[str, Dict]:
     """Paper constants vs our measured pipeline, side by side."""
-    run = run_optimized_benchmark(benchmark, opt_level, x_limit=x_limit)
+    engine = engine if engine is not None else default_engine()
+    run = engine.run_optimized(benchmark, opt_level, x_limit=x_limit)
     measured_params = SleepParameters(
         active_energy_j=run.baseline.energy_j,
         active_time_s=run.baseline.time_s,

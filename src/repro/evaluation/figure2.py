@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.codegen import CompileOptions, compile_source
+from repro.codegen import CompileOptions
+from repro.engine import default_cache
 from repro.placement import FlashRAMOptimizer, PlacementConfig
 from repro.sim import Simulator
 
@@ -43,12 +44,12 @@ int main(void)
 def motivating_example_report(opt_level: str = "O2",
                               x_limit: float = 1.5) -> Dict:
     """Compile, optimize and simulate the Figure 2 example; return a summary."""
-    baseline_program = compile_source(
-        MOTIVATING_SOURCE, CompileOptions.for_level(opt_level, program_name="fig2"))
+    cache = default_cache()
+    options = CompileOptions.for_level(opt_level, program_name="fig2")
+    baseline_program = cache.get(MOTIVATING_SOURCE, options)
     baseline = Simulator(baseline_program).run()
 
-    optimized_program = compile_source(
-        MOTIVATING_SOURCE, CompileOptions.for_level(opt_level, program_name="fig2"))
+    optimized_program = cache.get_mutable(MOTIVATING_SOURCE, options)
     optimizer = FlashRAMOptimizer(optimized_program,
                                   config=PlacementConfig(x_limit=x_limit))
     solution = optimizer.optimize()

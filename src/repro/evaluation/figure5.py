@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.beebs import BENCHMARK_NAMES
-from repro.evaluation.pipeline import run_optimized_benchmark
+from repro.engine import ExperimentEngine, ExperimentSpec, default_engine
 
 #: Optimization levels of the paper's full sweep and of Figure 5 itself.
 ALL_LEVELS = ["O0", "O1", "O2", "O3", "Os"]
@@ -53,28 +53,49 @@ class SuiteRow:
         }
 
 
+def suite_specs(benchmarks: Optional[Sequence[str]] = None,
+                levels: Optional[Sequence[str]] = None,
+                frequency_modes: Sequence[str] = ("static",),
+                x_limit: float = 1.5) -> List[ExperimentSpec]:
+    """The experiment grid of Figure 5 as engine specs (row order of the figure)."""
+    return [
+        ExperimentSpec(benchmark=name, opt_level=level, frequency_mode=mode,
+                       x_limit=x_limit)
+        for name in (benchmarks or BENCHMARK_NAMES)
+        for level in (levels or FIGURE5_LEVELS)
+        for mode in frequency_modes
+    ]
+
+
 def evaluate_suite(benchmarks: Optional[Sequence[str]] = None,
                    levels: Optional[Sequence[str]] = None,
                    frequency_modes: Sequence[str] = ("static",),
-                   x_limit: float = 1.5) -> List[SuiteRow]:
-    """Run the optimization experiment over the benchmark/level grid."""
+                   x_limit: float = 1.5,
+                   engine: Optional[ExperimentEngine] = None,
+                   max_workers: Optional[int] = None) -> List[SuiteRow]:
+    """Run the optimization experiment over the benchmark/level grid.
+
+    The grid runs through the experiment engine: one compile per (benchmark,
+    level), memoised baselines, and — when ``max_workers`` (or the engine
+    default) allows it — a process-pool fan-out with deterministic, bitwise
+    reproducible results in grid order.
+    """
+    engine = engine if engine is not None else default_engine()
+    specs = suite_specs(benchmarks, levels, frequency_modes, x_limit)
+    runs = engine.run_grid(specs, max_workers=max_workers)
     rows: List[SuiteRow] = []
-    for name in (benchmarks or BENCHMARK_NAMES):
-        for level in (levels or FIGURE5_LEVELS):
-            for mode in frequency_modes:
-                run = run_optimized_benchmark(name, level, x_limit=x_limit,
-                                              frequency_mode=mode)
-                estimate = run.solution.estimate if run.solution else None
-                rows.append(SuiteRow(
-                    benchmark=name,
-                    opt_level=level,
-                    frequency_mode=mode,
-                    energy_change=run.energy_change,
-                    time_change=run.time_change,
-                    power_change=run.power_change,
-                    ram_bytes=estimate.ram_bytes if estimate else 0,
-                    blocks_moved=len(run.solution.ram_blocks) if run.solution else 0,
-                ))
+    for spec, run in zip(specs, runs):
+        estimate = run.solution.estimate if run.solution else None
+        rows.append(SuiteRow(
+            benchmark=spec.benchmark,
+            opt_level=spec.opt_level,
+            frequency_mode=spec.frequency_mode,
+            energy_change=run.energy_change,
+            time_change=run.time_change,
+            power_change=run.power_change,
+            ram_bytes=estimate.ram_bytes if estimate else 0,
+            blocks_moved=len(run.solution.ram_blocks) if run.solution else 0,
+        ))
     return rows
 
 

@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.beebs import get_benchmark
-from repro.codegen import CompileOptions, compile_source
+from repro.engine import default_cache
 from repro.placement import FlashRAMOptimizer, PlacementConfig
 from repro.placement.solvers.exhaustive import enumerate_placements, significant_blocks
 from repro.sim import EnergyModel
@@ -30,9 +29,9 @@ class DesignSpacePoint:
 
 
 def _build_model(benchmark_name: str, opt_level: str):
-    benchmark = get_benchmark(benchmark_name)
-    program = compile_source(benchmark.source, CompileOptions.for_level(
-        opt_level, program_name=benchmark.name))
+    # The sweeps only *evaluate* placements (select_blocks never applies the
+    # transformation), so everything can work on one cached private copy.
+    program = default_cache().get_benchmark_mutable(benchmark_name, opt_level)
     optimizer = FlashRAMOptimizer(program, config=PlacementConfig())
     model = optimizer.build_cost_model()
     return program, optimizer, model

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.evaluation.pipeline import run_optimized_benchmark
+from repro.engine import ExperimentEngine, default_engine
 from repro.power.sleep_model import PeriodicSensingModel, SleepParameters
 
 FIGURE9_BENCHMARKS = ["fdct", "int_matmult", "2dfir"]
@@ -20,11 +20,13 @@ def period_sweep(benchmarks: Optional[Sequence[str]] = None,
                  opt_level: str = "O2",
                  multiples: Optional[Sequence[float]] = None,
                  sleep_power_w: float = 3.5e-3,
-                 x_limit: float = 1.5) -> Dict[str, List[Dict]]:
+                 x_limit: float = 1.5,
+                 engine: Optional[ExperimentEngine] = None) -> Dict[str, List[Dict]]:
     """For each benchmark, the energy-percentage series of Figure 9."""
+    engine = engine if engine is not None else default_engine()
     series: Dict[str, List[Dict]] = {}
     for name in (benchmarks or FIGURE9_BENCHMARKS):
-        run = run_optimized_benchmark(name, opt_level, x_limit=x_limit)
+        run = engine.run_optimized(name, opt_level, x_limit=x_limit)
         params = SleepParameters(
             active_energy_j=run.baseline.energy_j,
             active_time_s=run.baseline.time_s,

@@ -1,70 +1,60 @@
-"""Shared compile/optimize/simulate pipeline used by every experiment."""
+"""Shared compile/optimize/simulate pipeline used by every experiment.
+
+Since the engine refactor these helpers are thin wrappers over
+:class:`repro.engine.ExperimentEngine`: programs are compiled exactly once per
+process through the content-addressed cache (the seed implementation compiled
+each optimized benchmark twice from source), baselines are simulated on the
+shared pristine program, and the placement optimizer works on a private deep
+copy.  :class:`BenchmarkRun` now lives in :mod:`repro.engine.results` and is
+re-exported here for compatibility.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.beebs import Benchmark, get_benchmark
-from repro.codegen import CompileOptions, OptLevel, compile_source
+from repro.codegen import CompileOptions
+from repro.engine.cache import default_cache
+from repro.engine.engine import ExperimentEngine, default_engine
+from repro.engine.results import BenchmarkRun
 from repro.machine.program import MachineProgram
-from repro.placement import FlashRAMOptimizer, PlacementConfig, PlacementSolution
-from repro.sim import EnergyModel, SimulationResult, Simulator
+from repro.sim import EnergyModel
+
+__all__ = [
+    "BenchmarkRun",
+    "compile_benchmark",
+    "run_benchmark",
+    "run_optimized_benchmark",
+]
 
 
-@dataclass
-class BenchmarkRun:
-    """Everything measured for one benchmark at one optimization level."""
+def _engine_for(energy_model: Optional[EnergyModel]) -> ExperimentEngine:
+    """The default engine, or an ephemeral one for a custom energy model.
 
-    name: str
-    opt_level: str
-    baseline: SimulationResult
-    optimized: Optional[SimulationResult] = None
-    solution: Optional[PlacementSolution] = None
-
-    @property
-    def energy_change(self) -> float:
-        """Relative energy change (negative = saving), e.g. -0.22 for -22 %."""
-        if self.optimized is None:
-            return 0.0
-        return self.optimized.energy_j / self.baseline.energy_j - 1.0
-
-    @property
-    def time_change(self) -> float:
-        if self.optimized is None:
-            return 0.0
-        return self.optimized.cycles / self.baseline.cycles - 1.0
-
-    @property
-    def power_change(self) -> float:
-        if self.optimized is None:
-            return 0.0
-        return (self.optimized.average_power_w / self.baseline.average_power_w) - 1.0
-
-    @property
-    def ke(self) -> float:
-        """The case-study energy factor k_e."""
-        return 1.0 + self.energy_change
-
-    @property
-    def kt(self) -> float:
-        """The case-study time factor k_t."""
-        return 1.0 + self.time_change
+    The ephemeral engine still shares the process-wide program cache —
+    compilation is independent of the energy model — but keeps its own
+    baseline-result memo, which does depend on it.
+    """
+    if energy_model is None:
+        return default_engine()
+    return ExperimentEngine(energy_model=energy_model)
 
 
 def compile_benchmark(benchmark: Benchmark, opt_level: str = "O2") -> MachineProgram:
-    """Compile one benchmark at the requested level."""
+    """Compile one benchmark at the requested level.
+
+    Returns a private copy (callers may transform it); the underlying compile
+    happens at most once per process.
+    """
     options = CompileOptions.for_level(opt_level, program_name=benchmark.name)
-    return compile_source(benchmark.source, options)
+    return default_cache().get_mutable(benchmark.source, options)
 
 
 def run_benchmark(name: str, opt_level: str = "O2",
                   energy_model: Optional[EnergyModel] = None) -> BenchmarkRun:
     """Compile and simulate one benchmark without the optimization."""
-    benchmark = get_benchmark(name)
-    program = compile_benchmark(benchmark, opt_level)
-    result = Simulator(program, energy_model=energy_model).run()
-    return BenchmarkRun(name=name, opt_level=opt_level, baseline=result)
+    return _engine_for(energy_model).run_baseline(name, opt_level)
 
 
 def run_optimized_benchmark(name: str, opt_level: str = "O2",
@@ -78,25 +68,7 @@ def run_optimized_benchmark(name: str, opt_level: str = "O2",
     ``frequency_mode="profile"`` first simulates the baseline to collect block
     counts and feeds them to the optimizer (the dotted points of Figure 5).
     """
-    benchmark = get_benchmark(name)
-    energy_model = energy_model or EnergyModel()
-
-    baseline_program = compile_benchmark(benchmark, opt_level)
-    baseline = Simulator(baseline_program, energy_model=energy_model).run()
-
-    optimized_program = compile_benchmark(benchmark, opt_level)
-    config = PlacementConfig(x_limit=x_limit, r_spare=r_spare,
-                             frequency_mode=frequency_mode, solver=solver)
-    optimizer = FlashRAMOptimizer(optimized_program, energy_model=energy_model,
-                                  config=config)
-    profile = baseline.profile if frequency_mode == "profile" else None
-    solution = optimizer.optimize(profile=profile)
-    optimized = Simulator(optimized_program, energy_model=energy_model).run()
-
-    if optimized.return_value != baseline.return_value:
-        raise AssertionError(
-            f"{name}/{opt_level}: optimization changed the result "
-            f"({baseline.return_value} -> {optimized.return_value})")
-
-    return BenchmarkRun(name=name, opt_level=opt_level, baseline=baseline,
-                        optimized=optimized, solution=solution)
+    get_benchmark(name)  # fail fast on unknown names, as the seed did
+    return _engine_for(energy_model).run_optimized(
+        name, opt_level, x_limit=x_limit, r_spare=r_spare,
+        frequency_mode=frequency_mode, solver=solver)

@@ -84,8 +84,22 @@ class InstrClass(Enum):
     OTHER = "other"
 
 
+class _FrozenOperand:
+    """Mixin for immutable operands: copying returns the object itself.
+
+    Keeps ``deepcopy`` of whole programs cheap and — more importantly —
+    preserves register identity inside :class:`RegList` operands.
+    """
+
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
+
+
 @dataclass(frozen=True)
-class Imm:
+class Imm(_FrozenOperand):
     """An immediate operand."""
 
     value: int
@@ -95,7 +109,7 @@ class Imm:
 
 
 @dataclass(frozen=True)
-class Sym:
+class Sym(_FrozenOperand):
     """A symbolic operand: label, function name or global-variable name.
 
     ``addend`` allows ``=symbol+offset`` style references (used for addresses
@@ -112,7 +126,7 @@ class Sym:
 
 
 @dataclass(frozen=True)
-class RegList:
+class RegList(_FrozenOperand):
     """A register list operand for ``push``/``pop``."""
 
     regs: Tuple[Reg, ...]

@@ -33,6 +33,15 @@ class Reg:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return self.name
 
+    # Registers are immutable value objects, but parts of the simulator rely
+    # on identity checks against the canonical singletons (``reg is PC``), so
+    # copying a program must never produce fresh Reg instances.
+    def __copy__(self) -> "Reg":
+        return self
+
+    def __deepcopy__(self, memo) -> "Reg":
+        return self
+
     @property
     def name(self) -> str:
         if self.virtual:

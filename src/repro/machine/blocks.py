@@ -41,6 +41,20 @@ class MachineBlock:
         self.section: str = "flash"
         self.address: Optional[int] = None
         self.instrumented: bool = False
+        #: Lazily built predecoded instruction records (repro.sim.decode);
+        #: ``(stamp, records)`` or None.  Never copied with the block.
+        self._decode_cache = None
+
+    def __deepcopy__(self, memo):
+        import copy as _copy
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        for key, value in self.__dict__.items():
+            if key == "_decode_cache":
+                clone._decode_cache = None
+            else:
+                setattr(clone, key, _copy.deepcopy(value, memo))
+        return clone
 
     # ------------------------------------------------------------------ #
     def append(self, instr: MachineInstr) -> MachineInstr:

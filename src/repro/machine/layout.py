@@ -43,6 +43,7 @@ def assign_addresses(program: MachineProgram, stack_reserve: int = 1024) -> Layo
     down from the top of RAM, so it is only used for the overflow check.
     """
     result = LayoutResult()
+    program.layout_generation += 1
 
     # --- constant data in flash ------------------------------------------ #
     flash_cursor = program.flash.origin

@@ -55,6 +55,10 @@ class MachineProgram:
         self.globals: Dict[str, GlobalData] = {}
         self.global_addresses: Dict[str, int] = {}
         self.block_addresses: Dict[str, int] = {}
+        #: Bumped by every address assignment; predecoded instruction caches
+        #: (see :mod:`repro.sim.decode`) are stamped with it and rebuilt after
+        #: any re-layout (e.g. the flash-RAM placement transformation).
+        self.layout_generation: int = 0
 
     # ------------------------------------------------------------------ #
     def add_function(self, function: MachineFunction) -> MachineFunction:

@@ -8,6 +8,18 @@ keeps it fast while still modelling everything the paper's evaluation needs:
 cycle counts with RAM-contention stalls, per-cycle power depending on the
 fetch memory, per-block execution counts and return values for correctness
 checks.
+
+Two execution strategies share identical observable behaviour:
+
+* the **decode-once fast path** (default): blocks are lazily lowered to
+  predecoded instruction records (:mod:`repro.sim.decode`) with pre-bound
+  handlers, pre-resolved operands and precomputed cycle/energy metadata, and
+  the records are cached on the blocks themselves;
+* the **interpreted reference path** (``decode_once=False``): the original
+  per-instruction dispatch, kept as the bit-exact oracle the regression tests
+  compare the fast path against.
+
+Both paths produce bitwise-identical :class:`SimulationResult` values.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from repro.isa.registers import LR, PC, SP, Reg
 from repro.isa.timing import RAM_CONTENTION_STALL, cycles_for, instr_class
 from repro.machine.blocks import MachineBlock, MachineFunction
 from repro.machine.program import MachineProgram
+from repro.sim.decode import SimulationError, predecode, resolve_symbol
 from repro.sim.energy import EnergyModel
 from repro.sim.memory import MemorySystem
 from repro.sim.profiler import BlockProfile
@@ -31,10 +44,6 @@ _MASK = 0xFFFFFFFF
 EXIT_TOKEN = 0xFFFFFFF1
 #: Base value for call-site return tokens.
 RETURN_TOKEN_BASE = 0xF0000000
-
-
-class SimulationError(Exception):
-    """Raised on illegal execution (unknown symbol, runaway loop, bad jump)."""
 
 
 @dataclass
@@ -73,10 +82,12 @@ class Simulator:
 
     def __init__(self, program: MachineProgram,
                  energy_model: Optional[EnergyModel] = None,
-                 max_instructions: int = 20_000_000):
+                 max_instructions: int = 20_000_000,
+                 decode_once: bool = True):
         self.program = program
         self.energy_model = energy_model or EnergyModel()
         self.max_instructions = max_instructions
+        self.decode_once = decode_once
 
         self.memory = MemorySystem(program.flash, program.ram)
         self._init_data()
@@ -87,8 +98,17 @@ class Simulator:
                 if block.address is not None:
                     self._address_to_block[block.address] = (function.name, block.name)
 
-        # Return tokens for calls: token value -> (function, block, instr index).
+        # Return tokens for calls: interned so that a call site executed many
+        # times (loops, periodic sensing) maps to ONE token instead of growing
+        # the table by one entry per dynamic call.
         self._return_sites: List[Tuple[str, str, int]] = []
+        self._return_site_tokens: Dict[Tuple[str, str, int], int] = {}
+
+        # Memoised energy contributions keyed by
+        # (cycles, fetch_region, instr_class, data_region); every hit returns
+        # the exact float the energy model computed the first time, keeping
+        # the fast path bitwise identical to the reference path.
+        self._energy_cache: Dict[Tuple, float] = {}
 
         self.registers: List[int] = [0] * 16
         self.flag_n = False
@@ -107,20 +127,16 @@ class Simulator:
             self.memory.load_words(address, data.words)
 
     def _resolve_symbol(self, name: str, current_function: str) -> int:
-        if name in self.program.global_addresses:
-            return self.program.global_addresses[name]
-        if name in self.program.functions:
-            entry = self.program.functions[name].entry_block
-            if entry.address is None:
-                raise SimulationError(f"function {name} has no address")
-            return entry.address
-        function = self.program.functions[current_function]
-        if name in function.blocks:
-            block = function.blocks[name]
-            if block.address is None:
-                raise SimulationError(f"block {name} has no address")
-            return block.address
-        raise SimulationError(f"unresolved symbol {name!r} in {current_function}")
+        return resolve_symbol(self.program, name, current_function)
+
+    def _intern_return_site(self, site: Tuple[str, str, int]) -> int:
+        """Token for a call return site; one token per distinct static site."""
+        token = self._return_site_tokens.get(site)
+        if token is None:
+            token = RETURN_TOKEN_BASE + len(self._return_sites)
+            self._return_site_tokens[site] = token
+            self._return_sites.append(site)
+        return token
 
     # ------------------------------------------------------------------ #
     # Register / flag helpers
@@ -148,6 +164,16 @@ class Simulator:
         self.flag_c = a >= b
         self.flag_v = ((a ^ b) & (a ^ result) & 0x80000000) != 0
 
+    def _energy(self, cycles: int, fetch_region: str, klass: InstrClass,
+                data_region: Optional[str] = None) -> float:
+        key = (cycles, fetch_region, klass, data_region)
+        value = self._energy_cache.get(key)
+        if value is None:
+            value = self.energy_model.energy_j(cycles, fetch_region, klass,
+                                               data_region)
+            self._energy_cache[key] = value
+        return value
+
     # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
@@ -163,6 +189,146 @@ class Simulator:
         self.registers[SP.index] = self.program.ram.end
         self.registers[LR.index] = EXIT_TOKEN
 
+        if self.decode_once:
+            return self._run_decoded(entry)
+        return self._run_interpreted(entry)
+
+    # ------------------------------------------------------------------ #
+    # Decode-once fast path
+    # ------------------------------------------------------------------ #
+    def _run_decoded(self, entry: str) -> SimulationResult:
+        program = self.program
+        functions = program.functions
+        max_instructions = self.max_instructions
+
+        profile = BlockProfile()
+        total_cycles = 0
+        total_instructions = 0
+        total_energy = 0.0
+        cycles_by_section = {"flash": 0, "ram": 0}
+
+        function_name = entry
+        block = functions[entry].entry_block
+        decoded = predecode(program, block)
+        records = decoded.records
+        fetch_region = decoded.fetch_region
+        fetch_is_ram = decoded.fetch_is_ram
+        index = 0
+        pending_cond: Optional[Cond] = None
+        block_cycle_start = 0
+        current_block_key = program.block_key(block)
+
+        while True:
+            if total_instructions > max_instructions:
+                raise SimulationError(
+                    f"instruction limit exceeded ({self.max_instructions}); "
+                    f"likely an infinite loop in {function_name}")
+
+            if index >= len(records):
+                # End of block without explicit control transfer: fall through.
+                profile.record(current_block_key, total_cycles - block_cycle_start)
+                next_name = block.fallthrough
+                if next_name is None:
+                    raise SimulationError(
+                        f"fell off the end of {function_name}/{block.name}")
+                block = functions[function_name].blocks[next_name]
+                decoded = predecode(program, block)
+                records = decoded.records
+                fetch_region = decoded.fetch_region
+                fetch_is_ram = decoded.fetch_is_ram
+                index = 0
+                block_cycle_start = total_cycles
+                current_block_key = program.block_key(block)
+                continue
+
+            record = records[index]
+
+            # --- predication (it blocks) ---------------------------------- #
+            if record.is_it:
+                pending_cond = record.cond
+                total_cycles += 1
+                total_instructions += 1
+                cycles_by_section[fetch_region] += 1
+                total_energy += self._energy(1, fetch_region, InstrClass.ALU)
+                index += 1
+                continue
+
+            if record.predicated:
+                condition = record.cond if record.cond is not None else pending_cond
+                if not cond_holds(condition, self.flag_n, self.flag_z,
+                                  self.flag_c, self.flag_v):
+                    total_cycles += 1
+                    total_instructions += 1
+                    cycles_by_section[fetch_region] += 1
+                    total_energy += self._energy(1, fetch_region, InstrClass.ALU)
+                    index += 1
+                    continue
+
+            # --- execute --------------------------------------------------- #
+            data_region, transfer = record.run(self)
+
+            if record.conditional and transfer is None:
+                cycles = record.cycles_not_taken
+            else:
+                cycles = record.cycles_taken
+
+            # RAM bus contention: executing from RAM while touching RAM data.
+            if fetch_is_ram and data_region == "ram" and record.contention:
+                cycles += RAM_CONTENTION_STALL
+
+            total_cycles += cycles
+            total_instructions += 1
+            cycles_by_section[fetch_region] += cycles
+            total_energy += self._energy(cycles, fetch_region, record.klass,
+                                         data_region)
+
+            if transfer is None:
+                index += 1
+                continue
+
+            kind, payload = transfer
+            profile.record(current_block_key, total_cycles - block_cycle_start)
+            block_cycle_start = total_cycles
+
+            if kind == "exit":
+                time_s = total_cycles * self.energy_model.cycle_time_s
+                return SimulationResult(
+                    return_value=self.registers[0] & _MASK,
+                    cycles=total_cycles,
+                    instructions=total_instructions,
+                    energy_j=total_energy,
+                    time_s=time_s,
+                    profile=profile,
+                    cycles_by_section=cycles_by_section,
+                )
+            if kind == "block":
+                target_function, target_block = payload
+                function_name = target_function
+                block = functions[target_function].blocks[target_block]
+                index = 0
+            elif kind == "call":
+                callee, return_site = payload
+                self.registers[LR.index] = self._intern_return_site(return_site)
+                function_name = callee
+                block = functions[callee].entry_block
+                index = 0
+            elif kind == "return":
+                site_function, site_block, site_index = payload
+                function_name = site_function
+                block = functions[site_function].blocks[site_block]
+                index = site_index
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown transfer kind {kind}")
+            decoded = predecode(program, block)
+            records = decoded.records
+            fetch_region = decoded.fetch_region
+            fetch_is_ram = decoded.fetch_is_ram
+            current_block_key = program.block_key(block)
+
+    # ------------------------------------------------------------------ #
+    # Interpreted reference path (the seed implementation, kept as oracle)
+    # ------------------------------------------------------------------ #
+    def _run_interpreted(self, entry: str) -> SimulationResult:
         profile = BlockProfile()
         total_cycles = 0
         total_instructions = 0
@@ -265,9 +431,7 @@ class Simulator:
                 index = 0
             elif kind == "call":
                 callee, return_site = payload
-                token = RETURN_TOKEN_BASE + len(self._return_sites)
-                self._return_sites.append(return_site)
-                self.registers[LR.index] = token
+                self.registers[LR.index] = self._intern_return_site(return_site)
                 function_name = callee
                 block = self.program.functions[callee].entry_block
                 index = 0
@@ -436,7 +600,7 @@ class Simulator:
         self._set(dst, result)
 
     # ------------------------------------------------------------------ #
-    def _transfer_to_address(self, value: int, function_name: str):
+    def _transfer_to_address(self, value: int, function_name: str = ""):
         """Classify an indirect jump value: exit token, return token or address."""
         if value == EXIT_TOKEN:
             return ("exit", None)
