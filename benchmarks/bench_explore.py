@@ -1,0 +1,134 @@
+"""Perf smoke bench: incremental cost-model evaluation and the explore sweep.
+
+Two measurements, recorded to ``BENCH_explore.json``:
+
+* **greedy** — ``greedy_placement`` on the largest BEEBS kernel (most basic
+  blocks in the compiled model), full O(n) evaluation per candidate
+  (``incremental=False``, the pre-incremental behaviour) vs the
+  :class:`~repro.placement.cost_model.IncrementalPlacement` fast path.
+  Asserts the two select the **identical RAM set** and that the incremental
+  path is at least 3x faster.
+* **sweep** — a small ``repro.explore`` design-space sweep (2 kernels x
+  2 X_limits x 2 flash/RAM ratios) run sequentially and in parallel,
+  asserting bitwise-identical records.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_explore.py [--output BENCH_explore.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Optional
+
+from conftest import print_table
+
+from repro.beebs import BENCHMARK_NAMES
+from repro.engine import ExperimentEngine, ProgramCache, default_cache
+from repro.explore import SweepSpec, run_sweep
+from repro.placement import FlashRAMOptimizer, PlacementConfig
+from repro.placement.solvers.greedy import greedy_placement
+
+GREEDY_REPEATS = 9
+SPEEDUP_FLOOR = 3.0
+
+
+def largest_kernel(opt_level: str = "O2") -> str:
+    """The BEEBS kernel whose compiled model has the most basic blocks."""
+    def block_count(name: str) -> int:
+        program = default_cache().get_benchmark(name, opt_level)
+        return sum(1 for _ in program.iter_blocks())
+    return max(BENCHMARK_NAMES, key=block_count)
+
+
+def bench_greedy(opt_level: str = "O2") -> dict:
+    name = largest_kernel(opt_level)
+    program = default_cache().get_benchmark_mutable(name, opt_level)
+    optimizer = FlashRAMOptimizer(program, config=PlacementConfig())
+    model = optimizer.build_cost_model()
+    r_spare = optimizer.derive_r_spare()
+    x_limit = 1.5
+
+    timings = {}
+    selections = {}
+    for incremental in (False, True):
+        best = float("inf")
+        for _ in range(GREEDY_REPEATS):
+            start = time.perf_counter()
+            ram = greedy_placement(model, r_spare, x_limit,
+                                   incremental=incremental)
+            best = min(best, time.perf_counter() - start)
+        timings[incremental] = best
+        selections[incremental] = ram
+
+    assert selections[False] == selections[True], (
+        "incremental greedy selected a different RAM set than full evaluation")
+    speedup = timings[False] / timings[True]
+    record = {
+        "benchmark": name,
+        "blocks": len(model.parameters),
+        "eligible": len(model.eligible_keys()),
+        "r_spare": r_spare,
+        "full_ms": timings[False] * 1e3,
+        "incremental_ms": timings[True] * 1e3,
+        "speedup": speedup,
+        "ram_blocks": len(selections[True]),
+    }
+    print_table(f"greedy_placement on {name} (largest kernel)", [record],
+                ["benchmark", "blocks", "full_ms", "incremental_ms",
+                 "speedup", "ram_blocks"])
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"incremental greedy speedup {speedup:.2f}x is below the "
+        f"{SPEEDUP_FLOOR}x floor")
+    return record
+
+
+def bench_sweep(workers: Optional[int]) -> dict:
+    sweep = SweepSpec(benchmarks=("crc32", "fdct"), x_limits=(1.1, 1.5),
+                      flash_ram_ratios=(None, 2.5))
+
+    start = time.perf_counter()
+    sequential = run_sweep(sweep, engine=ExperimentEngine(cache=ProgramCache()),
+                           max_workers=1)
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sweep(sweep, engine=ExperimentEngine(cache=ProgramCache()),
+                         max_workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    assert sequential.records == parallel.records, (
+        "parallel sweep records differ from sequential")
+    record = {
+        "cells": len(sequential.records),
+        "sequential_s": sequential_s,
+        "parallel_s": parallel_s,
+        "bitwise_equal": True,
+    }
+    print_table("explore sweep (2 kernels x 2 X_limits x 2 ratios)", [record],
+                ["cells", "sequential_s", "parallel_s", "bitwise_equal"])
+    return record
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--output", default=None, metavar="FILE")
+    args = parser.parse_args()
+
+    greedy_record = bench_greedy()
+    sweep_record = bench_sweep(args.workers)
+
+    if args.output:
+        payload = {"greedy": greedy_record, "sweep": sweep_record}
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

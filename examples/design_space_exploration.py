@@ -3,7 +3,9 @@
 Enumerates every combination of the most significant basic blocks of
 int_matmult, evaluates the cost model for each, and shows where the ILP
 solver's choices land as the RAM budget (R_spare) and the allowed slowdown
-(X_limit) are relaxed.
+(X_limit) are relaxed.  The final section runs a ``repro.explore`` sweep
+(X_limit × flash/RAM energy ratio) through the experiment engine and prints
+the benchmark's measured energy/time/RAM Pareto frontier.
 
 Run with::
 
@@ -13,6 +15,7 @@ Run with::
 import sys
 
 from repro.evaluation.figure6 import design_space, solver_trajectories
+from repro.explore import SweepSpec, mark_pareto, run_sweep
 
 
 def main() -> None:
@@ -38,6 +41,19 @@ def main() -> None:
     for row in trajectories["time_sweep"]:
         print(f"{row['x_limit']:8.2f} {row['blocks']:7d} {row['ram_bytes']:6d} "
               f"{row['energy_j'] * 1e6:10.2f} {row['time_ratio']:11.3f}")
+
+    sweep = SweepSpec(benchmarks=(benchmark,),
+                      x_limits=(1.05, 1.1, 1.2, 1.5),
+                      flash_ram_ratios=(None, 1.25, 2.5))
+    records = mark_pareto(run_sweep(sweep).records)
+    print("\n--- measured sweep (X_limit x flash/RAM ratio), * = Pareto front ---")
+    print(f"{'X_limit':>8s} {'ratio':>6s} {'RAM B':>6s} {'energy uJ':>10s} "
+          f"{'time ratio':>11s} {'front':>6s}")
+    for row in records:
+        ratio = "cal." if row["flash_ram_ratio"] is None else f"{row['flash_ram_ratio']:.2f}"
+        print(f"{row['x_limit']:8.2f} {ratio:>6s} {row['ram_bytes']:6d} "
+              f"{row['energy_j'] * 1e6:10.2f} {row['time_ratio']:11.3f} "
+              f"{'*' if row['pareto'] else '':>6s}")
 
 
 if __name__ == "__main__":

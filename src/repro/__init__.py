@@ -14,6 +14,12 @@ baselines and fans grids out over processes)::
             for n in ("fdct", "crc32") for l in ("O2", "Os")]
     runs = engine.run_grid(grid)          # parallel, deterministic order
 
+Design-space exploration (sweeps the placement knobs and extracts the
+energy/time/RAM Pareto frontier; see ``repro.explore``)::
+
+    from repro import SweepSpec, run_sweep
+    result = run_sweep(SweepSpec(benchmarks=("crc32",), x_limits=(1.1, 1.5)))
+
 Low-level compiler/simulator API::
 
     from repro import compile_source, CompileOptions, Simulator, optimize_program
@@ -34,6 +40,12 @@ from repro.engine import (
     ProgramCache,
     ResultStore,
     default_engine,
+)
+from repro.explore import (
+    SweepSpec,
+    pareto_records,
+    profile_guided_placement,
+    run_sweep,
 )
 from repro.placement import (
     FlashRAMOptimizer,
@@ -57,6 +69,10 @@ __all__ = [
     "ProgramCache",
     "ResultStore",
     "default_engine",
+    "SweepSpec",
+    "run_sweep",
+    "pareto_records",
+    "profile_guided_placement",
     "FlashRAMOptimizer",
     "PlacementConfig",
     "PlacementSolution",

@@ -6,11 +6,14 @@ Installed as ``repro-eval`` (see ``setup.py``).  Examples::
     repro-eval figure9 --output results/
     repro-eval case-study
     repro-eval figure1
+    repro-eval explore --benchmarks crc32 fdct --x-limits 1.1 1.5 --workers 2
 
 Every experiment goes through :class:`repro.engine.ExperimentEngine`, so
 programs compile once, grids fan out over processes, and ``--output DIR``
 persists the records via :class:`repro.engine.ResultStore` for cross-run
-comparison.
+comparison.  ``explore`` runs a :mod:`repro.explore` design-space sweep
+(X_limit × spare RAM × flash/RAM energy ratio × solver) and marks each
+benchmark's energy/time/RAM Pareto frontier in the emitted records.
 """
 
 from __future__ import annotations
@@ -23,7 +26,8 @@ from typing import List, Optional
 from repro.beebs import BENCHMARK_NAMES
 from repro.engine import ExperimentEngine, ResultStore, default_engine
 
-FIGURES = ["figure1", "figure2", "figure5", "figure6", "figure9", "case-study"]
+FIGURES = ["figure1", "figure2", "figure5", "figure6", "figure9", "case-study",
+           "explore"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -44,6 +48,19 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="block-frequency estimation modes (figure5)")
     parser.add_argument("--x-limit", type=float, default=1.5,
                         help="allowed slowdown factor X_limit (default 1.5)")
+    parser.add_argument("--x-limits", nargs="*", type=float, default=None,
+                        metavar="X", help="X_limit axis of an explore sweep")
+    parser.add_argument("--r-spares", nargs="*", type=int, default=None,
+                        metavar="BYTES",
+                        help="R_spare axis of an explore sweep "
+                             "(omit to derive statically)")
+    parser.add_argument("--flash-ram-ratios", nargs="*", type=float,
+                        default=None, metavar="RATIO",
+                        help="flash/RAM energy-ratio axis of an explore sweep "
+                             "(omit for the calibrated Figure 1 tables)")
+    parser.add_argument("--solvers", nargs="*", default=None,
+                        choices=("ilp", "greedy", "exhaustive"),
+                        help="solver axis of an explore sweep (default: ilp)")
     parser.add_argument("--workers", type=int, default=None,
                         help="process fan-out for grids (default: cpu count)")
     parser.add_argument("--output", default=None, metavar="DIR",
@@ -103,6 +120,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.evaluation.case_study import case_study_report
         report = case_study_report(x_limit=args.x_limit, engine=engine)
         _emit(args, "case_study", [report])
+
+    elif args.figure == "explore":
+        from repro.evaluation.exploration import (
+            DEFAULT_RATIOS,
+            DEFAULT_X_LIMITS,
+            exploration_sweep,
+        )
+        ratios = (DEFAULT_RATIOS if args.flash_ram_ratios is None
+                  else tuple(args.flash_ram_ratios) or (None,))
+        records, meta = exploration_sweep(
+            benchmarks=args.benchmarks,
+            opt_levels=tuple(args.levels or ("O2",)),
+            x_limits=tuple(args.x_limits or DEFAULT_X_LIMITS),
+            r_spares=tuple(args.r_spares) if args.r_spares else (None,),
+            flash_ram_ratios=ratios,
+            solvers=tuple(args.solvers or ("ilp",)),
+            frequency_modes=tuple(args.frequency_modes),
+            engine=engine,
+            max_workers=args.workers,
+        )
+        _emit(args, "explore", records, meta=meta)
 
     return 0
 

@@ -17,6 +17,13 @@ Grids (benchmark × opt level × frequency mode) fan out over a
 ordering: results come back in spec order regardless of which worker finished
 first, and every worker computes the exact same floats the sequential path
 does, so parallel and sequential grids are bitwise identical.
+
+Design-space sweeps (``repro.explore``) additionally vary the *energy model*
+per cell — the paper's flash/RAM energy-ratio axis.  :meth:`ExperimentEngine.run_cells`
+accepts ``(spec, energy_model)`` pairs and routes each cell to a sub-engine
+for its model; sub-engines share this engine's :class:`ProgramCache`
+(compilation is independent of the energy model) but keep their own
+baseline memos (which are not).
 """
 
 from __future__ import annotations
@@ -58,6 +65,10 @@ class ExperimentEngine:
         self.cache = cache if cache is not None else default_cache()
         self.max_workers = max_workers
         self._baseline_results: Dict[Tuple, SimulationResult] = {}
+        #: Sub-engines for cells that use a non-default energy model; they
+        #: share this engine's program cache but keep their own baseline
+        #: memos (baselines depend on the energy model).
+        self._model_engines: List[Tuple[EnergyModel, "ExperimentEngine"]] = []
 
     # ------------------------------------------------------------------ #
     # Compilation
@@ -134,6 +145,55 @@ class ExperimentEngine:
     # ------------------------------------------------------------------ #
     # Grids
     # ------------------------------------------------------------------ #
+    def _engine_for_model(self, energy_model: EnergyModel) -> "ExperimentEngine":
+        """This engine, or a cache-sharing sub-engine for another model."""
+        if energy_model == self.energy_model:
+            return self
+        for model, engine in self._model_engines:
+            if model == energy_model:
+                return engine
+        engine = ExperimentEngine(energy_model=energy_model, cache=self.cache,
+                                  max_workers=1)
+        self._model_engines.append((energy_model, engine))
+        return engine
+
+    def run_cell(self, spec: ExperimentSpec,
+                 energy_model: Optional[EnergyModel] = None) -> BenchmarkRun:
+        """Run one cell, optionally under a cell-specific energy model."""
+        if energy_model is None:
+            return self.run_spec(spec)
+        return self._engine_for_model(energy_model).run_spec(spec)
+
+    def run_cells(self,
+                  cells: Sequence[Tuple[ExperimentSpec, Optional[EnergyModel]]],
+                  max_workers: Optional[int] = None) -> List[BenchmarkRun]:
+        """Run ``(spec, energy_model)`` cells; results are in cell order.
+
+        ``energy_model=None`` means the engine default.  This is the fan-out
+        primitive behind both plain grids (:meth:`run_grid`) and the
+        ``repro.explore`` design-space sweeps, whose cells vary the flash/RAM
+        energy ratio.  Worker processes compute the exact same floats the
+        sequential path does, so parallel and sequential runs are bitwise
+        identical.
+        """
+        resolved = [(spec, model if model is not None else self.energy_model)
+                    for spec, model in cells]
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = min(workers, len(resolved)) if resolved else 1
+
+        if workers <= 1 or len(resolved) <= 1:
+            return [self.run_cell(spec, model) for spec, model in resolved]
+
+        # Contiguous chunks keep same-(benchmark, level) cells — adjacent in
+        # every grid this repo builds — on one worker, whose per-process
+        # engine then reuses the compile and the memoised baseline instead of
+        # redoing them in another process.
+        chunksize = -(-len(resolved) // workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_grid_worker, resolved, chunksize=chunksize))
+
     def run_grid(self, specs: Sequence[ExperimentSpec],
                  max_workers: Optional[int] = None) -> List[BenchmarkRun]:
         """Run a grid of experiments; results are in spec order.
@@ -143,23 +203,8 @@ class ExperimentEngine:
         process, which shares this engine's caches and is what tests use for
         determinism checks.
         """
-        specs = list(specs)
-        workers = max_workers if max_workers is not None else self.max_workers
-        if workers is None:
-            workers = os.cpu_count() or 1
-        workers = min(workers, len(specs)) if specs else 1
-
-        if workers <= 1 or len(specs) <= 1:
-            return [self.run_spec(spec) for spec in specs]
-
-        payloads = [(spec, self.energy_model) for spec in specs]
-        # Contiguous chunks keep same-(benchmark, level) cells — adjacent in
-        # every grid this repo builds — on one worker, whose per-process
-        # engine then reuses the compile and the memoised baseline instead of
-        # redoing them in another process.
-        chunksize = -(-len(payloads) // workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_grid_worker, payloads, chunksize=chunksize))
+        return self.run_cells([(spec, None) for spec in specs],
+                              max_workers=max_workers)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,51 @@
+"""Design-space exploration: parameter sweeps, Pareto fronts, profile fixpoints.
+
+The paper's central artifact is a sweep — energy/time trade-offs as
+``X_limit``, spare RAM and the flash/RAM energy ratio vary over the BEEBS
+kernels (Figures 5-6, Section 6).  This subsystem runs those sweeps through
+the :class:`~repro.engine.ExperimentEngine`:
+
+* :class:`SweepSpec` / :func:`run_sweep` — a declarative cross product of
+  placement knobs, fanned out deterministically over the engine's process
+  pool with one compile per (benchmark, level) (`repro.explore.sweep`);
+* :func:`pareto_front` / :func:`pareto_records` — non-dominated filtering of
+  the energy / time-ratio / RAM-bytes trade-off space
+  (`repro.explore.pareto`);
+* :func:`profile_guided_placement` — the paper's profiled frequency mode run
+  to a fixpoint: simulate, feed the block counts back to the solver, repeat
+  until the selected RAM set stops changing (`repro.explore.profile_guided`).
+"""
+
+from repro.explore.pareto import (
+    dominates,
+    mark_pareto,
+    pareto_front,
+    pareto_records,
+)
+from repro.explore.profile_guided import (
+    ProfileGuidedIteration,
+    ProfileGuidedResult,
+    profile_guided_placement,
+)
+from repro.explore.sweep import (
+    SweepCell,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+    scaled_energy_model,
+)
+
+__all__ = [
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
+    "scaled_energy_model",
+    "dominates",
+    "mark_pareto",
+    "pareto_front",
+    "pareto_records",
+    "ProfileGuidedIteration",
+    "ProfileGuidedResult",
+    "profile_guided_placement",
+]

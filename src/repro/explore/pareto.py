@@ -1,0 +1,82 @@
+"""Pareto-frontier extraction for the placement trade-off space.
+
+The sweep's natural objectives are all minimised: measured energy, execution
+time ratio against the all-in-flash baseline, and RAM bytes consumed by
+relocated code.  A point is on the frontier when no other point is at least
+as good on every objective and strictly better on one — the boundary the
+clouds of Figure 6 trace out.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+#: The default (minimised) objectives of a placement sweep record.
+DEFAULT_OBJECTIVES: Tuple[str, ...] = ("energy_j", "time_ratio", "ram_bytes")
+
+
+def dominates(first: Sequence[float], second: Sequence[float]) -> bool:
+    """True when *first* is <= *second* everywhere and < somewhere."""
+    strictly_better = False
+    for a, b in zip(first, second):
+        if a > b:
+            return False
+        if a < b:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_front(points: Sequence,
+                 key: Callable[[object], Sequence[float]]) -> List:
+    """The non-dominated subset of *points*, in input order.
+
+    ``key`` maps a point to its (minimised) objective vector.  Duplicated
+    objective vectors are all kept (none dominates the other), so the result
+    is deterministic for any input order.
+    """
+    vectors = [tuple(key(point)) for point in points]
+    front = []
+    for i, point in enumerate(points):
+        if any(dominates(vectors[j], vectors[i])
+               for j in range(len(points)) if j != i):
+            continue
+        front.append(point)
+    return front
+
+
+def pareto_records(records: Sequence[Dict],
+                   objectives: Sequence[str] = DEFAULT_OBJECTIVES) -> List[Dict]:
+    """Non-dominated sweep records under the named (minimised) objectives."""
+    return pareto_front(list(records),
+                        key=lambda record: [record[name] for name in objectives])
+
+
+#: Default frontier grouping: each benchmark is its own trade-off space, and
+#: so is each flash/RAM energy ratio (absolute energies are only comparable
+#: within one energy model).
+DEFAULT_GROUP_FIELDS: Tuple[str, ...] = ("benchmark", "flash_ram_ratio")
+
+
+def mark_pareto(records: Sequence[Dict],
+                objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                flag: str = "pareto",
+                group_fields: Sequence[str] = DEFAULT_GROUP_FIELDS) -> List[Dict]:
+    """Return *records* with a boolean *flag* field marking frontier members.
+
+    The frontier is computed per group (by default per benchmark and per
+    flash/RAM energy ratio); fields missing from a record read as ``None``,
+    so ungrouped records simply share one space.
+    """
+    groups: Dict[object, List[int]] = {}
+    for index, record in enumerate(records):
+        group_key = tuple(record.get(name) for name in group_fields)
+        groups.setdefault(group_key, []).append(index)
+
+    marked = [dict(record) for record in records]
+    for indices in groups.values():
+        group = [records[i] for i in indices]
+        front = pareto_records(group, objectives)
+        front_ids = {id(record) for record in front}
+        for i, record in zip(indices, group):
+            marked[i][flag] = id(record) in front_ids
+    return marked

@@ -1,0 +1,124 @@
+"""Profile-guided placement iterated to a fixpoint.
+
+The paper's profiled frequency mode replaces the static loop-depth estimate
+of ``F_b`` with measured block counts from a simulation.  This module closes
+the loop: simulate, feed the profile to the solver, apply the placement,
+simulate again, and repeat until the selected RAM set stops changing.  With
+today's transformation the counts are layout-invariant (relocation never
+changes control flow), so the fixpoint lands after one re-solve; the loop is
+the right shape for any future transform whose profile does shift, and
+``max_iterations`` bounds it unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.engine import ExperimentEngine, default_engine
+from repro.placement import FlashRAMOptimizer, PlacementConfig
+from repro.sim import SimulationResult, Simulator
+
+
+@dataclass
+class ProfileGuidedIteration:
+    """One solve → apply → simulate round."""
+
+    index: int
+    ram_blocks: Set[str]
+    model_energy_j: float
+    model_time_ratio: float
+    ram_bytes: int
+    measured_energy_j: float
+    measured_cycles: int
+
+
+@dataclass
+class ProfileGuidedResult:
+    """Outcome of the iterated profile-guided placement."""
+
+    benchmark: str
+    opt_level: str
+    baseline: SimulationResult
+    iterations: List[ProfileGuidedIteration] = field(default_factory=list)
+    converged: bool = False
+    final: Optional[SimulationResult] = None
+
+    @property
+    def ram_blocks(self) -> Set[str]:
+        return self.iterations[-1].ram_blocks if self.iterations else set()
+
+    @property
+    def energy_change(self) -> float:
+        if self.final is None or not self.baseline.energy_j:
+            return 0.0
+        return self.final.energy_j / self.baseline.energy_j - 1.0
+
+    def record(self) -> dict:
+        """Flat JSON-safe record for result stores."""
+        return {
+            "benchmark": self.benchmark,
+            "opt_level": self.opt_level,
+            "converged": self.converged,
+            "iterations": len(self.iterations),
+            "ram_blocks": sorted(self.ram_blocks),
+            "baseline_energy_j": self.baseline.energy_j,
+            "energy_j": (self.final.energy_j if self.final is not None
+                         else self.baseline.energy_j),
+            "energy_change": self.energy_change,
+        }
+
+
+def profile_guided_placement(benchmark: str, opt_level: str = "O2",
+                             x_limit: float = 1.5,
+                             r_spare: Optional[int] = None,
+                             solver: str = "ilp",
+                             max_iterations: int = 8,
+                             engine: Optional[ExperimentEngine] = None) -> ProfileGuidedResult:
+    """Iterate profile → solve → apply → simulate until the RAM set repeats.
+
+    Each round starts from a fresh mutable copy of the cached program (the
+    placement transformation is not incremental across layouts), selects
+    blocks with ``frequency_mode="profile"`` using the previous round's
+    block counts, applies the placement, and simulates.  Convergence is the
+    first round whose selected RAM set equals the previous round's; the
+    bound ``max_iterations`` guarantees termination regardless.
+    """
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be at least 1")
+    engine = engine if engine is not None else default_engine()
+    baseline = engine.run_baseline(benchmark, opt_level).baseline
+    result = ProfileGuidedResult(benchmark=benchmark, opt_level=opt_level,
+                                 baseline=baseline)
+
+    profile = baseline.profile
+    previous: Optional[Set[str]] = None
+    for index in range(max_iterations):
+        program = engine.compile_benchmark_mutable(benchmark, opt_level)
+        config = PlacementConfig(x_limit=x_limit, r_spare=r_spare,
+                                 frequency_mode="profile", solver=solver)
+        optimizer = FlashRAMOptimizer(program, energy_model=engine.energy_model,
+                                      config=config)
+        solution = optimizer.select_blocks(profile=profile)
+        if previous is not None and solution.ram_blocks == previous:
+            result.converged = True
+            break
+        optimizer.apply(solution)
+        simulated = Simulator(program, energy_model=engine.energy_model).run()
+        if simulated.return_value != baseline.return_value:
+            raise AssertionError(
+                f"{benchmark}/{opt_level}: profile-guided placement changed "
+                f"the result ({baseline.return_value} -> {simulated.return_value})")
+        result.iterations.append(ProfileGuidedIteration(
+            index=index,
+            ram_blocks=set(solution.ram_blocks),
+            model_energy_j=solution.estimate.energy_j,
+            model_time_ratio=solution.estimate.time_ratio,
+            ram_bytes=solution.estimate.ram_bytes,
+            measured_energy_j=simulated.energy_j,
+            measured_cycles=simulated.cycles,
+        ))
+        result.final = simulated
+        previous = solution.ram_blocks
+        profile = simulated.profile
+    return result

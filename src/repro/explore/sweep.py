@@ -1,0 +1,187 @@
+"""Declarative placement design-space sweeps over the experiment engine.
+
+A :class:`SweepSpec` is a cross product of the placement knobs the paper
+varies in Section 6: ``X_limit`` (allowed slowdown), ``R_spare`` (RAM budget,
+``None`` = derive statically), the flash/RAM energy ratio (``None`` = the
+calibrated Figure 1 tables), the solver and the block-frequency mode, crossed
+with BEEBS kernels and optimization levels.  :func:`run_sweep` expands the
+spec into engine cells in a deterministic order and fans them out through
+:meth:`~repro.engine.ExperimentEngine.run_cells`, so a parallel sweep is
+bitwise identical to a sequential one and every (benchmark, level) compiles
+exactly once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.beebs import BENCHMARK_NAMES
+from repro.engine import ExperimentEngine, ExperimentSpec, default_engine
+from repro.engine.results import BenchmarkRun
+from repro.sim.energy import EnergyModel, PowerTable
+
+
+def scaled_energy_model(flash_ram_ratio: float,
+                        base: Optional[EnergyModel] = None) -> EnergyModel:
+    """An energy model whose ``e_flash / e_ram`` equals *flash_ram_ratio*.
+
+    The per-class flash powers (and the flash-data load exception, which is
+    flash-dominated) are scaled by a single factor; RAM powers are left at
+    the calibrated Figure 1 values, so the sweep varies exactly one physical
+    axis — how much more expensive flash accesses are than RAM accesses.
+    """
+    if flash_ram_ratio <= 0:
+        raise ValueError("flash/RAM energy ratio must be positive")
+    base = base if base is not None else EnergyModel()
+    factor = flash_ram_ratio / (base.e_flash / base.e_ram)
+    table = PowerTable(
+        flash={cls: power * factor for cls, power in base.table.flash.items()},
+        ram=dict(base.table.ram),
+        ram_fetch_flash_data_load=base.table.ram_fetch_flash_data_load * factor,
+    )
+    return EnergyModel(table=table, cycle_time_s=base.cycle_time_s)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the design space: an engine spec plus its energy axis."""
+
+    spec: ExperimentSpec
+    flash_ram_ratio: Optional[float] = None
+
+    def energy_model(self, base: Optional[EnergyModel] = None) -> Optional[EnergyModel]:
+        """The cell's energy model, or ``None`` for the engine default."""
+        if self.flash_ram_ratio is None:
+            return None
+        return scaled_energy_model(self.flash_ram_ratio, base)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Cross product of placement knobs (Section 6's exploration axes)."""
+
+    benchmarks: Tuple[str, ...] = tuple(BENCHMARK_NAMES)
+    opt_levels: Tuple[str, ...] = ("O2",)
+    x_limits: Tuple[float, ...] = (1.1, 1.5, 2.0)
+    r_spares: Tuple[Optional[int], ...] = (None,)
+    flash_ram_ratios: Tuple[Optional[float], ...] = (None,)
+    solvers: Tuple[str, ...] = ("ilp",)
+    frequency_modes: Tuple[str, ...] = ("static",)
+
+    def __post_init__(self):
+        # Accept any sequence; store tuples so the spec stays hashable.
+        for name in ("benchmarks", "opt_levels", "x_limits", "r_spares",
+                     "flash_ram_ratios", "solvers", "frequency_modes"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+            if not getattr(self, name):
+                raise ValueError(f"sweep axis {name!r} must not be empty")
+
+    @property
+    def size(self) -> int:
+        return (len(self.benchmarks) * len(self.opt_levels) * len(self.x_limits)
+                * len(self.r_spares) * len(self.flash_ram_ratios)
+                * len(self.solvers) * len(self.frequency_modes))
+
+    def cells(self) -> List[SweepCell]:
+        """The sweep's cells in deterministic nesting order.
+
+        Benchmark and level vary slowest so that contiguous chunks of the
+        cell list share a compiled program — the same adjacency the engine's
+        chunked process fan-out exploits.
+        """
+        cells: List[SweepCell] = []
+        for benchmark in self.benchmarks:
+            for level in self.opt_levels:
+                for mode in self.frequency_modes:
+                    for solver in self.solvers:
+                        for ratio in self.flash_ram_ratios:
+                            for r_spare in self.r_spares:
+                                for x_limit in self.x_limits:
+                                    cells.append(SweepCell(
+                                        spec=ExperimentSpec(
+                                            benchmark=benchmark,
+                                            opt_level=level,
+                                            x_limit=x_limit,
+                                            r_spare=r_spare,
+                                            frequency_mode=mode,
+                                            solver=solver,
+                                        ),
+                                        flash_ram_ratio=ratio,
+                                    ))
+        return cells
+
+
+def cell_record(cell: SweepCell, run: BenchmarkRun) -> Dict:
+    """Flat JSON-safe record of one sweep cell (knobs + measurements)."""
+    estimate = run.solution.estimate if run.solution else None
+    record = {
+        "benchmark": cell.spec.benchmark,
+        "opt_level": cell.spec.opt_level,
+        "frequency_mode": cell.spec.frequency_mode,
+        "solver": cell.spec.solver,
+        "x_limit": cell.spec.x_limit,
+        "r_spare_requested": cell.spec.r_spare,
+        "flash_ram_ratio": cell.flash_ram_ratio,
+        "baseline_energy_j": run.baseline.energy_j,
+        "baseline_cycles": run.baseline.cycles,
+        "energy_j": (run.optimized.energy_j if run.optimized is not None
+                     else run.baseline.energy_j),
+        "cycles": (run.optimized.cycles if run.optimized is not None
+                   else run.baseline.cycles),
+        "energy_change": run.energy_change,
+        "time_change": run.time_change,
+        "time_ratio": 1.0 + run.time_change,
+        "power_change": run.power_change,
+        "ram_bytes": estimate.ram_bytes if estimate else 0,
+        "blocks_moved": len(run.solution.ram_blocks) if run.solution else 0,
+        "model_energy_j": estimate.energy_j if estimate else None,
+        "model_time_ratio": estimate.time_ratio if estimate else None,
+        "solver_status": run.solution.solver_status if run.solution else "",
+        "r_spare_derived": run.solution.r_spare if run.solution else None,
+        "ram_blocks": sorted(run.solution.ram_blocks) if run.solution else [],
+    }
+    return record
+
+
+@dataclass
+class SweepResult:
+    """All cells of one executed sweep, in cell order."""
+
+    sweep: SweepSpec
+    cells: List[SweepCell]
+    runs: List[BenchmarkRun]
+    records: List[Dict] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.records:
+            self.records = [cell_record(cell, run)
+                            for cell, run in zip(self.cells, self.runs)]
+
+    def meta(self) -> Dict:
+        return {
+            "benchmarks": list(self.sweep.benchmarks),
+            "opt_levels": list(self.sweep.opt_levels),
+            "x_limits": list(self.sweep.x_limits),
+            "r_spares": list(self.sweep.r_spares),
+            "flash_ram_ratios": list(self.sweep.flash_ram_ratios),
+            "solvers": list(self.sweep.solvers),
+            "frequency_modes": list(self.sweep.frequency_modes),
+            "cells": len(self.records),
+        }
+
+
+def run_sweep(sweep: SweepSpec,
+              engine: Optional[ExperimentEngine] = None,
+              max_workers: Optional[int] = None) -> SweepResult:
+    """Execute every cell of *sweep* through the engine, in cell order."""
+    engine = engine if engine is not None else default_engine()
+    cells = sweep.cells()
+    base_model = engine.energy_model
+    payload: List[Tuple[ExperimentSpec, Optional[EnergyModel]]] = [
+        (cell.spec, cell.energy_model(base_model)) for cell in cells
+    ]
+    runs = engine.run_cells(payload, max_workers=max_workers)
+    return SweepResult(sweep=sweep, cells=cells, runs=runs)

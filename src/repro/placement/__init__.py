@@ -12,7 +12,11 @@ The public entry point is :class:`FlashRAMOptimizer` /
 """
 
 from repro.placement.parameters import BlockParameters, extract_parameters
-from repro.placement.cost_model import PlacementCostModel, PlacementEstimate
+from repro.placement.cost_model import (
+    IncrementalPlacement,
+    PlacementCostModel,
+    PlacementEstimate,
+)
 from repro.placement.ilp import ILPProblem, build_placement_ilp
 from repro.placement.optimizer import (
     FlashRAMOptimizer,
@@ -24,6 +28,7 @@ from repro.placement.optimizer import (
 __all__ = [
     "BlockParameters",
     "extract_parameters",
+    "IncrementalPlacement",
     "PlacementCostModel",
     "PlacementEstimate",
     "ILPProblem",

@@ -11,12 +11,19 @@ candidate set ``R`` of blocks placed in RAM:
 
 The same model is used by the ILP formulation (linearised), by the greedy and
 exhaustive solvers directly, and by the Figure 6 design-space sweeps.
+
+:class:`IncrementalPlacement` maintains one placement under add/remove of a
+single block with O(neighbourhood) work per update: toggling block ``b`` can
+only change the (membership, instrumented) state — and therefore the energy,
+cycle and RAM contributions — of ``b`` itself and of its CFG predecessors
+(Equation 5 couples a block only to its successors).  The design-space
+solvers lean on this to evaluate candidates without re-summing every block.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.placement.parameters import BlockParameters
 
@@ -46,6 +53,36 @@ class PlacementCostModel:
         self.parameters = parameters
         self.e_flash = e_flash
         self.e_ram = e_ram
+        self._successors: Optional[Dict[str, List[str]]] = None
+        self._predecessors: Optional[Dict[str, List[str]]] = None
+
+    # ------------------------------------------------------------------ #
+    # CFG neighbourhoods (for incremental evaluation)
+    # ------------------------------------------------------------------ #
+    def successors_of(self) -> Dict[str, List[str]]:
+        """Deduplicated successor lists, self-loops removed.
+
+        A self-successor can never flip a block's instrumented status (its
+        membership always equals its own), so dropping self-loops keeps the
+        incremental update rule exact.
+        """
+        if self._successors is None:
+            self._successors = {
+                key: [s for s in dict.fromkeys(params.successors)
+                      if s != key and s in self.parameters]
+                for key, params in self.parameters.items()
+            }
+        return self._successors
+
+    def predecessors_of(self) -> Dict[str, List[str]]:
+        """Inverse of :meth:`successors_of`, in parameter order."""
+        if self._predecessors is None:
+            preds: Dict[str, List[str]] = {key: [] for key in self.parameters}
+            for key, succs in self.successors_of().items():
+                for succ in succs:
+                    preds[succ].append(key)
+            self._predecessors = preds
+        return self._predecessors
 
     # ------------------------------------------------------------------ #
     # Equation 5: the instrumented set I
@@ -150,3 +187,137 @@ class PlacementCostModel:
         """Check Equations 7 and 9 for a candidate placement."""
         estimate = self.evaluate(ram_set)
         return estimate.ram_bytes <= r_spare and estimate.time_ratio <= x_limit + 1e-9
+
+
+class IncrementalPlacement:
+    """One placement maintained under single-block add/remove updates.
+
+    Toggling the membership of block ``b`` changes the per-block
+    (in-RAM, instrumented) state only for ``b`` and its CFG predecessors,
+    so every update re-derives just that neighbourhood and adjusts the
+    running energy / weighted-cycle / RAM totals by the difference.  For a
+    model with ``n`` blocks this turns the O(n) full :meth:`~PlacementCostModel.evaluate`
+    of one candidate into O(deg(b)) — the win that makes greedy selection and
+    exhaustive enumeration linear instead of quadratic in ``n``.
+
+    Totals are kept as running floats; they can drift from a fresh
+    :meth:`~PlacementCostModel.evaluate` by a few ulps after many updates,
+    which is far below every feasibility tolerance used by the solvers.
+    Decisions that must be exact (RAM bytes) are integer arithmetic and do
+    not drift.
+    """
+
+    def __init__(self, model: PlacementCostModel,
+                 ram_set: Optional[Iterable[str]] = None):
+        self.model = model
+        self._succs = model.successors_of()
+        self._preds = model.predecessors_of()
+        self.ram: Set[str] = set(ram_set or ())
+        self.instrumented: Set[str] = model.instrumented_set(self.ram)
+        self.baseline_cycles = model.baseline_cycles()
+        self.energy_j = 0.0
+        self.cycles = 0.0
+        self.ram_bytes = 0
+        for key in model.parameters:
+            energy, cycles, ram = self._contribution(
+                key, key in self.ram, key in self.instrumented)
+            self.energy_j += energy
+            self.cycles += cycles
+            self.ram_bytes += ram
+
+    # ------------------------------------------------------------------ #
+    def _contribution(self, key: str, in_ram: bool,
+                      instrumented: bool) -> Tuple[float, float, int]:
+        """(energy, weighted cycles, RAM bytes) of one block in one state."""
+        params = self.model.parameters[key]
+        energy = self.model.block_energy(params, in_ram, instrumented)
+        cycles = self.model.block_cycles(params, in_ram, instrumented) * params.frequency
+        ram = 0
+        if in_ram:
+            ram = params.size + (params.instrument_bytes if instrumented else 0)
+        return energy, cycles, ram
+
+    def _delta(self, key: str) -> Tuple[float, float, int, Dict[str, Tuple[bool, bool]]]:
+        """Totals delta and per-block state changes from toggling *key*."""
+        new_member = key not in self.ram
+        d_energy = 0.0
+        d_cycles = 0.0
+        d_ram = 0
+        changes: Dict[str, Tuple[bool, bool]] = {}
+        for block in [key] + self._preds[key]:
+            old_in = block in self.ram
+            old_instr = block in self.instrumented
+            new_in = new_member if block == key else old_in
+            new_instr = False
+            for succ in self._succs[block]:
+                succ_in = new_member if succ == key else succ in self.ram
+                if succ_in != new_in:
+                    new_instr = True
+                    break
+            if new_in == old_in and new_instr == old_instr:
+                continue
+            old = self._contribution(block, old_in, old_instr)
+            new = self._contribution(block, new_in, new_instr)
+            d_energy += new[0] - old[0]
+            d_cycles += new[1] - old[1]
+            d_ram += new[2] - old[2]
+            changes[block] = (new_in, new_instr)
+        return d_energy, d_cycles, d_ram, changes
+
+    # ------------------------------------------------------------------ #
+    def preview_totals(self, key: str) -> Tuple[float, float, int]:
+        """(energy, time ratio, RAM bytes) after toggling *key*.
+
+        The cheap preview used in tight solver loops: no instrumented-set
+        copy, just the totals the feasibility and acceptance checks need.
+        """
+        d_energy, d_cycles, d_ram, _ = self._delta(key)
+        cycles = self.cycles + d_cycles
+        ratio = cycles / self.baseline_cycles if self.baseline_cycles else 1.0
+        return self.energy_j + d_energy, ratio, self.ram_bytes + d_ram
+
+    def preview_toggle(self, key: str) -> "PlacementEstimate":
+        """The estimate the placement would have after toggling *key*."""
+        d_energy, d_cycles, d_ram, changes = self._delta(key)
+        instrumented = self.instrumented.copy()
+        for block, (_, instr) in changes.items():
+            (instrumented.add if instr else instrumented.discard)(block)
+        cycles = self.cycles + d_cycles
+        ratio = cycles / self.baseline_cycles if self.baseline_cycles else 1.0
+        return PlacementEstimate(
+            energy_j=self.energy_j + d_energy,
+            cycles=cycles,
+            time_ratio=ratio,
+            ram_bytes=self.ram_bytes + d_ram,
+            instrumented=instrumented,
+        )
+
+    def toggle(self, key: str) -> None:
+        """Flip *key*'s membership and update all totals in place."""
+        d_energy, d_cycles, d_ram, changes = self._delta(key)
+        (self.ram.discard if key in self.ram else self.ram.add)(key)
+        for block, (_, instr) in changes.items():
+            (self.instrumented.add if instr else self.instrumented.discard)(block)
+        self.energy_j += d_energy
+        self.cycles += d_cycles
+        self.ram_bytes += d_ram
+
+    def add(self, key: str) -> None:
+        if key not in self.ram:
+            self.toggle(key)
+
+    def remove(self, key: str) -> None:
+        if key in self.ram:
+            self.toggle(key)
+
+    def estimate(self) -> PlacementEstimate:
+        """The current placement's estimate from the running totals."""
+        ratio = (self.cycles / self.baseline_cycles
+                 if self.baseline_cycles else 1.0)
+        return PlacementEstimate(
+            energy_j=self.energy_j,
+            cycles=self.cycles,
+            time_ratio=ratio,
+            ram_bytes=self.ram_bytes,
+            instrumented=set(self.instrumented),
+        )

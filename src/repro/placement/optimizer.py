@@ -107,7 +107,13 @@ class FlashRAMOptimizer:
         return self._cost_model
 
     def derive_r_spare(self) -> int:
-        """Derive the spare RAM available for code (Section 4.1, R_spare)."""
+        """Derive the spare RAM available for code (Section 4.1, R_spare).
+
+        Every term is in **bytes**: per-function frames (frame bytes plus one
+        4-byte word per saved register and for the link register), the
+        worst-case call-chain depth from the static stack analysis, the
+        configured ``stack_reserve`` head-room, and the safety margin.
+        """
         if self.config.r_spare is not None:
             return self.config.r_spare
         frame_sizes = {}
@@ -121,7 +127,7 @@ class FlashRAMOptimizer:
         return spare_ram_for_code(
             self.program.ram.size,
             self.program.mutable_data_size(),
-            max(stack.worst_case, 0) + self.config.stack_reserve // 4,
+            max(stack.worst_case, 0) + self.config.stack_reserve,
             safety_margin=self.config.safety_margin,
         )
 

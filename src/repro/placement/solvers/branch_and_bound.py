@@ -5,6 +5,14 @@ Branching is restricted to the ``r`` (block-in-RAM) variables: as argued in
 and ``z`` variables are forced to integral values by their constraints and
 objective signs.  Best-first search with LP lower bounds keeps the tree small
 (the relaxation of this knapsack-like problem is mostly integral already).
+
+Children are warm-started from their parent's bound: fixing one more
+variable can only shrink the feasible region, so a child's true bound is at
+least the parent's, and the child inherits ``max(child LP, parent bound)``.
+This keeps bounds monotone along every branch (LP round-off cannot lower
+them), which both tightens pruning and makes the final optimality check
+sound: when every remaining open node's bound is at least the incumbent, the
+incumbent is provably optimal even if the node budget ran out.
 """
 
 from __future__ import annotations
@@ -67,10 +75,14 @@ def solve_ilp(problem: ILPProblem, max_nodes: int = 400,
         nodes += 1
         branch_var = _fractional_branch_var(problem, relaxation.values)
         if branch_var is None:
-            rounded = np.clip(np.round(relaxation.values), 0.0, None)
+            # Snap the integral relaxation onto the exact 0/1 lattice before
+            # keeping it: raw LP values carry ±epsilon noise that would
+            # otherwise leak through ``solution_to_ram_set`` and into
+            # downstream integrality checks.
+            rounded = np.clip(np.round(relaxation.values), 0.0, 1.0)
             if relaxation.objective < best_objective:
                 best_objective = relaxation.objective
-                best_values = relaxation.values
+                best_values = rounded
             continue
         for value in (1.0, 0.0):
             child_fixed: Dict[int, float] = dict(fixed)
@@ -79,9 +91,13 @@ def solve_ilp(problem: ILPProblem, max_nodes: int = 400,
                              fixed=child_fixed)
             if child.status is not LPStatus.OPTIMAL:
                 continue
-            if child.objective >= best_objective - gap_tolerance:
+            # Warm-start the child's bound from the parent: the child's
+            # feasible region is a subset of the parent's, so its true bound
+            # can never be below the parent's even when the LP says so.
+            child_bound = max(child.objective, bound)
+            if child_bound >= best_objective - gap_tolerance:
                 continue
-            heapq.heappush(heap, (child.objective, next(counter), child_fixed, child))
+            heapq.heappush(heap, (child_bound, next(counter), child_fixed, child))
 
     if best_values is None:
         # Fall back to a rounded root solution if the node budget ran out
@@ -101,7 +117,11 @@ def solve_ilp(problem: ILPProblem, max_nodes: int = 400,
         result.nodes_explored = nodes
         return result
 
-    result.status = "optimal" if not heap or nodes < max_nodes else "feasible"
+    # The incumbent is proven optimal when no open node could still beat it:
+    # the heap is bound-ordered, so checking its minimum covers every node.
+    # (Running out of the node budget alone does not forfeit the proof.)
+    proven = not heap or heap[0][0] >= best_objective - gap_tolerance
+    result.status = "optimal" if proven else "feasible"
     result.optimal = result.status == "optimal"
     result.objective = best_objective
     result.values = best_values

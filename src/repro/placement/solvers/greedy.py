@@ -5,22 +5,27 @@ ranked by modelled energy saving per byte of RAM and added while the RAM and
 execution-time constraints (Equations 7 and 9) stay satisfied.  Unlike the
 ILP, the greedy pass cannot discover the "cluster small joining blocks to
 avoid instrumentation" behaviour the paper highlights.
+
+Candidate evaluation uses :class:`~repro.placement.cost_model.IncrementalPlacement`
+by default, so each trial costs O(deg(block)) instead of a full O(n) model
+evaluation; ``incremental=False`` keeps the original full-evaluation path
+(the before/after subject of ``benchmarks/bench_explore.py``).
 """
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List, Set, Tuple
 
-from repro.placement.cost_model import PlacementCostModel
+from repro.placement.cost_model import IncrementalPlacement, PlacementCostModel
 
 
-def greedy_placement(model: PlacementCostModel, r_spare: float,
-                     x_limit: float) -> Set[str]:
-    """Select a feasible block set by greedy energy-per-byte ranking."""
-    ram: Set[str] = set()
-    current_energy = model.baseline_energy()
+def _ranked_candidates(model: PlacementCostModel) -> List[str]:
+    """Eligible blocks with positive modelled saving, best saving/byte first.
 
-    candidates: List[str] = []
+    The saving of each block is computed exactly once and reused as the sort
+    key; ties keep the model's parameter order (the sort is stable).
+    """
+    scored: List[Tuple[str, float]] = []
     for key in model.eligible_keys():
         params = model.parameters[key]
         if params.frequency <= 0 or params.size == 0:
@@ -28,13 +33,30 @@ def greedy_placement(model: PlacementCostModel, r_spare: float,
         saving = (model.block_energy(params, False, False)
                   - model.block_energy(params, True, True))
         if saving > 0:
-            candidates.append(key)
-    candidates.sort(
-        key=lambda k: ((model.block_energy(model.parameters[k], False, False)
-                        - model.block_energy(model.parameters[k], True, True))
-                       / max(model.parameters[k].size, 1)),
-        reverse=True)
+            scored.append((key, saving / max(params.size, 1)))
+    scored.sort(key=lambda entry: entry[1], reverse=True)
+    return [key for key, _ in scored]
 
+
+def greedy_placement(model: PlacementCostModel, r_spare: float,
+                     x_limit: float, incremental: bool = True) -> Set[str]:
+    """Select a feasible block set by greedy energy-per-byte ranking."""
+    candidates = _ranked_candidates(model)
+
+    if incremental:
+        placement = IncrementalPlacement(model)
+        current_energy = placement.energy_j
+        for key in candidates:
+            energy, time_ratio, ram_bytes = placement.preview_totals(key)
+            if ram_bytes > r_spare or time_ratio > x_limit:
+                continue
+            if energy < current_energy:
+                placement.add(key)
+                current_energy = placement.energy_j
+        return set(placement.ram)
+
+    ram: Set[str] = set()
+    current_energy = model.baseline_energy()
     for key in candidates:
         trial = ram | {key}
         estimate = model.evaluate(trial)

@@ -10,6 +10,7 @@ interval.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List
 
@@ -58,8 +59,20 @@ class PeriodicSensingModel:
         return (p.energy_factor * p.active_energy_j
                 + p.sleep_power_w * (period_s - p.time_factor * p.active_time_s))
 
-    def energy_saved(self, period_s: float = None) -> float:
-        """Equation 12: ``Es = E0(1-ke) + PS*TA*(kt-1)`` (period-independent)."""
+    _PERIOD_UNSET = object()
+
+    def energy_saved(self, period_s: object = _PERIOD_UNSET) -> float:
+        """Equation 12: ``Es = E0(1-ke) + PS*TA*(kt-1)`` (period-independent).
+
+        The saving does not depend on the period ``T``; the historical
+        ``period_s`` argument (positional or keyword) is accepted and
+        ignored for one deprecation cycle.
+        """
+        if period_s is not self._PERIOD_UNSET:
+            warnings.warn(
+                "PeriodicSensingModel.energy_saved() no longer takes a period:"
+                " Equation 12 is period-independent",
+                DeprecationWarning, stacklevel=2)
         p = self.params
         return (p.active_energy_j * (1.0 - p.energy_factor)
                 + p.sleep_power_w * p.active_time_s * (p.time_factor - 1.0))
@@ -77,13 +90,19 @@ class PeriodicSensingModel:
         return 1.0 / self.energy_ratio(period_s) - 1.0
 
     def sweep_periods(self, multiples: List[float]) -> List[dict]:
-        """Evaluate the model at ``T = m * TA`` for each multiple (Figure 9)."""
+        """Evaluate the model at ``T = m * TA`` for each multiple (Figure 9).
+
+        A row is only valid when both active regions fit in the period:
+        ``TA <= T`` and ``kt * TA <= T`` (Equations 10 and 11); infeasible
+        multiples are skipped rather than producing negative sleep intervals.
+        """
         rows = []
-        minimum = max(1.0, self.params.time_factor)
         for multiple in multiples:
-            if multiple < minimum:
-                continue
             period = multiple * self.params.active_time_s
+            if (period < self.params.active_time_s - 1e-12
+                    or period < self.params.time_factor
+                    * self.params.active_time_s - 1e-12):
+                continue
             rows.append({
                 "period_s": period,
                 "period_multiple": multiple,

@@ -261,6 +261,66 @@ def test_greedy_is_feasible_but_not_better_than_ilp():
     assert model.evaluate(ilp).energy_j <= model.evaluate(greedy).energy_j + 1e-12
 
 
+def test_greedy_energy_never_below_ilp_across_knobs():
+    # The ILP is optimal on the same model, so the heuristic's modelled
+    # energy can never be lower, for any (R_spare, X_limit) combination.
+    model = make_model()
+    for r_spare, x_limit in [(64, 1.1), (128, 1.5), (256, 2.0), (4096, 1.05)]:
+        greedy = greedy_placement(model, r_spare=r_spare, x_limit=x_limit)
+        problem = build_placement_ilp(model, r_spare=r_spare, x_limit=x_limit)
+        result = solve_ilp(problem)
+        ilp = set(solution_to_ram_set(problem, result.values))
+        assert (model.evaluate(ilp).energy_j
+                <= model.evaluate(greedy).energy_j + 1e-12), (r_spare, x_limit)
+
+
+def test_greedy_incremental_matches_full_evaluation():
+    model = make_model()
+    for r_spare, x_limit in [(64, 1.1), (256, 1.3), (4096, 2.0)]:
+        fast = greedy_placement(model, r_spare, x_limit, incremental=True)
+        full = greedy_placement(model, r_spare, x_limit, incremental=False)
+        assert fast == full, (r_spare, x_limit)
+
+
+def test_ilp_incumbent_values_are_exactly_integral():
+    # Integral incumbents must be snapped onto the 0/1 lattice: raw LP noise
+    # (tiny negative or 1+epsilon components) must not leak into the result.
+    model = make_model()
+    problem = build_placement_ilp(model, r_spare=256, x_limit=1.3)
+    result = solve_ilp(problem)
+    assert result.values is not None
+    for index in problem.branch_vars:
+        assert float(result.values[index]) in (0.0, 1.0)
+    assert result.status == "optimal" and result.optimal
+
+
+def test_ilp_reports_optimal_when_budget_exhausts_with_closed_heap():
+    # Even when max_nodes stops the search, an incumbent is optimal as soon
+    # as every remaining open node's bound is at least its objective.
+    # min -2*x0 - x1  s.t.  2x0 + 2x1 <= 3,  x binary.  The search expands
+    # the fractional root, one fractional child, and the integral optimum
+    # (1, 0) at objective -2; at max_nodes=3 the heap still holds an open
+    # node bounded at -1 >= -2, so the incumbent is provably optimal.
+    from repro.placement.ilp import ILPProblem
+    problem = ILPProblem(
+        objective=np.array([-2.0, -1.0]),
+        constant=0.0,
+        a_ub=np.array([[2.0, 2.0], [1.0, 0.0], [0.0, 1.0]]),
+        b_ub=np.array([3.0, 1.0, 1.0]),
+        var_names=["x0", "x1"],
+        branch_vars=[0, 1],
+        r_index={"x0": 0, "x1": 1},
+    )
+    capped = solve_ilp(problem, max_nodes=3)
+    assert capped.nodes_explored == 3          # the budget was exhausted
+    assert capped.status == "optimal" and capped.optimal
+    assert capped.objective == pytest.approx(-2.0)
+    assert list(capped.values) == [1.0, 0.0]   # exactly on the 0/1 lattice
+
+    # With a budget too small to close the gap the claim must stay modest.
+    assert not solve_ilp(problem, max_nodes=2).optimal
+
+
 def test_enumeration_size_is_2_to_the_k():
     model = make_model()
     points = list(enumerate_placements(model, max_blocks=5))
@@ -381,6 +441,22 @@ def test_optimizer_profile_mode_runs():
         compile_program(), config=PlacementConfig(frequency_mode="profile"))
     solution = optimizer.optimize(profile=profile)
     assert solution.estimate is not None
+
+
+def test_derive_r_spare_uses_byte_units_end_to_end():
+    # Regression for a historical bug that divided the byte-denominated
+    # stack_reserve by 4 (a spurious byte->word conversion).  All terms are
+    # bytes: 8 KB RAM - 128 B globals (int data[32]) - (8 B worst-case
+    # stack + 1024 B stack reserve) - 64 B safety margin = 6968 B.
+    program = compile_program()
+    optimizer = FlashRAMOptimizer(program)
+    assert optimizer.derive_r_spare() == 6968
+
+    # The reserve must flow through unscaled: growing it by N bytes shrinks
+    # R_spare by exactly N.
+    bigger = FlashRAMOptimizer(compile_program(),
+                               config=PlacementConfig(stack_reserve=1024 + 512))
+    assert bigger.derive_r_spare() == 6968 - 512
 
 
 def test_solution_reports_predictions():

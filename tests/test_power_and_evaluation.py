@@ -79,6 +79,26 @@ def test_sweep_periods_skips_infeasible_multiples():
     assert all(0 < row["energy_ratio"] <= 1.0 for row in rows)
 
 
+def test_sweep_periods_rows_satisfy_both_active_regions():
+    # Every emitted row must satisfy TA <= T and kt*TA <= T (Eqs. 10-11);
+    # a multiple exactly at kt is the boundary and must be kept.
+    model = make_model(kt=1.33)
+    rows = model.sweep_periods([1.0, 1.2, 1.33, 1.5, 3.0])
+    assert [row["period_multiple"] for row in rows] == [1.33, 1.5, 3.0]
+    p = model.params
+    for row in rows:
+        assert row["period_s"] >= p.active_time_s - 1e-12
+        assert row["period_s"] >= p.time_factor * p.active_time_s - 1e-12
+
+
+def test_energy_saved_deprecated_period_argument_warns():
+    model = make_model()
+    expected = model.energy_saved()
+    with pytest.warns(DeprecationWarning):
+        legacy = model.energy_saved(5.0)
+    assert legacy == expected
+
+
 # --------------------------------------------------------------------------- #
 # Figure 1 microbenchmarks
 # --------------------------------------------------------------------------- #
