@@ -21,14 +21,13 @@ Run with::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import time
 from typing import List, Optional
 
 from repro.beebs import BENCHMARK_NAMES, get_benchmark
 from repro.codegen import CompileOptions, compile_source
-from repro.engine import ExperimentEngine, ProgramCache
+from repro.engine import ExperimentEngine, ProgramCache, atomic_write_json
 from repro.evaluation.figure5 import SuiteRow, suite_specs, evaluate_suite, summarize
 from repro.placement import FlashRAMOptimizer, PlacementConfig
 from repro.sim import Simulator
@@ -127,9 +126,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bitwise_equal_rows": bitwise_equal,
         "summary": summarize(engine_rows),
     }
-    with open(args.output, "w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(args.output, record)
     print(f"wrote {args.output}")
 
     if not bitwise_equal:

@@ -20,14 +20,18 @@ Run with::
 from __future__ import annotations
 
 import argparse
-import json
 import time
 from typing import Optional
 
 from conftest import print_table
 
 from repro.beebs import BENCHMARK_NAMES
-from repro.engine import ExperimentEngine, ProgramCache, default_cache
+from repro.engine import (
+    ExperimentEngine,
+    ProgramCache,
+    atomic_write_json,
+    default_cache,
+)
 from repro.explore import SweepSpec, run_sweep
 from repro.placement import FlashRAMOptimizer, PlacementConfig
 from repro.placement.solvers.greedy import greedy_placement
@@ -124,9 +128,7 @@ def main() -> None:
 
     if args.output:
         payload = {"greedy": greedy_record, "sweep": sweep_record}
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        atomic_write_json(args.output, payload)
         print(f"\nwrote {args.output}")
 
 

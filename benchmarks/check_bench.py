@@ -1,0 +1,89 @@
+"""Bench regression gate: compare fresh bench records against a baseline.
+
+CI runs ``benchmarks/bench_engine.py`` / ``benchmarks/bench_explore.py`` and
+then this script against the committed ``BENCH_*.json`` baselines.  Two kinds
+of leaves are checked:
+
+* every numeric leaf whose key path contains ``speedup`` must not regress by
+  more than ``--max-regression`` (default 25 %) relative to the baseline —
+  speedups are ratios measured on one machine, so they transfer across
+  runner generations far better than absolute seconds;
+* every boolean leaf whose key contains ``bitwise`` that is true in the
+  baseline must still be true (the correctness half of each bench).
+
+Exit code 1 on any failure.  Run with::
+
+    python benchmarks/check_bench.py BENCH_engine.json fresh/BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Iterator, Tuple
+
+
+def _leaves(payload, prefix: str = "") -> Iterator[Tuple[str, object]]:
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            path = f"{prefix}.{key}" if prefix else key
+            yield from _leaves(payload[key], path)
+    else:
+        yield prefix, payload
+
+
+def _load(path: str) -> Dict[str, object]:
+    with open(path, encoding="utf-8") as handle:
+        return dict(_leaves(json.load(handle)))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("fresh", help="freshly measured BENCH_*.json")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="allowed fractional speedup loss (default 0.25)")
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+    failures = []
+    checked = 0
+
+    for path, value in baseline.items():
+        if isinstance(value, bool):
+            if "bitwise" in path and value:
+                checked += 1
+                if fresh.get(path) is not True:
+                    failures.append(f"{path}: baseline is true, fresh is "
+                                    f"{fresh.get(path)!r}")
+                else:
+                    print(f"ok    {path}: true")
+        elif isinstance(value, (int, float)) and "speedup" in path:
+            checked += 1
+            current = fresh.get(path)
+            if not isinstance(current, (int, float)) or isinstance(current, bool):
+                failures.append(f"{path}: missing from fresh record")
+                continue
+            floor = value * (1.0 - args.max_regression)
+            status = "ok   " if current >= floor else "FAIL "
+            print(f"{status} {path}: baseline {value:.3f}x, fresh "
+                  f"{current:.3f}x (floor {floor:.3f}x)")
+            if current < floor:
+                failures.append(
+                    f"{path}: speedup regressed to {current:.3f}x, more than "
+                    f"{args.max_regression:.0%} below the baseline "
+                    f"{value:.3f}x")
+
+    if not checked:
+        failures.append(f"{args.baseline}: no speedup/bitwise leaves found — "
+                        f"wrong file?")
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

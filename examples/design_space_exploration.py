@@ -13,9 +13,17 @@ Run with::
 """
 
 import sys
+import tempfile
 
+from repro.engine import ResultStore
 from repro.evaluation.figure6 import design_space, solver_trajectories
-from repro.explore import SweepSpec, mark_pareto, run_sweep
+from repro.explore import (
+    SweepSpec,
+    execute_sweep,
+    mark_pareto,
+    report_from_store,
+    run_sweep,
+)
 
 
 def main() -> None:
@@ -54,6 +62,26 @@ def main() -> None:
         print(f"{row['x_limit']:8.2f} {ratio:>6s} {row['ram_bytes']:6d} "
               f"{row['energy_j'] * 1e6:10.2f} {row['time_ratio']:11.3f} "
               f"{'*' if row['pareto'] else '':>6s}")
+
+    # The same sweep run as 2 persistent shards, merged, and reported from
+    # the stored records alone — the shell equivalent is:
+    #
+    #   repro-eval explore --shard 0/2 --output shard-0   (and 1/2)
+    #   repro-eval merge --stores shard-0 shard-1 --output merged
+    #   repro-eval report --store merged --output figures
+    with tempfile.TemporaryDirectory() as root:
+        shards = []
+        for index in range(2):
+            store = ResultStore(f"{root}/shard-{index}")
+            execute_sweep(sweep, store=store, shard=(index, 2))
+            shards.append(store.root)
+        merged = ResultStore(f"{root}/merged")
+        stats = merged.merge("sweep", shards, require_disjoint=True)
+        report = report_from_store(merged)
+    print(f"\n--- shard -> merge -> report ({stats['records']} cells from "
+          f"{stats['sources']} shards, no re-simulation) ---")
+    for label, size in report["summary"]["frontier_sizes"].items():
+        print(f"frontier of {label}: {size} points")
 
 
 if __name__ == "__main__":

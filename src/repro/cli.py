@@ -11,9 +11,22 @@ Installed as ``repro-eval`` (see ``setup.py``).  Examples::
 Every experiment goes through :class:`repro.engine.ExperimentEngine`, so
 programs compile once, grids fan out over processes, and ``--output DIR``
 persists the records via :class:`repro.engine.ResultStore` for cross-run
-comparison.  ``explore`` runs a :mod:`repro.explore` design-space sweep
-(X_limit × spare RAM × flash/RAM energy ratio × solver) and marks each
-benchmark's energy/time/RAM Pareto frontier in the emitted records.
+comparison.
+
+``explore`` runs a :mod:`repro.explore` design-space sweep (X_limit × spare
+RAM × flash/RAM energy ratio × solver) into a *keyed* store: every cell is
+content-addressed by its ``cell_key``, so sweeps shard across machines and
+resume after interruption.  ``merge`` combines shard stores, and ``report``
+rebuilds the Figure 5/6 artifacts (Pareto fronts, energy/time-vs-X_limit
+tables, frontier sizes) from a merged store without re-simulating::
+
+    repro-eval explore --benchmarks crc32 fdct 2dfir --x-limits 1.1 1.5 2.0 \
+        --shard 0/3 --output shard-0           # ... one job per shard
+    repro-eval merge --stores shard-0 shard-1 shard-2 --output merged
+    repro-eval report --store merged --output figures
+
+An interrupted sweep restarts with ``--resume`` (only missing cells are
+re-simulated; ``--recheck K`` re-verifies K stored cells bitwise first).
 """
 
 from __future__ import annotations
@@ -27,7 +40,7 @@ from repro.beebs import BENCHMARK_NAMES
 from repro.engine import ExperimentEngine, ResultStore, default_engine
 
 FIGURES = ["figure1", "figure2", "figure5", "figure6", "figure9", "case-study",
-           "explore"]
+           "explore", "merge", "report"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -65,6 +78,25 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="process fan-out for grids (default: cpu count)")
     parser.add_argument("--output", default=None, metavar="DIR",
                         help="directory to persist JSON records into")
+    parser.add_argument("--shard", default=None, metavar="I/N",
+                        help="explore: run only shard I of N (cells are "
+                             "partitioned by key hash; every cell lands in "
+                             "exactly one shard)")
+    parser.add_argument("--resume", action="store_true",
+                        help="explore: skip cells already in the --output "
+                             "store and append only the missing ones")
+    parser.add_argument("--recheck", type=int, default=0, metavar="K",
+                        help="explore --resume: recompute up to K stored "
+                             "cells and fail unless they reproduce bitwise")
+    parser.add_argument("--name", default="sweep", metavar="NAME",
+                        help="keyed store file name (default: sweep)")
+    parser.add_argument("--stores", nargs="*", default=None, metavar="PATH",
+                        help="merge: source stores (files or directories)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="report: directory of the merged sweep store")
+    parser.add_argument("--require-disjoint", action="store_true",
+                        help="merge: fail on any duplicate cell across "
+                             "sources instead of checking bitwise agreement")
     return parser
 
 
@@ -78,7 +110,8 @@ def _emit(args, name: str, records: List[dict], meta: Optional[dict] = None) -> 
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     engine = default_engine() if args.workers is None else ExperimentEngine(
         max_workers=args.workers)
 
@@ -122,25 +155,62 @@ def main(argv: Optional[List[str]] = None) -> int:
         _emit(args, "case_study", [report])
 
     elif args.figure == "explore":
-        from repro.evaluation.exploration import (
-            DEFAULT_RATIOS,
-            DEFAULT_X_LIMITS,
-            exploration_sweep,
-        )
+        from repro.evaluation.exploration import DEFAULT_RATIOS, DEFAULT_X_LIMITS
+        from repro.explore import SweepSpec, execute_sweep, parse_shard
         ratios = (DEFAULT_RATIOS if args.flash_ram_ratios is None
                   else tuple(args.flash_ram_ratios) or (None,))
-        records, meta = exploration_sweep(
-            benchmarks=args.benchmarks,
+        sweep = SweepSpec(
+            benchmarks=tuple(args.benchmarks or BENCHMARK_NAMES),
             opt_levels=tuple(args.levels or ("O2",)),
             x_limits=tuple(args.x_limits or DEFAULT_X_LIMITS),
             r_spares=tuple(args.r_spares) if args.r_spares else (None,),
             flash_ram_ratios=ratios,
             solvers=tuple(args.solvers or ("ilp",)),
             frequency_modes=tuple(args.frequency_modes),
-            engine=engine,
-            max_workers=args.workers,
         )
-        _emit(args, "explore", records, meta=meta)
+        shard = None
+        if args.shard is not None:
+            try:
+                shard = parse_shard(args.shard)
+            except ValueError as error:
+                parser.error(str(error))
+        if args.resume and not args.output:
+            parser.error("--resume requires --output (the store to resume)")
+        store = ResultStore(args.output) if args.output else None
+        summary = execute_sweep(sweep, store=store, name=args.name,
+                                shard=shard, resume=args.resume,
+                                recheck=args.recheck, engine=engine,
+                                max_workers=args.workers)
+        if store is not None:
+            print(f"wrote {summary['meta']['cells']} cells to "
+                  f"{summary['path']} ({summary['computed']} computed, "
+                  f"{summary['skipped']} resumed, "
+                  f"{summary['rechecked']} rechecked)")
+        else:
+            json.dump({"meta": summary["meta"],
+                       "records": summary["records"]}, sys.stdout, indent=2)
+            print()
+
+    elif args.figure == "merge":
+        if not args.stores or not args.output:
+            parser.error("merge requires --stores SRC... and --output DIR")
+        stats = ResultStore(args.output).merge(
+            args.name, args.stores, require_disjoint=args.require_disjoint)
+        print(f"merged {stats['records']} cells from {stats['sources']} "
+              f"stores into {stats['path']} "
+              f"({stats['duplicates']} duplicates, all bitwise-identical)")
+
+    elif args.figure == "report":
+        if not args.store:
+            parser.error("report requires --store DIR (a merged sweep store)")
+        from repro.explore import report_from_store, write_report
+        report = report_from_store(ResultStore(args.store), name=args.name)
+        if args.output:
+            for path in write_report(report, args.output).values():
+                print(f"wrote {path}")
+        else:
+            json.dump(report, sys.stdout, indent=2)
+            print()
 
     return 0
 

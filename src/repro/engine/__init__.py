@@ -27,8 +27,12 @@ from repro.engine.engine import (
     default_engine,
 )
 from repro.engine.results import (
+    STORE_SCHEMA,
     BenchmarkRun,
     ResultStore,
+    atomic_write_json,
+    atomic_write_text,
+    read_store_payload,
     records_equal,
     run_record,
     simulation_record,
@@ -46,6 +50,10 @@ __all__ = [
     "default_engine",
     "BenchmarkRun",
     "ResultStore",
+    "STORE_SCHEMA",
+    "atomic_write_json",
+    "atomic_write_text",
+    "read_store_payload",
     "records_equal",
     "run_record",
     "simulation_record",

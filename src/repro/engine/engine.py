@@ -186,13 +186,24 @@ class ExperimentEngine:
         if workers <= 1 or len(resolved) <= 1:
             return [self.run_cell(spec, model) for spec, model in resolved]
 
-        # Contiguous chunks keep same-(benchmark, level) cells — adjacent in
-        # every grid this repo builds — on one worker, whose per-process
-        # engine then reuses the compile and the memoised baseline instead of
-        # redoing them in another process.
-        chunksize = -(-len(resolved) // workers)
+        # Keep same-(benchmark, level) cells on one worker so its per-process
+        # engine reuses the compile and the memoised baseline.  Plain grids
+        # are already contiguous, but sharded/resumed sweeps hand us subsets
+        # scattered across benchmarks, so tasks are regrouped for the pool
+        # and the results put back in cell order afterwards.  Per-cell floats
+        # do not depend on which worker computes them, so the regrouping is
+        # invisible in the output.
+        order = sorted(range(len(resolved)),
+                       key=lambda i: (resolved[i][0].benchmark,
+                                      resolved[i][0].opt_level, i))
+        tasks = [resolved[i] for i in order]
+        chunksize = -(-len(tasks) // workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_grid_worker, resolved, chunksize=chunksize))
+            outputs = list(pool.map(_grid_worker, tasks, chunksize=chunksize))
+        results: List[Optional[BenchmarkRun]] = [None] * len(resolved)
+        for position, index in enumerate(order):
+            results[index] = outputs[position]
+        return results
 
     def run_grid(self, specs: Sequence[ExperimentSpec],
                  max_workers: Optional[int] = None) -> List[BenchmarkRun]:

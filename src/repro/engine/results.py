@@ -8,17 +8,93 @@ for compatibility.  :class:`ResultStore` serializes grids of
 vs parallel, decode-once vs interpreted, before vs after a change) can be
 compared bitwise: Python's ``repr``-based float serialization round-trips
 exactly, so equal floats stay equal through the store.
+
+Stores come in two layouts sharing one schema-versioned container
+(``{"schema": N, "meta": ..., "records": [...]}``):
+
+* **plain** stores (:meth:`ResultStore.save` / :meth:`ResultStore.load`)
+  keep records in caller order — one file per figure/benchmark artifact;
+* **keyed** stores (:meth:`ResultStore.save_keyed` /
+  :meth:`ResultStore.append_keyed` / :meth:`ResultStore.merge`) require every
+  record to carry a stable identity field (a sweep ``cell_key``), keep the
+  records sorted by that key, and combine deterministically: merging the
+  disjoint shards of a sweep reproduces the monolithic store byte for byte.
+
+Every write goes through a same-directory temp file and ``os.replace``, so an
+interrupted run can never leave a truncated store that a resume would
+silently trust — a reader sees either the old complete file or the new one.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.placement import PlacementSolution
 from repro.sim import SimulationResult
+
+#: Store container version written by this build.  Version 1 is the legacy
+#: PR-1 layout (no ``schema`` key); version 2 adds the key and keyed stores.
+STORE_SCHEMA = 2
+
+#: Versions this build knows how to read.
+READABLE_SCHEMAS = (1, STORE_SCHEMA)
+
+#: Meta keys that describe one *invocation* rather than the sweep itself;
+#: :meth:`ResultStore.merge` ignores them when checking that shard stores
+#: describe the same sweep, and recomputes ``cells`` for the merged store.
+PER_RUN_META_KEYS = ("cells", "shard")
+
+
+# --------------------------------------------------------------------------- #
+# Atomic writes
+# --------------------------------------------------------------------------- #
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write *text* to *path* atomically (same-dir temp file + ``os.replace``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", encoding="utf-8", dir=path.parent,
+        prefix=path.name + ".", suffix=".tmp", delete=False)
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(path: Union[str, Path], payload: Dict) -> Path:
+    """Serialize *payload* first, then write atomically (a serialization
+    error therefore cannot clobber or truncate an existing file)."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    return atomic_write_text(path, text)
+
+
+def read_store_payload(path: Union[str, Path]) -> Dict:
+    """Read one store file, rejecting unknown schema versions loudly."""
+    path = Path(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "records" not in payload:
+        raise ValueError(f"{path}: not a result store (no 'records' array)")
+    schema = payload.get("schema", 1)
+    if schema not in READABLE_SCHEMAS:
+        raise ValueError(
+            f"{path}: unknown result-store schema {schema!r}; this build reads "
+            f"schemas {list(READABLE_SCHEMAS)} — refusing to guess at the "
+            f"contents of a newer/foreign store")
+    return payload
 
 
 @dataclass
@@ -102,6 +178,23 @@ def suite_row_record(row) -> Dict:
     return row.as_dict()
 
 
+def _index_records(records: Iterable[Dict], key_field: str) -> Dict[str, Dict]:
+    """Index *records* by *key_field*, rejecting missing keys and conflicts."""
+    indexed: Dict[str, Dict] = {}
+    for record in records:
+        key = record.get(key_field)
+        if not isinstance(key, str) or not key:
+            raise ValueError(
+                f"record missing the {key_field!r} identity field; keyed "
+                f"stores require every record to be content-addressed")
+        if key in indexed and indexed[key] != record:
+            raise ValueError(
+                f"conflicting records for {key_field}={key}: the same cell "
+                f"produced different measurements")
+        indexed[key] = record
+    return indexed
+
+
 class ResultStore:
     """Directory of named JSON result files for cross-run comparison."""
 
@@ -111,25 +204,136 @@ class ResultStore:
     def path_for(self, name: str) -> Path:
         return self.root / f"{name}.json"
 
+    def _payload(self, name: str) -> Dict:
+        return read_store_payload(self.path_for(name))
+
+    # ------------------------------------------------------------------ #
+    # Plain stores
     # ------------------------------------------------------------------ #
     def save(self, name: str, records: Sequence[Dict],
              meta: Optional[Dict] = None) -> Path:
         """Write *records* (flat dicts) under *name*; returns the file path."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(name)
-        payload = {"meta": meta or {}, "records": list(records)}
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                        encoding="utf-8")
-        return path
+        payload = {"schema": STORE_SCHEMA, "meta": meta or {},
+                   "records": list(records)}
+        return atomic_write_json(self.path_for(name), payload)
 
     def load(self, name: str) -> List[Dict]:
         """Load the records previously saved under *name*."""
-        payload = json.loads(self.path_for(name).read_text(encoding="utf-8"))
-        return payload["records"]
+        return self._payload(name)["records"]
 
     def load_meta(self, name: str) -> Dict:
-        payload = json.loads(self.path_for(name).read_text(encoding="utf-8"))
-        return payload.get("meta", {})
+        return self._payload(name).get("meta", {})
+
+    # ------------------------------------------------------------------ #
+    # Keyed stores
+    # ------------------------------------------------------------------ #
+    def save_keyed(self, name: str, records: Iterable[Dict],
+                   meta: Optional[Dict] = None,
+                   key_field: str = "cell_key") -> Path:
+        """Write a keyed store: records sorted by *key_field*, meta stamped
+        with the record count.  The sorted order is what makes independently
+        produced stores (shards, resumes) combine byte-identically."""
+        indexed = _index_records(records, key_field)
+        meta = dict(meta or {})
+        meta["cells"] = len(indexed)
+        payload = {"schema": STORE_SCHEMA, "keyed_by": key_field, "meta": meta,
+                   "records": [indexed[key] for key in sorted(indexed)]}
+        return atomic_write_json(self.path_for(name), payload)
+
+    def _keyed_payload(self, name: str) -> tuple:
+        payload = self._payload(name)
+        key_field = payload.get("keyed_by")
+        if not key_field:
+            raise ValueError(f"{self.path_for(name)}: not a keyed store "
+                             f"(missing 'keyed_by')")
+        return payload, key_field
+
+    def load_keyed(self, name: str) -> Dict[str, Dict]:
+        """The store's records as an ordered ``{key: record}`` mapping."""
+        payload, key_field = self._keyed_payload(name)
+        return {record[key_field]: record for record in payload["records"]}
+
+    def append_keyed(self, name: str, records: Iterable[Dict],
+                     meta: Optional[Dict] = None,
+                     key_field: str = "cell_key") -> Path:
+        """Add *records* to an existing keyed store (atomic rewrite).
+
+        Duplicate keys must carry bitwise-identical records — a resumed sweep
+        may legitimately recompute a cell, but it must reproduce the stored
+        measurement exactly.  *meta* (when given) replaces the stored meta;
+        ``cells`` is always restamped.
+        """
+        if not self.path_for(name).exists():
+            return self.save_keyed(name, records, meta=meta,
+                                   key_field=key_field)
+        payload, existing_field = self._keyed_payload(name)
+        if existing_field != key_field:
+            raise ValueError(
+                f"{self.path_for(name)}: keyed by {existing_field!r}, "
+                f"cannot append records keyed by {key_field!r}")
+        combined = _index_records(list(payload["records"]) + list(records),
+                                  key_field)
+        meta = dict(meta if meta is not None else payload.get("meta", {}))
+        return self.save_keyed(name, combined.values(), meta=meta,
+                               key_field=key_field)
+
+    def merge(self, name: str, sources: Sequence[Union[str, Path]],
+              require_disjoint: bool = False) -> Dict:
+        """Merge keyed stores (files or store directories) into *name*.
+
+        Validates that every source describes the same sweep (metas must
+        agree once per-run keys — shard assignment, cell counts — are
+        stripped) and that any duplicated cell agrees bitwise across sources;
+        ``require_disjoint=True`` additionally makes *any* duplicate an error
+        (the shard→merge CI contract).  Returns merge statistics.
+        """
+        if not sources:
+            raise ValueError("merge requires at least one source store")
+        merged: Dict[str, Dict] = {}
+        common_meta: Optional[Dict] = None
+        first_path: Optional[Path] = None
+        key_field: Optional[str] = None
+        duplicates = 0
+        for source in sources:
+            path = Path(source)
+            if path.is_dir():
+                path = path / f"{name}.json"
+            payload = read_store_payload(path)
+            field_name = payload.get("keyed_by")
+            if not field_name:
+                raise ValueError(f"{path}: not a keyed store, cannot merge")
+            if key_field is None:
+                key_field = field_name
+            elif field_name != key_field:
+                raise ValueError(f"{path}: keyed by {field_name!r} but "
+                                 f"{first_path} is keyed by {key_field!r}")
+            meta = {k: v for k, v in payload.get("meta", {}).items()
+                    if k not in PER_RUN_META_KEYS}
+            if common_meta is None:
+                common_meta, first_path = meta, path
+            elif meta != common_meta:
+                raise ValueError(
+                    f"{path}: sweep meta differs from {first_path}; these "
+                    f"stores come from different sweeps and must not be "
+                    f"merged")
+            for record in payload["records"]:
+                key = record[key_field]
+                if key in merged:
+                    duplicates += 1
+                    if require_disjoint:
+                        raise ValueError(
+                            f"{path}: cell {key} already present in another "
+                            f"source (shards are required to be disjoint)")
+                    if merged[key] != record:
+                        raise ValueError(
+                            f"{path}: conflicting records for cell {key} "
+                            f"across sources")
+                else:
+                    merged[key] = record
+        dest = self.save_keyed(name, merged.values(), meta=common_meta,
+                               key_field=key_field)
+        return {"path": str(dest), "sources": len(sources),
+                "records": len(merged), "duplicates": duplicates}
 
     # ------------------------------------------------------------------ #
     def save_runs(self, name: str, runs: Sequence[BenchmarkRun],

@@ -11,7 +11,7 @@ from repro.evaluation.figure5 import evaluate_suite, summarize, suite_specs, Sui
 from repro.evaluation.figure6 import design_space, solver_trajectories
 from repro.evaluation.figure9 import period_sweep
 from repro.evaluation.case_study import case_study_report
-from repro.evaluation.exploration import exploration_sweep
+from repro.evaluation.exploration import exploration_report, exploration_sweep
 
 __all__ = [
     "BenchmarkRun",
@@ -28,4 +28,5 @@ __all__ = [
     "period_sweep",
     "case_study_report",
     "exploration_sweep",
+    "exploration_report",
 ]

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.beebs import BENCHMARK_NAMES
 from repro.engine import ExperimentEngine
-from repro.explore import SweepSpec, mark_pareto, run_sweep
+from repro.explore import SweepSpec, mark_pareto, run_sweep, sweep_report
 
 #: Default exploration axes: the paper's X_limit range (Figure 6 relaxes it
 #: from 1.0 to well past 1.5) and a flash/RAM energy-ratio span around the
@@ -59,3 +59,14 @@ def exploration_sweep(benchmarks: Optional[Sequence[str]] = None,
         for name in sweep.benchmarks
     }
     return records, meta
+
+
+def exploration_report(records: Sequence[Dict]) -> Dict:
+    """The Figure 5/6 artifacts rebuilt from stored sweep records.
+
+    Takes the raw records of a (possibly merged) keyed sweep store and
+    returns per-benchmark Pareto fronts, the energy/time-vs-``X_limit``
+    envelope table and frontier sizes — no simulation involved.  This is the
+    library face of ``repro-eval report``.
+    """
+    return sweep_report(list(records))

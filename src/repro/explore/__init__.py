@@ -13,7 +13,14 @@ the :class:`~repro.engine.ExperimentEngine`:
   (`repro.explore.pareto`);
 * :func:`profile_guided_placement` — the paper's profiled frequency mode run
   to a fixpoint: simulate, feed the block counts back to the solver, repeat
-  until the selected RAM set stops changing (`repro.explore.profile_guided`).
+  until the selected RAM set stops changing (`repro.explore.profile_guided`);
+* :func:`execute_sweep` / :func:`shard_cells` — resumable, shardable sweep
+  execution against a keyed :class:`~repro.engine.ResultStore`: every cell
+  has a content-addressed :func:`cell_key`, shards partition the cell set by
+  key hash, and resume skips cells already stored (`repro.explore.sweep`);
+* :func:`sweep_report` / :func:`report_from_store` — the Figure 5/6
+  artifacts (Pareto fronts, energy/time-vs-X_limit envelopes, frontier
+  sizes) rebuilt purely from stored records (`repro.explore.report`).
 """
 
 from repro.explore.pareto import (
@@ -27,24 +34,46 @@ from repro.explore.profile_guided import (
     ProfileGuidedResult,
     profile_guided_placement,
 )
+from repro.explore.report import (
+    report_from_store,
+    report_tables,
+    sweep_report,
+    write_report,
+)
 from repro.explore.sweep import (
     SweepCell,
+    SweepRecheckError,
     SweepResult,
     SweepSpec,
+    cell_key,
+    execute_sweep,
+    parse_shard,
     run_sweep,
     scaled_energy_model,
+    shard_cells,
+    shard_index,
 )
 
 __all__ = [
     "SweepCell",
+    "SweepRecheckError",
     "SweepResult",
     "SweepSpec",
+    "cell_key",
+    "execute_sweep",
+    "parse_shard",
     "run_sweep",
     "scaled_energy_model",
+    "shard_cells",
+    "shard_index",
     "dominates",
     "mark_pareto",
     "pareto_front",
     "pareto_records",
+    "report_from_store",
+    "report_tables",
+    "sweep_report",
+    "write_report",
     "ProfileGuidedIteration",
     "ProfileGuidedResult",
     "profile_guided_placement",

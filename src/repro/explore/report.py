@@ -1,0 +1,156 @@
+"""Figure 5/6-style artifacts rebuilt from stored sweep records.
+
+The sweep subsystem persists raw cell records into keyed
+:class:`~repro.engine.ResultStore` files (one record per design-space cell,
+content-addressed by ``cell_key``).  This module turns a merged store back
+into the paper's headline artifacts **without re-running a single
+simulation**:
+
+* per-benchmark (and per flash/RAM energy-ratio) Pareto fronts of the
+  minimised (energy, time ratio, RAM bytes) space — the Figure 6 boundary;
+* an energy/time-vs-``X_limit`` envelope table: for every group and
+  ``X_limit`` the lowest-energy cell, i.e. the curve Figure 5 samples at one
+  point;
+* a frontier-size summary per group.
+
+The report is emitted as one JSON document plus CSV tables that gnuplot
+(``set datafile separator ","``) or a spreadsheet can consume directly.
+Everything is deterministic in the store contents alone: fronts are sorted
+by objective vector then cell key, so shard→merge→report reproduces the
+monolithic run's artifacts byte for byte.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.results import ResultStore, atomic_write_json, atomic_write_text
+from repro.explore.pareto import (
+    DEFAULT_GROUP_FIELDS,
+    DEFAULT_OBJECTIVES,
+    mark_pareto,
+)
+
+#: Version stamp of the report document layout.
+REPORT_SCHEMA = 1
+
+#: Scalar columns of the Pareto-front CSV (stored records also carry lists —
+#: the selected RAM blocks — which stay JSON-only).
+FRONT_COLUMNS: Tuple[str, ...] = (
+    "benchmark", "flash_ram_ratio", "opt_level", "solver", "frequency_mode",
+    "x_limit", "r_spare_requested", "energy_j", "time_ratio", "ram_bytes",
+    "energy_change", "time_change", "cell_key",
+)
+
+#: Columns of the energy/time-vs-X_limit envelope CSV.
+ENVELOPE_COLUMNS: Tuple[str, ...] = (
+    "benchmark", "flash_ram_ratio", "x_limit", "energy_j", "energy_change",
+    "time_ratio", "ram_bytes", "blocks_moved", "pareto", "cell_key",
+)
+
+
+def _group_label(fields: Sequence[str], record: Dict) -> str:
+    return ",".join(f"{name}={record.get(name)}" for name in fields)
+
+
+def sweep_report(records: Sequence[Dict],
+                 objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                 group_fields: Sequence[str] = DEFAULT_GROUP_FIELDS) -> Dict:
+    """Build the full report document from raw sweep records.
+
+    Records need no particular order; the output depends only on their
+    contents (fronts sort by objective vector, then cell key).
+    """
+    marked = mark_pareto(list(records), objectives=objectives,
+                         group_fields=group_fields)
+
+    groups: Dict[str, List[Dict]] = {}
+    for record in marked:
+        groups.setdefault(_group_label(group_fields, record), []).append(record)
+
+    def front_sort_key(record: Dict):
+        return (tuple(record[name] for name in objectives),
+                record.get("cell_key", ""))
+
+    fronts: Dict[str, List[Dict]] = {}
+    envelope: List[Dict] = []
+    for label in sorted(groups):
+        group = groups[label]
+        fronts[label] = sorted((r for r in group if r["pareto"]),
+                               key=front_sort_key)
+        by_x_limit: Dict[float, List[Dict]] = {}
+        for record in group:
+            if "x_limit" in record:
+                by_x_limit.setdefault(record["x_limit"], []).append(record)
+        for x_limit in sorted(by_x_limit):
+            best = min(by_x_limit[x_limit],
+                       key=lambda r: (r["energy_j"], r.get("cell_key", "")))
+            envelope.append({name: best.get(name)
+                             for name in ENVELOPE_COLUMNS})
+
+    summary = {
+        "cells": len(marked),
+        "benchmarks": sorted({r["benchmark"] for r in marked
+                              if r.get("benchmark") is not None}),
+        "pareto_points": sum(1 for r in marked if r["pareto"]),
+        "group_sizes": {label: len(group)
+                        for label, group in sorted(groups.items())},
+        "frontier_sizes": {label: len(front)
+                           for label, front in fronts.items()},
+    }
+    return {
+        "schema": REPORT_SCHEMA,
+        "objectives": list(objectives),
+        "group_fields": list(group_fields),
+        "summary": summary,
+        "fronts": fronts,
+        "energy_vs_x_limit": envelope,
+    }
+
+
+def report_from_store(store: ResultStore, name: str = "sweep",
+                      objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                      group_fields: Sequence[str] = DEFAULT_GROUP_FIELDS) -> Dict:
+    """Load a keyed sweep store and build its report — no simulation."""
+    records = list(store.load_keyed(name).values())
+    report = sweep_report(records, objectives=objectives,
+                          group_fields=group_fields)
+    report["store_meta"] = store.load_meta(name)
+    return report
+
+
+# --------------------------------------------------------------------------- #
+# CSV emission
+# --------------------------------------------------------------------------- #
+def _csv_cell(value) -> str:
+    if value is None:
+        return ""
+    return str(value)  # str(float) is repr — exact round-trip
+
+
+def _csv(rows: Sequence[Dict], columns: Sequence[str]) -> str:
+    lines = [",".join(columns)]
+    lines.extend(",".join(_csv_cell(row.get(name)) for name in columns)
+                 for row in rows)
+    return "\n".join(lines) + "\n"
+
+
+def report_tables(report: Dict) -> Dict[str, str]:
+    """The report's CSV tables as ``{filename: text}``."""
+    front_rows = [record for label in sorted(report["fronts"])
+                  for record in report["fronts"][label]]
+    return {
+        "pareto_fronts.csv": _csv(front_rows, FRONT_COLUMNS),
+        "energy_vs_x_limit.csv": _csv(report["energy_vs_x_limit"],
+                                      ENVELOPE_COLUMNS),
+    }
+
+
+def write_report(report: Dict, out_dir: Union[str, Path]) -> Dict[str, Path]:
+    """Write ``report.json`` plus the CSV tables (all atomically)."""
+    out_dir = Path(out_dir)
+    paths = {"report.json": atomic_write_json(out_dir / "report.json", report)}
+    for filename, text in report_tables(report).items():
+        paths[filename] = atomic_write_text(out_dir / filename, text)
+    return paths

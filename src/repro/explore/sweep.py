@@ -13,12 +13,14 @@ exactly once per process.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.beebs import BENCHMARK_NAMES
 from repro.engine import ExperimentEngine, ExperimentSpec, default_engine
-from repro.engine.results import BenchmarkRun
+from repro.engine.results import PER_RUN_META_KEYS, BenchmarkRun, ResultStore
 from repro.sim.energy import EnergyModel, PowerTable
 
 
@@ -43,6 +45,15 @@ def scaled_energy_model(flash_ram_ratio: float,
     return EnergyModel(table=table, cycle_time_s=base.cycle_time_s)
 
 
+#: The knobs that identify one sweep cell.  ``cell_key`` hashes exactly
+#: these, so two cells are the same experiment iff their keys are equal —
+#: independent of the enumeration order of the spec that produced them.
+CELL_KEY_FIELDS: Tuple[str, ...] = (
+    "benchmark", "opt_level", "optimize", "x_limit", "r_spare",
+    "flash_ram_ratio", "solver", "frequency_mode",
+)
+
+
 @dataclass(frozen=True)
 class SweepCell:
     """One point of the design space: an engine spec plus its energy axis."""
@@ -55,6 +66,70 @@ class SweepCell:
         if self.flash_ram_ratio is None:
             return None
         return scaled_energy_model(self.flash_ram_ratio, base)
+
+    @property
+    def key(self) -> str:
+        """Stable content-addressed identity of this cell (see :func:`cell_key`)."""
+        return cell_key(self)
+
+
+def cell_key(cell: SweepCell) -> str:
+    """A stable, content-addressed key for one sweep cell.
+
+    The key is the SHA-256 (truncated to 64 bits of hex) of a canonical JSON
+    encoding of :data:`CELL_KEY_FIELDS`.  Floats serialize via ``repr`` —
+    exact and platform-independent — so the same knobs hash identically on
+    any machine, and the key never depends on where in a sweep's enumeration
+    the cell appeared.  Keys address records in keyed
+    :class:`~repro.engine.ResultStore` files and assign cells to shards.
+    """
+    spec = cell.spec
+    payload = {
+        "benchmark": spec.benchmark,
+        "opt_level": spec.opt_level,
+        "optimize": spec.optimize,
+        "x_limit": spec.x_limit,
+        "r_spare": spec.r_spare,
+        "flash_ram_ratio": cell.flash_ram_ratio,
+        "solver": spec.solver,
+        "frequency_mode": spec.frequency_mode,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------- #
+# Sharding
+# --------------------------------------------------------------------------- #
+def shard_index(key: str, shard_count: int) -> int:
+    """The shard a cell key belongs to: its integer value mod *shard_count*."""
+    return int(key, 16) % shard_count
+
+
+def shard_cells(cells: Sequence[SweepCell], index: int,
+                count: int) -> List[SweepCell]:
+    """The subset of *cells* owned by shard *index* of *count*.
+
+    Partitioning is by key hash, so any shard assignment covers each cell in
+    exactly one shard regardless of how the sweep was enumerated.
+    """
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    if not 0 <= index < count:
+        raise ValueError(f"shard index {index} outside 0..{count - 1}")
+    return [cell for cell in cells if shard_index(cell.key, count) == index]
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``i/N`` shard assignment (e.g. ``0/3``) into ``(i, N)``."""
+    try:
+        index_text, count_text = text.split("/")
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(f"shard must look like i/N (e.g. 0/3), got {text!r}")
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(f"shard {text!r}: index must be in 0..N-1, N >= 1")
+    return index, count
 
 
 @dataclass(frozen=True)
@@ -84,6 +159,20 @@ class SweepSpec:
         return (len(self.benchmarks) * len(self.opt_levels) * len(self.x_limits)
                 * len(self.r_spares) * len(self.flash_ram_ratios)
                 * len(self.solvers) * len(self.frequency_modes))
+
+    def meta(self) -> Dict:
+        """JSON-safe record of the axes — shared by every shard's store, so
+        :meth:`~repro.engine.ResultStore.merge` can check that partial stores
+        came from the same sweep."""
+        return {
+            "benchmarks": list(self.benchmarks),
+            "opt_levels": list(self.opt_levels),
+            "x_limits": list(self.x_limits),
+            "r_spares": list(self.r_spares),
+            "flash_ram_ratios": list(self.flash_ram_ratios),
+            "solvers": list(self.solvers),
+            "frequency_modes": list(self.frequency_modes),
+        }
 
     def cells(self) -> List[SweepCell]:
         """The sweep's cells in deterministic nesting order.
@@ -118,6 +207,7 @@ def cell_record(cell: SweepCell, run: BenchmarkRun) -> Dict:
     """Flat JSON-safe record of one sweep cell (knobs + measurements)."""
     estimate = run.solution.estimate if run.solution else None
     record = {
+        "cell_key": cell.key,
         "benchmark": cell.spec.benchmark,
         "opt_level": cell.spec.opt_level,
         "frequency_mode": cell.spec.frequency_mode,
@@ -161,16 +251,9 @@ class SweepResult:
                             for cell, run in zip(self.cells, self.runs)]
 
     def meta(self) -> Dict:
-        return {
-            "benchmarks": list(self.sweep.benchmarks),
-            "opt_levels": list(self.sweep.opt_levels),
-            "x_limits": list(self.sweep.x_limits),
-            "r_spares": list(self.sweep.r_spares),
-            "flash_ram_ratios": list(self.sweep.flash_ram_ratios),
-            "solvers": list(self.sweep.solvers),
-            "frequency_modes": list(self.sweep.frequency_modes),
-            "cells": len(self.records),
-        }
+        meta = self.sweep.meta()
+        meta["cells"] = len(self.records)
+        return meta
 
 
 def run_sweep(sweep: SweepSpec,
@@ -179,9 +262,106 @@ def run_sweep(sweep: SweepSpec,
     """Execute every cell of *sweep* through the engine, in cell order."""
     engine = engine if engine is not None else default_engine()
     cells = sweep.cells()
+    runs = _run_cells(cells, engine, max_workers)
+    return SweepResult(sweep=sweep, cells=cells, runs=runs)
+
+
+def _run_cells(cells: Sequence[SweepCell], engine: ExperimentEngine,
+               max_workers: Optional[int]) -> List[BenchmarkRun]:
     base_model = engine.energy_model
     payload: List[Tuple[ExperimentSpec, Optional[EnergyModel]]] = [
         (cell.spec, cell.energy_model(base_model)) for cell in cells
     ]
-    runs = engine.run_cells(payload, max_workers=max_workers)
-    return SweepResult(sweep=sweep, cells=cells, runs=runs)
+    return engine.run_cells(payload, max_workers=max_workers)
+
+
+class SweepRecheckError(ValueError):
+    """A resumed store's record no longer reproduces bitwise."""
+
+
+def execute_sweep(sweep: SweepSpec,
+                  store: Optional[ResultStore] = None,
+                  name: str = "sweep",
+                  shard: Optional[Tuple[int, int]] = None,
+                  resume: bool = False,
+                  recheck: int = 0,
+                  engine: Optional[ExperimentEngine] = None,
+                  max_workers: Optional[int] = None) -> Dict:
+    """Run *sweep* — optionally one shard of it — with store-backed resume.
+
+    * ``shard=(i, N)`` restricts execution to the cells whose key hashes to
+      shard *i* of *N* (each cell lands in exactly one shard);
+    * ``resume=True`` skips any cell whose key is already in the store and
+      appends only the missing ones, so an interrupted sweep re-simulates
+      only what it never finished;
+    * ``recheck=K`` additionally recomputes a deterministic sample of up to
+      *K* stored cells and raises :class:`SweepRecheckError` unless they
+      reproduce bitwise — a cheap staleness probe for resumed stores.
+
+    Returns a summary dict: the run's records in key order, the store meta,
+    cell/computed/skipped/rechecked counts, and the store path (or ``None``
+    when running storeless).
+    """
+    cells = sweep.cells()
+    if shard is not None:
+        cells = shard_cells(cells, shard[0], shard[1])
+    by_key = {cell.key: cell for cell in cells}
+    if len(by_key) != len(cells):
+        raise ValueError("cell_key collision within one sweep "
+                         "(two distinct cells hashed identically)")
+
+    if resume and store is None:
+        raise ValueError("resume requires a result store")
+    stored: Dict[str, Dict] = {}
+    if resume and store.path_for(name).exists():
+        stored_meta = {key: value
+                       for key, value in store.load_meta(name).items()
+                       if key not in PER_RUN_META_KEYS}
+        if stored_meta != sweep.meta():
+            raise ValueError(
+                f"{store.path_for(name)}: stored sweep axes differ from the "
+                f"requested sweep; resuming would mix records from different "
+                f"sweeps (run without --resume, or into a fresh store)")
+        stored = {key: record
+                  for key, record in store.load_keyed(name).items()
+                  if key in by_key}
+
+    engine = engine if engine is not None else default_engine()
+
+    rechecked = 0
+    if recheck and stored:
+        sample_keys = sorted(stored)[:recheck]
+        runs = _run_cells([by_key[key] for key in sample_keys], engine,
+                          max_workers)
+        for key, run in zip(sample_keys, runs):
+            fresh = cell_record(by_key[key], run)
+            if fresh != stored[key]:
+                raise SweepRecheckError(
+                    f"stored cell {key} no longer reproduces bitwise; the "
+                    f"store is stale (code or model changed) or corrupt — "
+                    f"rerun the sweep without --resume")
+        rechecked = len(sample_keys)
+
+    missing = [cell for cell in cells if cell.key not in stored]
+    new_records = [cell_record(cell, run) for cell, run in
+                   zip(missing, _run_cells(missing, engine, max_workers))]
+
+    combined = dict(stored)
+    combined.update((record["cell_key"], record) for record in new_records)
+    records = [combined[key] for key in sorted(combined)]
+
+    meta = sweep.meta()
+    if shard is not None:
+        meta["shard"] = [shard[0], shard[1]]
+    meta["cells"] = len(records)
+
+    summary = {"records": records, "meta": meta, "cells": len(cells),
+               "computed": len(missing), "skipped": len(stored),
+               "rechecked": rechecked, "path": None}
+    if store is not None:
+        if resume:
+            path = store.append_keyed(name, new_records, meta=meta)
+        else:
+            path = store.save_keyed(name, records, meta=meta)
+        summary["path"] = str(path)
+    return summary
