@@ -27,6 +27,21 @@ tables, frontier sizes) from a merged store without re-simulating::
 
 An interrupted sweep restarts with ``--resume`` (only missing cells are
 re-simulated; ``--recheck K`` re-verifies K stored cells bitwise first).
+
+``coordinate`` / ``work`` run a sweep as a *dynamically load-balanced
+fleet* (`repro.distrib`): the coordinator leases batches of cell keys to
+however many workers connect, re-leases batches from dead workers, and
+streams checkpoints into the store — the final store is byte-identical to
+a monolithic ``explore`` run of the same axes::
+
+    repro-eval coordinate --benchmarks crc32 fdct 2dfir --x-limits 1.1 1.5 \
+        --port 7399 --output swept --progress &
+    repro-eval work --port 7399 &          # as many as you have cores/machines
+    repro-eval work --port 7399 &
+
+``explore --distributed N`` is the one-machine shorthand (coordinator plus
+N spawned local workers); ``--progress`` prints live cells/s + ETA to
+stderr on any path.
 """
 
 from __future__ import annotations
@@ -40,7 +55,7 @@ from repro.beebs import BENCHMARK_NAMES
 from repro.engine import ExperimentEngine, ResultStore, default_engine
 
 FIGURES = ["figure1", "figure2", "figure5", "figure6", "figure9", "case-study",
-           "explore", "merge", "report"]
+           "explore", "merge", "report", "coordinate", "work"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -97,7 +112,74 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--require-disjoint", action="store_true",
                         help="merge: fail on any duplicate cell across "
                              "sources instead of checking bitwise agreement")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a live cells/s + ETA line to stderr "
+                             "(stdout stays machine-readable)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="K",
+                        help="journal completed cells to the store every K "
+                             "cells (O(batch) per checkpoint), so --resume "
+                             "restarts from the last checkpoint")
+    parser.add_argument("--distributed", type=int, default=None, metavar="N",
+                        help="explore: run through a local coordinator with "
+                             "N spawned worker processes (dynamic batch "
+                             "leasing instead of the in-process pool)")
+    parser.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                        help="coordinate: address to bind / work: "
+                             "coordinator address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None, metavar="PORT",
+                        help="coordinate: port to bind (0 = ephemeral, "
+                             "printed to stderr) / work: coordinator port")
+    parser.add_argument("--batch-size", type=int, default=None, metavar="B",
+                        help="coordinate: cells per lease (default 4)")
+    parser.add_argument("--lease-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="coordinate: re-lease a batch whose worker has "
+                             "not heartbeat for this long (default 60)")
+    parser.add_argument("--throttle", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="work: artificial delay per executed cell "
+                             "(manufactures stragglers for tests/benchmarks)")
     return parser
+
+
+def _sweep_from_args(args):
+    """The SweepSpec an ``explore``/``coordinate`` invocation describes."""
+    from repro.evaluation.exploration import DEFAULT_RATIOS, DEFAULT_X_LIMITS
+    from repro.explore import SweepSpec
+    ratios = (DEFAULT_RATIOS if args.flash_ram_ratios is None
+              else tuple(args.flash_ram_ratios) or (None,))
+    return SweepSpec(
+        benchmarks=tuple(args.benchmarks or BENCHMARK_NAMES),
+        opt_levels=tuple(args.levels or ("O2",)),
+        x_limits=tuple(args.x_limits or DEFAULT_X_LIMITS),
+        r_spares=tuple(args.r_spares) if args.r_spares else (None,),
+        flash_ram_ratios=ratios,
+        solvers=tuple(args.solvers or ("ilp",)),
+        frequency_modes=tuple(args.frequency_modes),
+    )
+
+
+def _parse_shard_arg(args, parser):
+    from repro.explore import parse_shard
+    if args.shard is None:
+        return None
+    try:
+        return parse_shard(args.shard)
+    except ValueError as error:
+        parser.error(str(error))
+
+
+def _print_sweep_summary(summary: dict) -> None:
+    line = (f"wrote {summary['meta']['cells']} cells to {summary['path']} "
+            f"({summary['computed']} computed, {summary['skipped']} resumed, "
+            f"{summary['rechecked']} rechecked)")
+    distrib = summary.get("distrib")
+    if distrib:
+        line += (f" [distributed: {distrib['workers']} workers, "
+                 f"{distrib['requeued_batches']} batches requeued, "
+                 f"{distrib['duplicate_records']} duplicates]")
+    print(line)
 
 
 def _emit(args, name: str, records: List[dict], meta: Optional[dict] = None) -> None:
@@ -155,41 +237,86 @@ def main(argv: Optional[List[str]] = None) -> int:
         _emit(args, "case_study", [report])
 
     elif args.figure == "explore":
-        from repro.evaluation.exploration import DEFAULT_RATIOS, DEFAULT_X_LIMITS
-        from repro.explore import SweepSpec, execute_sweep, parse_shard
-        ratios = (DEFAULT_RATIOS if args.flash_ram_ratios is None
-                  else tuple(args.flash_ram_ratios) or (None,))
-        sweep = SweepSpec(
-            benchmarks=tuple(args.benchmarks or BENCHMARK_NAMES),
-            opt_levels=tuple(args.levels or ("O2",)),
-            x_limits=tuple(args.x_limits or DEFAULT_X_LIMITS),
-            r_spares=tuple(args.r_spares) if args.r_spares else (None,),
-            flash_ram_ratios=ratios,
-            solvers=tuple(args.solvers or ("ilp",)),
-            frequency_modes=tuple(args.frequency_modes),
-        )
-        shard = None
-        if args.shard is not None:
-            try:
-                shard = parse_shard(args.shard)
-            except ValueError as error:
-                parser.error(str(error))
+        from repro.explore import execute_sweep
+        sweep = _sweep_from_args(args)
+        shard = _parse_shard_arg(args, parser)
         if args.resume and not args.output:
             parser.error("--resume requires --output (the store to resume)")
+        if args.distributed is not None and args.recheck:
+            parser.error("--recheck is not supported with --distributed; "
+                         "run it in-process first")
+        if args.distributed is not None and args.workers is not None:
+            parser.error("--workers configures the in-process pool; with "
+                         "--distributed N the fleet size is N (use "
+                         "'work --workers' for per-worker pools)")
+        if args.distributed is None and (args.batch_size is not None
+                                         or args.lease_timeout is not None):
+            parser.error("--batch-size/--lease-timeout tune the lease "
+                         "protocol; they require --distributed (or the "
+                         "coordinate subcommand)")
         store = ResultStore(args.output) if args.output else None
-        summary = execute_sweep(sweep, store=store, name=args.name,
-                                shard=shard, resume=args.resume,
-                                recheck=args.recheck, engine=engine,
-                                max_workers=args.workers)
+        if args.distributed is not None:
+            summary = execute_sweep(
+                sweep, store=store, name=args.name, shard=shard,
+                resume=args.resume, workers=args.distributed,
+                progress=args.progress,
+                checkpoint_every=args.checkpoint_every,
+                batch_size=args.batch_size,
+                lease_timeout=args.lease_timeout)
+        else:
+            summary = execute_sweep(
+                sweep, store=store, name=args.name, shard=shard,
+                resume=args.resume, recheck=args.recheck, engine=engine,
+                max_workers=args.workers, progress=args.progress,
+                checkpoint_every=args.checkpoint_every)
         if store is not None:
-            print(f"wrote {summary['meta']['cells']} cells to "
-                  f"{summary['path']} ({summary['computed']} computed, "
-                  f"{summary['skipped']} resumed, "
-                  f"{summary['rechecked']} rechecked)")
+            _print_sweep_summary(summary)
         else:
             json.dump({"meta": summary["meta"],
                        "records": summary["records"]}, sys.stdout, indent=2)
             print()
+
+    elif args.figure == "coordinate":
+        from repro.distrib import DEFAULT_BATCH_SIZE, DEFAULT_CHECKPOINT_EVERY
+        from repro.distrib import DEFAULT_LEASE_TIMEOUT, SweepCoordinator
+        sweep = _sweep_from_args(args)
+        shard = _parse_shard_arg(args, parser)
+        if args.resume and not args.output:
+            parser.error("--resume requires --output (the store to resume)")
+        store = ResultStore(args.output) if args.output else None
+        coordinator = SweepCoordinator(
+            sweep, store=store, name=args.name,
+            host=args.host, port=args.port or 0,
+            shard=shard, resume=args.resume,
+            batch_size=(DEFAULT_BATCH_SIZE if args.batch_size is None
+                        else args.batch_size),
+            lease_timeout=(DEFAULT_LEASE_TIMEOUT if args.lease_timeout is None
+                           else args.lease_timeout),
+            checkpoint_every=(DEFAULT_CHECKPOINT_EVERY
+                              if args.checkpoint_every is None
+                              else args.checkpoint_every),
+            progress=args.progress)
+        coordinator.start()
+        print(f"coordinator listening on {args.host}:{coordinator.port} "
+              f"({coordinator.stats()['pending']} cells to lease)",
+              file=sys.stderr, flush=True)
+        summary = coordinator.run()
+        if store is not None:
+            _print_sweep_summary(summary)
+        else:
+            json.dump({"meta": summary["meta"],
+                       "records": summary["records"]}, sys.stdout, indent=2)
+            print()
+
+    elif args.figure == "work":
+        from repro.distrib import run_worker
+        if args.port is None:
+            parser.error("work requires --port (the coordinator's port)")
+        stats = run_worker(args.host, args.port,
+                           max_workers=args.workers or 1,
+                           throttle=args.throttle)
+        print(f"worker {stats['worker']} done: {stats['cells']} cells in "
+              f"{stats['batches']} batches", file=sys.stderr)
 
     elif args.figure == "merge":
         if not args.stores or not args.output:

@@ -1,0 +1,67 @@
+"""Distributed sweep execution: coordinator/worker over TCP JSON lines.
+
+PR 3 made sweeps shardable (``--shard i/N``) but the partition was static —
+a straggler shard (one branch-and-bound-heavy slice of the design space)
+idles every other machine.  This subsystem replaces static partitioning with
+**dynamic batch leasing**:
+
+* :class:`SweepCoordinator` (`repro.distrib.coordinator`) — owns the cell
+  queue, leases batches of ``cell_key``\\ s on demand, tracks heartbeats,
+  re-leases batches from dead or expired workers (at-least-once, duplicate
+  completions validated bitwise), checkpoints completed records into the
+  store's O(batch) journal, and emits a live progress/ETA line;
+* :func:`run_worker` (`repro.distrib.worker`) — one engine per process,
+  stateless between batches, safe to kill at any instant;
+* :func:`execute_sweep_distributed` (`repro.distrib.local`) — the
+  one-machine convenience path behind ``execute_sweep(..., workers=N)``;
+* `repro.distrib.protocol` / `repro.distrib.progress` — the JSON-lines
+  wire format and the shared cells/s + ETA reporter.
+
+The contract inherited from the whole engine/store stack: however cells are
+leased, re-leased, duplicated or interleaved, the final store is
+**byte-identical** to a monolithic ``execute_sweep`` of the same spec.
+``repro-eval coordinate`` / ``repro-eval work`` are the CLI faces.
+"""
+
+from repro.distrib.coordinator import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_LEASE_TIMEOUT,
+    CoordinatorError,
+    Lease,
+    SweepCoordinator,
+)
+from repro.distrib.local import execute_sweep_distributed
+from repro.distrib.progress import ProgressReporter, format_eta
+from repro.distrib.protocol import (
+    PROTOCOL_VERSION,
+    MessageStream,
+    ProtocolError,
+    connect,
+)
+from repro.distrib.worker import (
+    WorkerError,
+    connect_with_retry,
+    run_worker,
+    worker_process_entry,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_LEASE_TIMEOUT",
+    "CoordinatorError",
+    "Lease",
+    "SweepCoordinator",
+    "execute_sweep_distributed",
+    "ProgressReporter",
+    "format_eta",
+    "PROTOCOL_VERSION",
+    "MessageStream",
+    "ProtocolError",
+    "connect",
+    "WorkerError",
+    "connect_with_retry",
+    "run_worker",
+    "worker_process_entry",
+]

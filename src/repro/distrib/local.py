@@ -1,0 +1,98 @@
+"""One-machine convenience: coordinator plus N spawned local workers.
+
+``execute_sweep(sweep, workers=N)`` (and ``repro-eval explore
+--distributed N``) lands here: a :class:`SweepCoordinator` bound to an
+ephemeral localhost port, *N* worker processes spawned against it, and a
+watchdog that fails fast if the whole fleet dies before the sweep is done
+(a lone coordinator would otherwise wait forever for workers that will
+never return).  The summary dict is shaped exactly like
+:func:`repro.explore.execute_sweep`'s, plus a ``distrib`` stats block.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.distrib.coordinator import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_LEASE_TIMEOUT,
+    CoordinatorError,
+    SweepCoordinator,
+)
+from repro.distrib.worker import worker_process_entry
+from repro.engine.results import ResultStore
+from repro.explore.sweep import SweepSpec
+
+
+def execute_sweep_distributed(sweep: SweepSpec,
+                              store: Optional[ResultStore] = None,
+                              name: str = "sweep",
+                              workers: int = 2,
+                              shard: Optional[Tuple[int, int]] = None,
+                              resume: bool = False,
+                              progress: bool = False,
+                              batch_size: int = DEFAULT_BATCH_SIZE,
+                              lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                              checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                              worker_options: Optional[Sequence[Dict]] = None,
+                              timeout: Optional[float] = None) -> Dict:
+    """Run *sweep* with a local coordinator and *workers* spawned processes.
+
+    ``worker_options`` optionally carries one kwargs dict per worker
+    (``name``, ``max_workers``, ``throttle`` — see
+    :func:`repro.distrib.worker.run_worker`); tests and benchmarks use it to
+    manufacture deterministic stragglers.  The resulting store is
+    byte-identical to a monolithic ``execute_sweep`` of the same spec.
+    """
+    if workers < 1:
+        raise ValueError("a distributed run needs at least 1 worker")
+    options = list(worker_options or [])
+    if len(options) > workers:
+        raise ValueError(f"{len(options)} worker_options for {workers} workers")
+    options += [{}] * (workers - len(options))
+
+    coordinator = SweepCoordinator(
+        sweep, store=store, name=name, port=0, shard=shard, resume=resume,
+        batch_size=batch_size, lease_timeout=lease_timeout,
+        checkpoint_every=checkpoint_every, progress=progress)
+    coordinator.start()
+
+    # Spawn (not fork): the coordinator already runs server threads, and
+    # forking a multi-threaded parent can deadlock the child on inherited
+    # lock state.  Spawned workers import a clean interpreter.
+    context = multiprocessing.get_context("spawn")
+    processes = []
+    try:
+        for index, kwargs in enumerate(options):
+            kwargs = dict(kwargs)
+            kwargs.setdefault("name", f"local-{index}")
+            # Not daemonic: a worker may itself open an engine process pool
+            # (worker_options={"max_workers": N}), which daemonic processes
+            # are forbidden to do.  The finally-block below reaps them, and
+            # workers exit on their own once the coordinator socket closes.
+            process = context.Process(
+                target=worker_process_entry,
+                args=(coordinator.host, coordinator.port),
+                kwargs=kwargs, name=f"sweep-worker-{index}")
+            process.start()
+            processes.append(process)
+
+        waited = 0.0
+        while not coordinator.wait(0.5):
+            waited += 0.5
+            if timeout is not None and waited >= timeout:
+                raise CoordinatorError(
+                    f"distributed sweep did not complete within {timeout} s")
+            if not any(process.is_alive() for process in processes):
+                raise CoordinatorError(
+                    "every local worker exited before the sweep completed "
+                    f"(exit codes {[p.exitcode for p in processes]})")
+        return coordinator.summary()
+    finally:
+        coordinator.shutdown()
+        for process in processes:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()

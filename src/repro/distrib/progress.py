@@ -1,0 +1,80 @@
+"""Live progress/ETA reporting for long sweeps.
+
+One :class:`ProgressReporter` instance serves both execution paths: the
+plain ``execute_sweep(..., progress=True)`` loop and the distributed
+coordinator (which adds worker/lease counts via ``extra``).  Output goes to
+stderr so stdout stays machine-readable; on a TTY the line redraws in
+place, otherwise one line is printed per reporting interval (CI logs stay
+readable instead of drowning in carriage returns).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+
+def format_eta(seconds: float) -> str:
+    """Compact ``1h02m`` / ``4m07s`` / ``12s`` rendering of a duration."""
+    seconds = max(0, int(round(seconds)))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class ProgressReporter:
+    """Throttled ``done/total, cells/s, ETA`` line on stderr.
+
+    The reporter is passive bookkeeping only — it never touches results and
+    is safe to drop entirely (every caller treats it as optional).
+    """
+
+    def __init__(self, total: int, label: str = "sweep",
+                 stream: Optional[TextIO] = None, interval: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.clock = clock
+        self.started = clock()
+        self.done = 0
+        self._last_emit = float("-inf")
+        self._last_line = ""
+
+    def line(self, extra: str = "") -> str:
+        elapsed = max(self.clock() - self.started, 1e-9)
+        rate = self.done / elapsed
+        if self.done >= self.total:
+            eta = "done"
+        elif rate > 0:
+            eta = "ETA " + format_eta((self.total - self.done) / rate)
+        else:
+            eta = "ETA --"
+        percent = 100.0 * self.done / self.total if self.total else 100.0
+        text = (f"[{self.label}] {self.done}/{self.total} cells "
+                f"({percent:.1f}%), {rate:.2f} cells/s, {eta}")
+        if extra:
+            text += f", {extra}"
+        return text
+
+    def update(self, done: int, extra: str = "", force: bool = False) -> None:
+        """Record progress and emit a line if the interval elapsed."""
+        self.done = done
+        now = self.clock()
+        if not force and done < self.total and now - self._last_emit < self.interval:
+            return
+        self._last_emit = now
+        self._last_line = self.line(extra)
+        if self.stream.isatty():
+            end = "\n" if done >= self.total else ""
+            self.stream.write("\r\x1b[2K" + self._last_line + end)
+        else:
+            self.stream.write(self._last_line + "\n")
+        self.stream.flush()
+
+    def finish(self, extra: str = "") -> None:
+        self.update(self.done, extra=extra, force=True)

@@ -1,0 +1,173 @@
+"""The sweep worker: lease batches, execute them, stream records back.
+
+A worker is one process with one engine.  It connects to a coordinator,
+rebuilds the sweep's cell set from the axes in the ``welcome`` message
+(cells are content-addressed, so a list of ``cell_key``\\ s identifies a
+batch unambiguously), and then loops: request → execute → result.  A
+background thread heartbeats while a batch is executing so the coordinator
+does not re-lease work from a slow-but-alive worker; a *dead* worker stops
+heartbeating and drops its connection, which is exactly what triggers the
+coordinator's re-lease path.
+
+Workers are deliberately stateless between batches — all coordination state
+(leases, completions, checkpoints) lives in the coordinator, so a worker can
+be killed at any instant without corrupting anything.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.distrib.protocol import (
+    PROTOCOL_VERSION,
+    MessageStream,
+    ProtocolError,
+    connect,
+)
+from repro.engine import ExperimentEngine
+from repro.explore.sweep import SweepSpec, cell_record, run_sweep_cells
+
+
+class WorkerError(RuntimeError):
+    """The coordinator rejected this worker or reported a fatal error."""
+
+
+def connect_with_retry(host: str, port: int,
+                       timeout: float = 30.0) -> MessageStream:
+    """Connect to the coordinator, retrying until *timeout* elapses.
+
+    Workers routinely start before the coordinator has bound its port (CI
+    launches both as background jobs), so refusal is retried, not fatal.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return connect(host, port)
+        except OSError as error:
+            if time.monotonic() >= deadline:
+                raise WorkerError(
+                    f"could not reach coordinator at {host}:{port} "
+                    f"within {timeout} s: {error}") from error
+            time.sleep(0.2)
+
+
+class _Heartbeat:
+    """Background heartbeats on the worker's stream while batches execute."""
+
+    def __init__(self, stream: MessageStream, interval: float):
+        self._stream = stream
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="worker-heartbeat")
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._stream.send({"type": "heartbeat"})
+            except OSError:
+                return  # connection gone; the main loop will notice
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+
+def run_worker(host: str, port: int,
+               name: Optional[str] = None,
+               max_workers: int = 1,
+               throttle: float = 0.0,
+               connect_timeout: float = 30.0) -> Dict:
+    """Serve one coordinator until its sweep is done; returns worker stats.
+
+    ``max_workers`` is the engine's in-process fan-out *within* this worker
+    (normally 1 — the fleet is the parallelism).  ``throttle`` injects an
+    artificial delay of that many seconds per executed cell; it exists so
+    tests, benchmarks and the CI smoke job can manufacture deterministic
+    stragglers, and is harmless in production use.
+    """
+    worker_name = name or f"{socket.gethostname()}:{os.getpid()}"
+    stream = connect_with_retry(host, port, timeout=connect_timeout)
+    stats = {"worker": worker_name, "batches": 0, "cells": 0, "waits": 0}
+    heartbeat: Optional[_Heartbeat] = None
+    try:
+        stream.send({"type": "hello", "version": PROTOCOL_VERSION,
+                     "worker": worker_name})
+        welcome = stream.recv()
+        if welcome is None or welcome.get("type") != "welcome":
+            raise WorkerError(f"expected welcome, got {welcome!r}")
+        if welcome.get("version") != PROTOCOL_VERSION:
+            raise WorkerError(
+                f"protocol version mismatch: worker speaks "
+                f"{PROTOCOL_VERSION}, coordinator sent "
+                f"{welcome.get('version')!r}")
+
+        sweep = SweepSpec.from_meta(welcome["sweep"])
+        cells_by_key = {cell.key: cell for cell in sweep.cells()}
+        engine = ExperimentEngine(max_workers=max_workers)
+        heartbeat = _Heartbeat(stream, float(welcome["heartbeat_interval"]))
+
+        while True:
+            try:
+                stream.send({"type": "request"})
+                message = stream.recv()
+            except OSError:
+                break  # coordinator gone mid-exchange; same as clean EOF
+            if message is None:
+                break  # coordinator gone; nothing left to do safely
+            kind = message["type"]
+            if kind == "lease":
+                try:
+                    batch = [cells_by_key[key] for key in message["keys"]]
+                except KeyError as error:
+                    raise ProtocolError(
+                        f"leased unknown cell {error}; coordinator and "
+                        f"worker disagree about the sweep") from error
+                runs = run_sweep_cells(batch, engine,
+                                       max_workers=max_workers)
+                if throttle:
+                    time.sleep(throttle * len(batch))
+                records = [cell_record(cell, run)
+                           for cell, run in zip(batch, runs)]
+                try:
+                    stream.send({"type": "result",
+                                 "lease_id": message["lease_id"],
+                                 "records": records})
+                except OSError:
+                    # The sweep finished without this batch (it expired and
+                    # was re-leased) and the coordinator shut down — a
+                    # legitimate at-least-once outcome, not a failure.
+                    break
+                stats["batches"] += 1
+                stats["cells"] += len(records)
+            elif kind == "wait":
+                stats["waits"] += 1
+                time.sleep(float(message.get("seconds", 0.5)))
+            elif kind == "done":
+                break
+            elif kind == "error":
+                raise WorkerError(
+                    f"coordinator error: {message.get('message')}")
+            else:
+                raise ProtocolError(f"unknown message type {kind!r}")
+    except ProtocolError as error:
+        try:
+            stream.send({"type": "error", "message": str(error)})
+        except OSError:
+            pass
+        raise WorkerError(str(error)) from error
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        stream.close()
+    return stats
+
+
+def worker_process_entry(host: str, port: int, **kwargs) -> None:
+    """Top-level entry point for spawned local worker processes."""
+    run_worker(host, port, **kwargs)

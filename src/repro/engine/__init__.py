@@ -27,6 +27,7 @@ from repro.engine.engine import (
     default_engine,
 )
 from repro.engine.results import (
+    JOURNAL_SCHEMA,
     STORE_SCHEMA,
     BenchmarkRun,
     ResultStore,
@@ -50,6 +51,7 @@ __all__ = [
     "default_engine",
     "BenchmarkRun",
     "ResultStore",
+    "JOURNAL_SCHEMA",
     "STORE_SCHEMA",
     "atomic_write_json",
     "atomic_write_text",

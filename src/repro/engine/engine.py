@@ -31,7 +31,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.beebs import get_benchmark
 from repro.codegen import CompileOptions
@@ -166,7 +166,9 @@ class ExperimentEngine:
 
     def run_cells(self,
                   cells: Sequence[Tuple[ExperimentSpec, Optional[EnergyModel]]],
-                  max_workers: Optional[int] = None) -> List[BenchmarkRun]:
+                  max_workers: Optional[int] = None,
+                  progress: Optional[Callable[[int, int], None]] = None
+                  ) -> List[BenchmarkRun]:
         """Run ``(spec, energy_model)`` cells; results are in cell order.
 
         ``energy_model=None`` means the engine default.  This is the fan-out
@@ -175,6 +177,11 @@ class ExperimentEngine:
         energy ratio.  Worker processes compute the exact same floats the
         sequential path does, so parallel and sequential runs are bitwise
         identical.
+
+        ``progress`` (when given) is called as ``progress(done, total)``
+        after each completed cell — on the pool path, after each in-order
+        result is collected — purely for live reporting; it never affects
+        the results.
         """
         resolved = [(spec, model if model is not None else self.energy_model)
                     for spec, model in cells]
@@ -184,7 +191,12 @@ class ExperimentEngine:
         workers = min(workers, len(resolved)) if resolved else 1
 
         if workers <= 1 or len(resolved) <= 1:
-            return [self.run_cell(spec, model) for spec, model in resolved]
+            sequential: List[BenchmarkRun] = []
+            for spec, model in resolved:
+                sequential.append(self.run_cell(spec, model))
+                if progress is not None:
+                    progress(len(sequential), len(resolved))
+            return sequential
 
         # Keep same-(benchmark, level) cells on one worker so its per-process
         # engine reuses the compile and the memoised baseline.  Plain grids
@@ -198,8 +210,12 @@ class ExperimentEngine:
                                       resolved[i][0].opt_level, i))
         tasks = [resolved[i] for i in order]
         chunksize = -(-len(tasks) // workers)
+        outputs: List[BenchmarkRun] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            outputs = list(pool.map(_grid_worker, tasks, chunksize=chunksize))
+            for output in pool.map(_grid_worker, tasks, chunksize=chunksize):
+                outputs.append(output)
+                if progress is not None:
+                    progress(len(outputs), len(resolved))
         results: List[Optional[BenchmarkRun]] = [None] * len(resolved)
         for position, index in enumerate(order):
             results[index] = outputs[position]

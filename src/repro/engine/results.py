@@ -23,6 +23,16 @@ Stores come in two layouts sharing one schema-versioned container
 Every write goes through a same-directory temp file and ``os.replace``, so an
 interrupted run can never leave a truncated store that a resume would
 silently trust — a reader sees either the old complete file or the new one.
+
+Rewriting the whole (sorted, canonical) store per append is O(store) — fine
+for one final write, far too slow for the periodic checkpoints of a long
+distributed run.  Keyed stores therefore also support a **journal** sidecar
+(``<name>.journal``): :meth:`ResultStore.append_journal` appends one compact
+JSON line per record in O(batch), and :meth:`ResultStore.compact_journal`
+folds the journal into the canonical sorted store in a single O(store)
+rewrite at the end.  A torn trailing line (the only damage an interrupted
+append can cause) is detected and ignored on replay; duplicated records must
+agree bitwise, exactly like :meth:`ResultStore.merge`.
 """
 
 from __future__ import annotations
@@ -43,6 +53,9 @@ STORE_SCHEMA = 2
 
 #: Versions this build knows how to read.
 READABLE_SCHEMAS = (1, STORE_SCHEMA)
+
+#: Journal sidecar version written by this build.
+JOURNAL_SCHEMA = 1
 
 #: Meta keys that describe one *invocation* rather than the sweep itself;
 #: :meth:`ResultStore.merge` ignores them when checking that shard stores
@@ -276,6 +289,122 @@ class ResultStore:
         meta = dict(meta if meta is not None else payload.get("meta", {}))
         return self.save_keyed(name, combined.values(), meta=meta,
                                key_field=key_field)
+
+    # ------------------------------------------------------------------ #
+    # Journal sidecar: O(batch) appends, one O(store) compaction
+    # ------------------------------------------------------------------ #
+    def journal_path(self, name: str) -> Path:
+        return self.root / f"{name}.journal"
+
+    def append_journal(self, name: str, records: Iterable[Dict],
+                       meta: Optional[Dict] = None,
+                       key_field: str = "cell_key") -> Path:
+        """Append *records* to the journal sidecar of keyed store *name*.
+
+        Cost is O(batch): one compact JSON line per record, appended to the
+        journal file (a header line stamps the key field and sweep meta when
+        the journal is created).  The canonical sorted store is untouched
+        until :meth:`compact_journal` folds the journal in.  *meta* is only
+        used when the journal is created; an existing header wins.
+        """
+        records = list(records)
+        for record in records:
+            key = record.get(key_field)
+            if not isinstance(key, str) or not key:
+                raise ValueError(
+                    f"record missing the {key_field!r} identity field; "
+                    f"journals require every record to be content-addressed")
+        path = self.journal_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines: List[str] = []
+        if not path.exists():
+            lines.append(json.dumps(
+                {"journal": JOURNAL_SCHEMA, "keyed_by": key_field,
+                 "meta": meta or {}},
+                sort_keys=True, separators=(",", ":")))
+        lines.extend(json.dumps(record, sort_keys=True, separators=(",", ":"))
+                     for record in records)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("".join(line + "\n" for line in lines))
+            handle.flush()
+            os.fsync(handle.fileno())
+        return path
+
+    def load_journal(self, name: str) -> tuple:
+        """Replay the journal of *name*: returns ``(header, records_by_key)``.
+
+        A torn **trailing** line — the only damage an interrupted append can
+        leave behind — is ignored; a malformed line anywhere else is
+        corruption and raises.  Duplicate keys must agree bitwise.  A
+        journal whose very first append was interrupted (zero bytes, or a
+        single torn line) replays as empty — ``(None, {})`` — so the
+        advertised crash-recovery path never trips over its own wreckage.
+        """
+        path = self.journal_path(name)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            return None, {}  # crash before the header ever hit the disk
+
+        def parse(index: int, line: str) -> Optional[Dict]:
+            try:
+                return json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    return None  # torn trailing line from an interrupted append
+                raise ValueError(
+                    f"{path}: corrupt journal line {index + 1} (only the "
+                    f"final line may be torn by an interrupted append)")
+
+        header = parse(0, lines[0])
+        if header is None and len(lines) == 1:
+            return None, {}      # the sole (header) line was torn mid-write
+        if (header is None or not isinstance(header, dict)
+                or header.get("journal") != JOURNAL_SCHEMA
+                or "keyed_by" not in header):
+            raise ValueError(
+                f"{path}: unrecognized journal header; this build writes "
+                f"journal version {JOURNAL_SCHEMA}")
+        parsed = [parse(index, line)
+                  for index, line in enumerate(lines[1:], start=1)]
+        records = [record for record in parsed if record is not None]
+        return header, _index_records(records, header["keyed_by"])
+
+    def compact_journal(self, name: str,
+                        merge_store: bool = True) -> Optional[Path]:
+        """Fold the journal of *name* into its canonical keyed store.
+
+        One O(store) rewrite replaces the journal's many O(batch) appends.
+        With ``merge_store=True`` the journal's records join whatever the
+        store already holds (the resume/checkpoint case — duplicates must
+        agree bitwise, as in :meth:`merge`); with ``merge_store=False`` the
+        journal's records *replace* the store (a fresh, non-resumed run
+        whose output directory may hold an older sweep).  The journal file
+        is removed once the store write has committed, so a crash between
+        the two leaves only bitwise-identical duplicates behind.  An
+        effectively-empty journal (first append interrupted) is simply
+        removed; the return value is the store path, or ``None`` when
+        neither journal records nor a store exist.
+        """
+        if not self.journal_path(name).exists():
+            if self.path_for(name).exists():
+                return self.path_for(name)
+            raise FileNotFoundError(
+                f"{self.journal_path(name)}: no journal to compact")
+        header, records = self.load_journal(name)
+        if header is None:
+            os.unlink(self.journal_path(name))
+            return (self.path_for(name) if self.path_for(name).exists()
+                    else None)
+        key_field = header["keyed_by"]
+        meta = header.get("meta") or {}
+        if merge_store and self.path_for(name).exists():
+            path = self.append_keyed(name, records.values(), meta=meta,
+                                     key_field=key_field)
+        else:
+            path = self.save_keyed(name, records.values(), meta=meta,
+                                   key_field=key_field)
+        os.unlink(self.journal_path(name))
+        return path
 
     def merge(self, name: str, sources: Sequence[Union[str, Path]],
               require_disjoint: bool = False) -> Dict:

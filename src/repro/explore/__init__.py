@@ -20,7 +20,12 @@ the :class:`~repro.engine.ExperimentEngine`:
   key hash, and resume skips cells already stored (`repro.explore.sweep`);
 * :func:`sweep_report` / :func:`report_from_store` — the Figure 5/6
   artifacts (Pareto fronts, energy/time-vs-X_limit envelopes, frontier
-  sizes) rebuilt purely from stored records (`repro.explore.report`).
+  sizes) rebuilt purely from stored records, with gnuplot driver scripts
+  emitted next to the CSV tables (`repro.explore.report`).
+
+``execute_sweep(..., workers=N)`` hands execution to the `repro.distrib`
+coordinator/worker subsystem — dynamic batch leasing across processes or
+machines, byte-identical to the in-process run.
 """
 
 from repro.explore.pareto import (
@@ -36,6 +41,7 @@ from repro.explore.profile_guided import (
 )
 from repro.explore.report import (
     report_from_store,
+    report_scripts,
     report_tables,
     sweep_report,
     write_report,
@@ -46,9 +52,11 @@ from repro.explore.sweep import (
     SweepResult,
     SweepSpec,
     cell_key,
+    cell_record,
     execute_sweep,
     parse_shard,
     run_sweep,
+    run_sweep_cells,
     scaled_energy_model,
     shard_cells,
     shard_index,
@@ -60,9 +68,11 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "cell_key",
+    "cell_record",
     "execute_sweep",
     "parse_shard",
     "run_sweep",
+    "run_sweep_cells",
     "scaled_energy_model",
     "shard_cells",
     "shard_index",
@@ -71,6 +81,7 @@ __all__ = [
     "pareto_front",
     "pareto_records",
     "report_from_store",
+    "report_scripts",
     "report_tables",
     "sweep_report",
     "write_report",

@@ -14,7 +14,11 @@ simulation**:
 * a frontier-size summary per group.
 
 The report is emitted as one JSON document plus CSV tables that gnuplot
-(``set datafile separator ","``) or a spreadsheet can consume directly.
+(``set datafile separator ","``) or a spreadsheet can consume directly,
+plus ready-to-run gnuplot driver scripts (``*.gp``) next to the CSVs —
+``gnuplot energy_vs_x_limit.gp`` renders the Figure 5-style envelope PNG
+and ``gnuplot pareto_fronts.gp`` the Figure 6-style frontier scatter, one
+series per (benchmark, flash/RAM ratio) group, with no other tooling.
 Everything is deterministic in the store contents alone: fronts are sorted
 by objective vector then cell key, so shard→merge→report reproduces the
 monolithic run's artifacts byte for byte.
@@ -147,10 +151,107 @@ def report_tables(report: Dict) -> Dict[str, str]:
     }
 
 
+# --------------------------------------------------------------------------- #
+# Gnuplot driver scripts
+# --------------------------------------------------------------------------- #
+def _series_groups(rows: Sequence[Dict]) -> List[Tuple[str, Optional[float]]]:
+    """The (benchmark, flash/RAM ratio) series of *rows*, in stable order."""
+    seen = {}
+    for row in rows:
+        seen[(row.get("benchmark"), row.get("flash_ram_ratio"))] = True
+    return sorted(seen, key=lambda pair: (str(pair[0]),
+                                          pair[1] is not None,
+                                          pair[1] if pair[1] is not None
+                                          else 0.0))
+
+
+def _series_title(benchmark: str, ratio: Optional[float]) -> str:
+    return (f"{benchmark} (calibrated)" if ratio is None
+            else f"{benchmark} (ratio {ratio})")
+
+
+def _series_filter(benchmark: str, ratio: Optional[float],
+                   x_column: int) -> str:
+    """A gnuplot ``using`` x-expression selecting one series of the CSV.
+
+    Rows of other series map their x to NaN, which gnuplot skips — the
+    standard trick for plotting a keyed CSV without external filtering.
+    ``flash_ram_ratio`` serializes to the empty cell for the calibrated
+    tables (see :func:`_csv_cell`), so the condition matches it as ``""``.
+    """
+    ratio_text = "" if ratio is None else str(ratio)
+    return (f'(strcol(1) eq "{benchmark}" && strcol(2) eq "{ratio_text}" '
+            f'? column({x_column}) : NaN)')
+
+
+def _gnuplot_script(stem: str, xlabel: str, ylabel: str,
+                    series: Sequence[Tuple[str, Optional[float]]],
+                    x_column: int, y_column: int, style: str,
+                    comment: str) -> str:
+    lines = [
+        f"# {stem}.gp — generated by repro.explore.report; do not edit.",
+        f"# {comment}",
+        f"#     gnuplot {stem}.gp     (writes {stem}.png)",
+        'set datafile separator ","',
+        "set terminal pngcairo size 960,640",
+        f'set output "{stem}.png"',
+        "set key outside right",
+        f'set xlabel "{xlabel}"',
+        f'set ylabel "{ylabel}"',
+    ]
+    plots = [
+        f'    "{stem}.csv" every ::1 using '
+        f"{_series_filter(benchmark, ratio, x_column)}:{y_column} "
+        f'with {style} title "{_series_title(benchmark, ratio)}"'
+        for benchmark, ratio in series
+    ]
+    if plots:
+        lines.append("plot \\")
+        lines.append(", \\\n".join(plots))
+    else:
+        lines.append("# (no records to plot)")
+    return "\n".join(lines) + "\n"
+
+
+def report_scripts(report: Dict) -> Dict[str, str]:
+    """Gnuplot driver scripts for the report's CSV tables.
+
+    ``gnuplot energy_vs_x_limit.gp`` / ``gnuplot pareto_fronts.gp`` in the
+    report directory reproduce the Figure 5/6-style plots from the stored
+    records alone.  Column indices follow :data:`ENVELOPE_COLUMNS` /
+    :data:`FRONT_COLUMNS`; output is deterministic in the report contents.
+    """
+    envelope = report["energy_vs_x_limit"]
+    front_rows = [record for label in sorted(report["fronts"])
+                  for record in report["fronts"][label]]
+    return {
+        "energy_vs_x_limit.gp": _gnuplot_script(
+            "energy_vs_x_limit",
+            "X_limit (allowed slowdown)", "best energy (J)",
+            _series_groups(envelope),
+            x_column=ENVELOPE_COLUMNS.index("x_limit") + 1,
+            y_column=ENVELOPE_COLUMNS.index("energy_j") + 1,
+            style="linespoints",
+            comment="Figure 5-style envelope: lowest-energy cell per "
+                    "(benchmark, ratio, X_limit)."),
+        "pareto_fronts.gp": _gnuplot_script(
+            "pareto_fronts",
+            "time ratio (vs baseline)", "energy (J)",
+            _series_groups(front_rows),
+            x_column=FRONT_COLUMNS.index("time_ratio") + 1,
+            y_column=FRONT_COLUMNS.index("energy_j") + 1,
+            style="points pointtype 7",
+            comment="Figure 6-style Pareto frontier of the "
+                    "(energy, time, RAM) space."),
+    }
+
+
 def write_report(report: Dict, out_dir: Union[str, Path]) -> Dict[str, Path]:
-    """Write ``report.json`` plus the CSV tables (all atomically)."""
+    """Write ``report.json``, the CSV tables, and the gnuplot scripts
+    (all atomically)."""
     out_dir = Path(out_dir)
     paths = {"report.json": atomic_write_json(out_dir / "report.json", report)}
-    for filename, text in report_tables(report).items():
+    for filename, text in {**report_tables(report),
+                           **report_scripts(report)}.items():
         paths[filename] = atomic_write_text(out_dir / filename, text)
     return paths

@@ -16,7 +16,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, ClassVar, Dict, List, Optional, Sequence, Tuple
 
 from repro.beebs import BENCHMARK_NAMES
 from repro.engine import ExperimentEngine, ExperimentSpec, default_engine
@@ -146,8 +146,7 @@ class SweepSpec:
 
     def __post_init__(self):
         # Accept any sequence; store tuples so the spec stays hashable.
-        for name in ("benchmarks", "opt_levels", "x_limits", "r_spares",
-                     "flash_ram_ratios", "solvers", "frequency_modes"):
+        for name in self.AXES:
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -160,19 +159,32 @@ class SweepSpec:
                 * len(self.r_spares) * len(self.flash_ram_ratios)
                 * len(self.solvers) * len(self.frequency_modes))
 
+    #: The axes serialized by :meth:`meta` / consumed by :meth:`from_meta`.
+    AXES: ClassVar[Tuple[str, ...]] = (
+        "benchmarks", "opt_levels", "x_limits", "r_spares",
+        "flash_ram_ratios", "solvers", "frequency_modes",
+    )
+
     def meta(self) -> Dict:
         """JSON-safe record of the axes — shared by every shard's store, so
         :meth:`~repro.engine.ResultStore.merge` can check that partial stores
         came from the same sweep."""
-        return {
-            "benchmarks": list(self.benchmarks),
-            "opt_levels": list(self.opt_levels),
-            "x_limits": list(self.x_limits),
-            "r_spares": list(self.r_spares),
-            "flash_ram_ratios": list(self.flash_ram_ratios),
-            "solvers": list(self.solvers),
-            "frequency_modes": list(self.frequency_modes),
-        }
+        return {name: list(getattr(self, name)) for name in self.AXES}
+
+    @classmethod
+    def from_meta(cls, meta: Dict) -> "SweepSpec":
+        """Rebuild a spec from :meth:`meta` output (a JSON round trip).
+
+        Floats survive JSON exactly (``repr`` serialization), so the rebuilt
+        spec enumerates cells with the very same :func:`cell_key`\\ s — this
+        is how a distributed worker reconstitutes the sweep from the
+        coordinator's ``welcome`` message.  Per-run keys (``cells``,
+        ``shard``) are ignored; missing axes are an error.
+        """
+        try:
+            return cls(**{name: tuple(meta[name]) for name in cls.AXES})
+        except KeyError as error:
+            raise ValueError(f"sweep meta is missing axis {error}") from error
 
     def cells(self) -> List[SweepCell]:
         """The sweep's cells in deterministic nesting order.
@@ -262,21 +274,72 @@ def run_sweep(sweep: SweepSpec,
     """Execute every cell of *sweep* through the engine, in cell order."""
     engine = engine if engine is not None else default_engine()
     cells = sweep.cells()
-    runs = _run_cells(cells, engine, max_workers)
+    runs = run_sweep_cells(cells, engine, max_workers)
     return SweepResult(sweep=sweep, cells=cells, runs=runs)
 
 
-def _run_cells(cells: Sequence[SweepCell], engine: ExperimentEngine,
-               max_workers: Optional[int]) -> List[BenchmarkRun]:
+def run_sweep_cells(cells: Sequence[SweepCell], engine: ExperimentEngine,
+                    max_workers: Optional[int] = None,
+                    progress: Optional[Callable[[int, int], None]] = None
+                    ) -> List[BenchmarkRun]:
+    """Run sweep cells through the engine's fan-out, in cell order.
+
+    This is the execution primitive shared by :func:`execute_sweep` and the
+    distributed workers (`repro.distrib.worker`): it resolves each cell's
+    energy model against the engine default and hands the pairs to
+    :meth:`~repro.engine.ExperimentEngine.run_cells` — so every execution
+    path computes the exact same floats.
+    """
     base_model = engine.energy_model
     payload: List[Tuple[ExperimentSpec, Optional[EnergyModel]]] = [
         (cell.spec, cell.energy_model(base_model)) for cell in cells
     ]
-    return engine.run_cells(payload, max_workers=max_workers)
+    return engine.run_cells(payload, max_workers=max_workers,
+                            progress=progress)
 
 
 class SweepRecheckError(ValueError):
     """A resumed store's record no longer reproduces bitwise."""
+
+
+def load_resumable_records(store: ResultStore, name: str, sweep: SweepSpec,
+                           by_key: Dict[str, SweepCell]) -> Dict[str, Dict]:
+    """The stored records of *sweep* a resume may skip: store + journal.
+
+    Shared by the in-process resume path and the distributed coordinator so
+    their semantics cannot diverge.  Everything is validated against the
+    requested sweep's axes **before** anything is folded or loaded: a store
+    or leftover checkpoint journal from a *different* sweep is refused
+    outright — compacting first would merge foreign records and overwrite
+    the very meta the axes check inspects.  An effectively-empty journal
+    (first append interrupted) is cleared; a valid one is compacted into
+    the canonical store so its cells count as done.
+    """
+    axes = sweep.meta()
+
+    def check_axes(meta: Dict, path) -> None:
+        stripped = {key: value for key, value in meta.items()
+                    if key not in PER_RUN_META_KEYS}
+        if stripped != axes:
+            raise ValueError(
+                f"{path}: stored sweep axes differ from the requested "
+                f"sweep; resuming would mix records from different sweeps "
+                f"(run without --resume, or into a fresh store)")
+
+    if store.path_for(name).exists():
+        check_axes(store.load_meta(name), store.path_for(name))
+    if store.journal_path(name).exists():
+        header, _records = store.load_journal(name)
+        if header is not None:
+            check_axes(header.get("meta") or {}, store.journal_path(name))
+        # Fold leftover checkpoints in (or clear the torn wreckage of an
+        # interrupted first append) so those cells are not re-executed.
+        store.compact_journal(name, merge_store=True)
+    if not store.path_for(name).exists():
+        return {}
+    return {key: record
+            for key, record in store.load_keyed(name).items()
+            if key in by_key}
 
 
 def execute_sweep(sweep: SweepSpec,
@@ -286,22 +349,63 @@ def execute_sweep(sweep: SweepSpec,
                   resume: bool = False,
                   recheck: int = 0,
                   engine: Optional[ExperimentEngine] = None,
-                  max_workers: Optional[int] = None) -> Dict:
+                  max_workers: Optional[int] = None,
+                  workers: Optional[int] = None,
+                  progress: bool = False,
+                  checkpoint_every: Optional[int] = None,
+                  batch_size: Optional[int] = None,
+                  lease_timeout: Optional[float] = None) -> Dict:
     """Run *sweep* — optionally one shard of it — with store-backed resume.
 
     * ``shard=(i, N)`` restricts execution to the cells whose key hashes to
       shard *i* of *N* (each cell lands in exactly one shard);
     * ``resume=True`` skips any cell whose key is already in the store and
       appends only the missing ones, so an interrupted sweep re-simulates
-      only what it never finished;
+      only what it never finished (a leftover checkpoint journal is folded
+      in first);
     * ``recheck=K`` additionally recomputes a deterministic sample of up to
       *K* stored cells and raises :class:`SweepRecheckError` unless they
-      reproduce bitwise — a cheap staleness probe for resumed stores.
+      reproduce bitwise — a cheap staleness probe for resumed stores;
+    * ``workers=N`` executes through the distributed subsystem instead — a
+      local coordinator leasing dynamic batches to *N* spawned worker
+      processes (`repro.distrib`); the resulting store is byte-identical
+      to the in-process run;
+    * ``progress=True`` prints a live cells/s + ETA line to stderr (stdout
+      stays machine-readable);
+    * ``checkpoint_every=K`` (with a store) journals completed records every
+      *K* cells in O(batch) — an interrupted run can then ``resume`` from
+      its last checkpoint instead of from the last full store write.
+      ``0`` disables checkpointing on every path; ``None`` (the default)
+      means off in-process and the coordinator default when distributed;
+    * ``batch_size`` / ``lease_timeout`` tune the distributed lease
+      granularity and failure detection; they require ``workers``.
 
     Returns a summary dict: the run's records in key order, the store meta,
     cell/computed/skipped/rechecked counts, and the store path (or ``None``
     when running storeless).
     """
+    if workers is not None:
+        if recheck:
+            raise ValueError("recheck is not supported on the distributed "
+                             "path; run it in-process first")
+        if engine is not None:
+            raise ValueError("a distributed run spawns its own worker "
+                             "engines; the engine argument does not apply")
+        from repro.distrib import execute_sweep_distributed
+        kwargs = {}
+        if checkpoint_every is not None:
+            kwargs["checkpoint_every"] = checkpoint_every
+        if batch_size is not None:
+            kwargs["batch_size"] = batch_size
+        if lease_timeout is not None:
+            kwargs["lease_timeout"] = lease_timeout
+        return execute_sweep_distributed(
+            sweep, store=store, name=name, workers=workers, shard=shard,
+            resume=resume, progress=progress, **kwargs)
+    if batch_size is not None or lease_timeout is not None:
+        raise ValueError("batch_size/lease_timeout configure the distributed "
+                         "lease protocol; they require workers=N")
+
     cells = sweep.cells()
     if shard is not None:
         cells = shard_cells(cells, shard[0], shard[1])
@@ -313,26 +417,20 @@ def execute_sweep(sweep: SweepSpec,
     if resume and store is None:
         raise ValueError("resume requires a result store")
     stored: Dict[str, Dict] = {}
-    if resume and store.path_for(name).exists():
-        stored_meta = {key: value
-                       for key, value in store.load_meta(name).items()
-                       if key not in PER_RUN_META_KEYS}
-        if stored_meta != sweep.meta():
-            raise ValueError(
-                f"{store.path_for(name)}: stored sweep axes differ from the "
-                f"requested sweep; resuming would mix records from different "
-                f"sweeps (run without --resume, or into a fresh store)")
-        stored = {key: record
-                  for key, record in store.load_keyed(name).items()
-                  if key in by_key}
+    if store is not None and not resume and store.journal_path(name).exists():
+        # A fresh run overwrites the store; a stale journal from some
+        # earlier crashed run must not leak into it at compaction time.
+        store.journal_path(name).unlink()
+    if resume:
+        stored = load_resumable_records(store, name, sweep, by_key)
 
     engine = engine if engine is not None else default_engine()
 
     rechecked = 0
     if recheck and stored:
         sample_keys = sorted(stored)[:recheck]
-        runs = _run_cells([by_key[key] for key in sample_keys], engine,
-                          max_workers)
+        runs = run_sweep_cells([by_key[key] for key in sample_keys], engine,
+                               max_workers)
         for key, run in zip(sample_keys, runs):
             fresh = cell_record(by_key[key], run)
             if fresh != stored[key]:
@@ -342,24 +440,60 @@ def execute_sweep(sweep: SweepSpec,
                     f"rerun the sweep without --resume")
         rechecked = len(sample_keys)
 
+    meta = sweep.meta()
+    if shard is not None:
+        meta["shard"] = [shard[0], shard[1]]
+
     missing = [cell for cell in cells if cell.key not in stored]
-    new_records = [cell_record(cell, run) for cell, run in
-                   zip(missing, _run_cells(missing, engine, max_workers))]
+    reporter = None
+    if progress:
+        from repro.distrib.progress import ProgressReporter
+        reporter = ProgressReporter(len(missing), label=f"sweep:{name}")
+
+    new_records: List[Dict] = []
+    journaled = False
+    checkpoint_every = checkpoint_every or 0
+    if store is not None and checkpoint_every > 0 and missing:
+        # Chunked execution: each chunk lands in the journal before the next
+        # starts, so an interruption loses at most one chunk of work.
+        for start in range(0, len(missing), checkpoint_every):
+            chunk = missing[start:start + checkpoint_every]
+
+            def chunk_progress(done, _total, base=start):
+                if reporter is not None:
+                    reporter.update(base + done)
+
+            runs = run_sweep_cells(chunk, engine, max_workers,
+                                   progress=chunk_progress)
+            batch = [cell_record(cell, run)
+                     for cell, run in zip(chunk, runs)]
+            store.append_journal(name, batch, meta=meta)
+            journaled = True
+            new_records.extend(batch)
+    else:
+        def cell_progress(done, _total):
+            if reporter is not None:
+                reporter.update(done)
+
+        runs = run_sweep_cells(missing, engine, max_workers,
+                               progress=cell_progress)
+        new_records = [cell_record(cell, run)
+                       for cell, run in zip(missing, runs)]
+    if reporter is not None:
+        reporter.finish()
 
     combined = dict(stored)
     combined.update((record["cell_key"], record) for record in new_records)
     records = [combined[key] for key in sorted(combined)]
-
-    meta = sweep.meta()
-    if shard is not None:
-        meta["shard"] = [shard[0], shard[1]]
     meta["cells"] = len(records)
 
     summary = {"records": records, "meta": meta, "cells": len(cells),
                "computed": len(missing), "skipped": len(stored),
                "rechecked": rechecked, "path": None}
     if store is not None:
-        if resume:
+        if journaled:
+            path = store.compact_journal(name, merge_store=resume)
+        elif resume:
             path = store.append_keyed(name, new_records, meta=meta)
         else:
             path = store.save_keyed(name, records, meta=meta)

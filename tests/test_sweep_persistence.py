@@ -24,6 +24,7 @@ from repro.explore import (
     execute_sweep,
     parse_shard,
     report_from_store,
+    report_scripts,
     report_tables,
     shard_cells,
     shard_index,
@@ -165,6 +166,160 @@ def test_store_rejects_unknown_schema_and_truncation(tmp_path):
     store.path_for("cut").write_text(text[:len(text) // 2])
     with pytest.raises(json.JSONDecodeError):
         store.load("cut")
+
+
+def test_journal_appends_without_rewriting_the_store(tmp_path):
+    store = ResultStore(tmp_path)
+    store.save_keyed("s", [record("aa")], meta={"x": 1})
+    before = store.path_for("s").read_bytes()
+
+    # Appends are O(batch): one line per record, store file untouched.
+    store.append_journal("s", [record("bb")], meta={"x": 1})
+    size_after_one = store.journal_path("s").stat().st_size
+    store.append_journal("s", [record("cc"), record("dd")])
+    assert store.path_for("s").read_bytes() == before
+    assert store.journal_path("s").stat().st_size > size_after_one
+
+    header, records = store.load_journal("s")
+    assert header["keyed_by"] == "cell_key" and header["meta"] == {"x": 1}
+    assert list(records) == ["bb", "cc", "dd"]
+
+    # Compaction folds the journal into the canonical sorted store and
+    # removes it; the result equals one big save_keyed.
+    store.compact_journal("s")
+    assert not store.journal_path("s").exists()
+    reference = ResultStore(tmp_path / "ref")
+    reference.save_keyed("s", [record(k) for k in ("aa", "bb", "cc", "dd")],
+                         meta={"x": 1})
+    assert store.path_for("s").read_bytes() == \
+        reference.path_for("s").read_bytes()
+
+
+def test_journal_replace_mode_and_validation(tmp_path):
+    store = ResultStore(tmp_path)
+    store.save_keyed("s", [record("old")], meta={})
+    store.append_journal("s", [record("new")], meta={})
+    # merge_store=False: the journal replaces the store (fresh-run semantics).
+    store.compact_journal("s", merge_store=False)
+    assert list(store.load_keyed("s")) == ["new"]
+
+    # Records without the identity field are rejected before touching disk.
+    with pytest.raises(ValueError, match="identity"):
+        store.append_journal("s", [{"benchmark": "b"}])
+    # Conflicting duplicates surface at replay, like merge().
+    store.append_journal("s", [record("x"), record("x", energy_j=9.0)])
+    with pytest.raises(ValueError, match="conflicting"):
+        store.load_journal("s")
+
+
+def test_journal_tolerates_torn_trailing_line_only(tmp_path):
+    store = ResultStore(tmp_path)
+    store.append_journal("s", [record("aa"), record("bb")], meta={"m": 1})
+    path = store.journal_path("s")
+
+    # A torn trailing line (interrupted append) is ignored on replay.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"cell_key": "cc", "trunc')
+    header, records = store.load_journal("s")
+    assert list(records) == ["aa", "bb"]
+
+    # Corruption anywhere else is an error, not silent data loss.
+    lines = path.read_text().splitlines()
+    lines[1] = lines[1][:10]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="corrupt journal line 2"):
+        store.load_journal("s")
+
+    # An unrecognized header is refused loudly.
+    path.write_text('{"journal": 99, "keyed_by": "cell_key", "meta": {}}\n')
+    with pytest.raises(ValueError, match="journal header"):
+        store.load_journal("s")
+
+    # An interrupted FIRST append (zero bytes, or one torn line) replays as
+    # an empty journal, and compaction simply clears it — the advertised
+    # crash-recovery path must never trip over its own wreckage.
+    for wreckage in ("", '{"journal": 1, "keyed_by"'):
+        path.write_text(wreckage)
+        assert store.load_journal("s") == (None, {})
+    assert store.compact_journal("s") is None
+    assert not path.exists()
+
+
+def test_checkpointed_sweep_matches_monolithic_and_resumes(tmp_path,
+                                                           monolithic,
+                                                           monkeypatch):
+    mono_store, _ = monolithic
+    store = ResultStore(tmp_path / "ckpt")
+    summary = execute_sweep(TEST_SWEEP, store=store, checkpoint_every=1,
+                            engine=fresh_engine(), max_workers=1)
+    assert summary["computed"] == TEST_SWEEP.size
+    assert not store.journal_path("sweep").exists()  # compacted away
+    assert store.path_for("sweep").read_bytes() == \
+        mono_store.path_for("sweep").read_bytes()
+
+    # A crash between checkpoints leaves a journal; --resume folds it in
+    # and recomputes only what was never journaled.
+    crashed = ResultStore(tmp_path / "crashed")
+    full = mono_store.load_keyed("sweep")
+    keys = sorted(full)
+    crashed.append_journal("sweep", [full[k] for k in keys[:3]],
+                           meta=TEST_SWEEP.meta())
+    computed = []
+    real_run_spec = EngineClass.run_spec
+
+    def counting_run_spec(self, spec):
+        computed.append(spec)
+        return real_run_spec(self, spec)
+
+    monkeypatch.setattr(EngineClass, "run_spec", counting_run_spec)
+    summary = execute_sweep(TEST_SWEEP, store=crashed, resume=True,
+                            engine=fresh_engine(), max_workers=1)
+    assert summary["skipped"] == 3 and summary["computed"] == 1
+    assert len(computed) == 1
+    assert crashed.path_for("sweep").read_bytes() == \
+        mono_store.path_for("sweep").read_bytes()
+
+
+def test_resume_rejects_foreign_store_or_journal_before_compacting(
+        tmp_path, monolithic):
+    mono_store, _ = monolithic
+    full = mono_store.load_keyed("sweep")
+
+    # A store from a DIFFERENT sweep plus a journal from THIS sweep: the
+    # axes check must fire before the journal is folded in — compacting
+    # first would merge foreign records and overwrite the very meta the
+    # check inspects.
+    store = ResultStore(tmp_path / "mixed")
+    store.save_keyed("sweep", [record("00ff00ff00ff00ff")],
+                     meta={"benchmarks": ["other"]})
+    store.append_journal("sweep", list(full.values())[:1],
+                         meta=TEST_SWEEP.meta())
+    before_store = store.path_for("sweep").read_bytes()
+    before_journal = store.journal_path("sweep").read_bytes()
+    with pytest.raises(ValueError, match="different\\s+sweeps"):
+        execute_sweep(TEST_SWEEP, store=store, resume=True,
+                      engine=fresh_engine(), max_workers=1)
+    assert store.path_for("sweep").read_bytes() == before_store
+    assert store.journal_path("sweep").read_bytes() == before_journal
+
+    # No store, but a journal from a different sweep: refused too.
+    foreign = ResultStore(tmp_path / "foreign-journal")
+    foreign.append_journal("sweep", [record("00ff00ff00ff00ff")],
+                           meta={"benchmarks": ["other"]})
+    with pytest.raises(ValueError, match="different\\s+sweeps"):
+        execute_sweep(TEST_SWEEP, store=foreign, resume=True,
+                      engine=fresh_engine(), max_workers=1)
+
+
+def test_fresh_run_discards_stale_journal(tmp_path, monolithic):
+    mono_store, _ = monolithic
+    store = ResultStore(tmp_path / "stale")
+    store.append_journal("sweep", [record("deadbeefdeadbeef")],
+                         meta={"not": "this sweep"})
+    execute_sweep(TEST_SWEEP, store=store, engine=fresh_engine(),
+                  max_workers=1, checkpoint_every=2)
+    assert store.path_for("sweep").read_bytes() == \
+        mono_store.path_for("sweep").read_bytes()
 
 
 def test_save_is_atomic_against_serialization_failure(tmp_path):
@@ -359,6 +514,48 @@ def test_report_tables_are_csv_with_exact_floats():
     assert ",," in tables["pareto_fronts.csv"]  # the None ratio column
 
 
+def test_report_gnuplot_scripts_cover_every_series():
+    report = sweep_report(hand_records())
+    scripts = report_scripts(report)
+    assert sorted(scripts) == ["energy_vs_x_limit.gp", "pareto_fronts.gp"]
+
+    envelope = scripts["energy_vs_x_limit.gp"]
+    # One plot clause per (benchmark, ratio) series, reading the CSV the
+    # report writes next to the script; calibrated cells match the empty
+    # ratio column.
+    assert 'set datafile separator ","' in envelope
+    assert '"energy_vs_x_limit.csv"' in envelope
+    assert 'strcol(1) eq "a" && strcol(2) eq ""' in envelope
+    assert 'strcol(1) eq "b" && strcol(2) eq "2.5"' in envelope
+    assert 'title "a (calibrated)"' in envelope
+    assert 'title "b (ratio 2.5)"' in envelope
+    # x/y columns must track the CSV layout constants.
+    assert ": NaN):4 " in envelope        # energy_j is envelope column 4
+    assert "column(3)" in envelope        # x_limit is envelope column 3
+
+    fronts = scripts["pareto_fronts.gp"]
+    assert '"pareto_fronts.csv"' in fronts
+    assert ": NaN):8 " in fronts          # energy_j is front column 8
+    assert "column(9)" in fronts          # time_ratio is front column 9
+
+    # Deterministic in the report alone (shard→merge→report contract).
+    assert report_scripts(sweep_report(list(reversed(hand_records())))) \
+        == scripts
+
+
+def test_progress_reporting_writes_stderr_only(tmp_path, monolithic, capsys):
+    mono_store, _ = monolithic
+    store = ResultStore(tmp_path / "progress")
+    execute_sweep(TEST_SWEEP, store=store, engine=fresh_engine(),
+                  max_workers=1, progress=True)
+    captured = capsys.readouterr()
+    assert captured.out == ""                       # stdout machine-readable
+    assert f"{TEST_SWEEP.size}/{TEST_SWEEP.size} cells" in captured.err
+    assert "cells/s" in captured.err
+    assert store.path_for("sweep").read_bytes() == \
+        mono_store.path_for("sweep").read_bytes()
+
+
 def test_report_from_store_needs_no_simulation(tmp_path, monolithic,
                                                monkeypatch):
     mono_store, _ = monolithic
@@ -377,6 +574,7 @@ def test_report_from_store_needs_no_simulation(tmp_path, monolithic,
 
     write_report(report, tmp_path / "out")
     assert sorted(p.name for p in (tmp_path / "out").iterdir()) == \
-        ["energy_vs_x_limit.csv", "pareto_fronts.csv", "report.json"]
+        ["energy_vs_x_limit.csv", "energy_vs_x_limit.gp",
+         "pareto_fronts.csv", "pareto_fronts.gp", "report.json"]
     reloaded = json.loads((tmp_path / "out" / "report.json").read_text())
     assert reloaded == json.loads(json.dumps(report))
