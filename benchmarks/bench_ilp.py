@@ -1,0 +1,132 @@
+"""Perf smoke bench: warm-started dual-simplex branch and bound for the ILP.
+
+Runs the Section 4.3 placement ILP over the full BEEBS grid (every kernel x
+two X_limits) twice:
+
+* **cold** — ``warm_start=False``: every branch-and-bound node re-solved
+  from scratch by the dense two-phase tableau oracle (the pre-warm-start
+  behaviour, bounds materialised as rows);
+* **warm** — ``warm_start=True``: children re-solved by the dual simplex
+  from their parent's optimal basis on the bounded-variable engine.
+
+Asserts the two paths select **bitwise-identical RAM sets** on every grid
+cell and that the warm path's LP-node throughput (branch-and-bound nodes
+per second) is at least :data:`SPEEDUP_FLOOR` times the cold path's.
+Records both to ``BENCH_ilp.json`` for the CI regression gate
+(``benchmarks/check_bench.py``).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_ilp.py [--output BENCH_ilp.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from conftest import print_table
+
+from repro.beebs import BENCHMARK_NAMES
+from repro.engine import atomic_write_json, default_cache
+from repro.placement import FlashRAMOptimizer, PlacementConfig
+from repro.placement.ilp import build_placement_ilp, solution_to_ram_set
+from repro.placement.solvers.branch_and_bound import solve_ilp
+
+X_LIMITS = (1.1, 1.5)
+SPEEDUP_FLOOR = 2.0
+
+
+def bench_grid(opt_level: str = "O2") -> dict:
+    cells = []
+    total = {"cold_s": 0.0, "warm_s": 0.0, "cold_nodes": 0, "warm_nodes": 0,
+             "warm_solves": 0, "warm_pivots": 0}
+    identical = True
+    for name in BENCHMARK_NAMES:
+        program = default_cache().get_benchmark_mutable(name, opt_level)
+        optimizer = FlashRAMOptimizer(program, config=PlacementConfig())
+        model = optimizer.build_cost_model()
+        r_spare = optimizer.derive_r_spare()
+        for x_limit in X_LIMITS:
+            problem = build_placement_ilp(model, r_spare, x_limit)
+
+            start = time.perf_counter()
+            cold = solve_ilp(problem, warm_start=False)
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = solve_ilp(problem, warm_start=True)
+            warm_s = time.perf_counter() - start
+
+            assert cold.values is not None and warm.values is not None, (
+                f"{name} x={x_limit}: solver returned no values")
+            cold_ram = frozenset(solution_to_ram_set(problem, cold.values))
+            warm_ram = frozenset(solution_to_ram_set(problem, warm.values))
+            same = cold_ram == warm_ram and cold.status == warm.status
+            identical = identical and same
+            assert same, (f"{name} x={x_limit}: warm RAM set diverged from "
+                          f"cold ({sorted(cold_ram ^ warm_ram)})")
+
+            total["cold_s"] += cold_s
+            total["warm_s"] += warm_s
+            total["cold_nodes"] += cold.nodes_explored
+            total["warm_nodes"] += warm.nodes_explored
+            total["warm_solves"] += warm.warm_solves
+            total["warm_pivots"] += warm.lp_pivots
+            cells.append({
+                "benchmark": name,
+                "x_limit": x_limit,
+                "vars": problem.num_vars,
+                "rows": int(problem.a_ub.shape[0]),
+                "cold_ms": cold_s * 1e3,
+                "warm_ms": warm_s * 1e3,
+                "nodes": warm.nodes_explored,
+                "warm_solves": warm.warm_solves,
+                "ram_blocks": len(warm_ram),
+            })
+
+    cold_throughput = total["cold_nodes"] / total["cold_s"]
+    warm_throughput = total["warm_nodes"] / total["warm_s"]
+    speedup = warm_throughput / cold_throughput
+    record = {
+        "cells": len(cells),
+        "cold_s": total["cold_s"],
+        "warm_s": total["warm_s"],
+        "cold_nodes": total["cold_nodes"],
+        "warm_nodes": total["warm_nodes"],
+        "warm_solves": total["warm_solves"],
+        "warm_pivots": total["warm_pivots"],
+        "cold_nodes_per_s": cold_throughput,
+        "warm_nodes_per_s": warm_throughput,
+        "node_throughput_speedup": speedup,
+        "bitwise_identical_ram_sets": identical,
+        "grid": cells,
+    }
+    print_table("placement ILP: cold two-phase vs warm-started dual simplex",
+                cells, ["benchmark", "x_limit", "vars", "rows", "cold_ms",
+                        "warm_ms", "nodes", "warm_solves", "ram_blocks"])
+    print(f"\ncold: {total['cold_nodes']} nodes in {total['cold_s']:.2f}s "
+          f"({cold_throughput:.1f} nodes/s)")
+    print(f"warm: {total['warm_nodes']} nodes in {total['warm_s']:.2f}s "
+          f"({warm_throughput:.1f} nodes/s)")
+    print(f"LP-node throughput speedup: {speedup:.2f}x "
+          f"(floor {SPEEDUP_FLOOR:.1f}x)")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm-start node throughput speedup {speedup:.2f}x is below the "
+        f"{SPEEDUP_FLOOR}x floor")
+    return record
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--output", default=None, metavar="FILE")
+    args = parser.parse_args()
+
+    record = bench_grid()
+
+    if args.output:
+        atomic_write_json(args.output, {"ilp": record})
+        print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,7 +17,14 @@ Constraints::
     z_b >= i_b + r_b - 1,  z_b <= i_b,  z_b <= r_b
     sum_b S_b*r_b + K_b*z_b <= R_spare                               (Eq. 7)
     sum_b F_b*(T_b*i_b + L_b*r_b) <= (X_limit - 1) * sum_b F_b*C_b   (Eq. 9)
-    0 <= r_b <= 1 integral; i_b, z_b in [0, 1]
+    0 <= r_b, i_b, z_b <= 1;  r_b integral
+
+The ``[0, 1]`` boxes live in the problem's ``lower``/``upper`` vectors, not
+in the constraint matrix: the bounded-variable simplex engine handles them
+natively, which keeps the matrix smaller and — crucially for the
+branch-and-bound warm start — lets branching tighten a bound without
+changing the matrix at all.  Engines without native bounds (the dense
+two-phase oracle) materialise them via :meth:`ILPProblem.dense_rows`.
 
 Because ``i`` and ``z`` are forced to integral values once every ``r`` is
 integral, the branch-and-bound solver only branches on the ``r`` variables.
@@ -26,7 +33,7 @@ integral, the branch-and-bound solver only branches on the ``r`` variables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,7 +42,11 @@ from repro.placement.cost_model import PlacementCostModel
 
 @dataclass
 class ILPProblem:
-    """A minimisation ILP in the form ``min c.x  s.t.  A x <= b, x >= 0``."""
+    """A minimisation ILP: ``min c.x  s.t.  A x <= b, lower <= x <= upper``.
+
+    ``lower``/``upper`` default to ``0``/``+inf`` when left ``None`` (the
+    historical row-only form).
+    """
 
     objective: np.ndarray
     constant: float
@@ -44,10 +55,46 @@ class ILPProblem:
     var_names: List[str]
     branch_vars: List[int]
     r_index: Dict[str, int] = field(default_factory=dict)
+    lower: Optional[np.ndarray] = None
+    upper: Optional[np.ndarray] = None
 
     @property
     def num_vars(self) -> int:
         return len(self.var_names)
+
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(lower, upper)`` box, materialising the defaults."""
+        lower = (np.zeros(self.num_vars) if self.lower is None
+                 else np.asarray(self.lower, dtype=float))
+        upper = (np.full(self.num_vars, np.inf) if self.upper is None
+                 else np.asarray(self.upper, dtype=float))
+        return lower, upper
+
+    def dense_rows(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The constraint system with bounds materialised as ``<=`` rows.
+
+        For engines that only understand ``A x <= b, x >= 0`` (the dense
+        two-phase oracle): every finite upper bound becomes an ``x_j <= u_j``
+        row and every strictly positive lower bound a ``-x_j <= -l_j`` row.
+        """
+        lower, upper = self.bounds()
+        rows = [self.a_ub] if self.a_ub.size else []
+        rhs = [self.b_ub] if self.b_ub.size else []
+        finite_upper = np.where(np.isfinite(upper))[0]
+        if finite_upper.size:
+            upper_rows = np.zeros((finite_upper.size, self.num_vars))
+            upper_rows[np.arange(finite_upper.size), finite_upper] = 1.0
+            rows.append(upper_rows)
+            rhs.append(upper[finite_upper])
+        positive_lower = np.where(lower > 0)[0]
+        if positive_lower.size:
+            lower_rows = np.zeros((positive_lower.size, self.num_vars))
+            lower_rows[np.arange(positive_lower.size), positive_lower] = -1.0
+            rows.append(lower_rows)
+            rhs.append(-lower[positive_lower])
+        if not rows:
+            return np.zeros((0, self.num_vars)), np.zeros(0)
+        return np.vstack(rows), np.concatenate(rhs)
 
 
 def build_placement_ilp(model: PlacementCostModel, r_spare: float,
@@ -90,17 +137,23 @@ def build_placement_ilp(model: PlacementCostModel, r_spare: float,
         rows.append(row)
         rhs.append(bound)
 
-    # Equation 5: instrumentation coupling with every successor.
+    # Equation 5: instrumentation coupling with every successor.  Duplicate
+    # successor edges produce identical rows, so each distinct row is emitted
+    # once: in particular all library successors of a block collapse onto the
+    # single ``i_b >= r_b`` row.
     for key in eligible:
         base = index_of[key]
         params = model.parameters[key]
-        for succ in params.successors:
+        library_row_emitted = False
+        for succ in dict.fromkeys(params.successors):
             if succ == key:
                 continue
             succ_base = index_of.get(succ)
             if succ_base is None:
                 # Successor cannot move (library): i_b >= r_b.
-                add_row({base + 0: 1.0, base + 1: -1.0}, 0.0)
+                if not library_row_emitted:
+                    add_row({base + 0: 1.0, base + 1: -1.0}, 0.0)
+                    library_row_emitted = True
                 continue
             add_row({base + 0: 1.0, succ_base + 0: -1.0, base + 1: -1.0}, 0.0)
             add_row({succ_base + 0: 1.0, base + 0: -1.0, base + 1: -1.0}, 0.0)
@@ -130,12 +183,6 @@ def build_placement_ilp(model: PlacementCostModel, r_spare: float,
         time_row[base + 0] = params.frequency * params.ram_stall_cycles
     add_row(time_row, (x_limit - 1.0) * model.baseline_cycles())
 
-    # Upper bounds for the r variables (i and z are bounded via the rows above
-    # and their objective signs).
-    for key in eligible:
-        add_row({index_of[key] + 0: 1.0}, 1.0)
-        add_row({index_of[key] + 1: 1.0}, 1.0)
-
     problem = ILPProblem(
         objective=objective,
         constant=constant,
@@ -144,6 +191,9 @@ def build_placement_ilp(model: PlacementCostModel, r_spare: float,
         var_names=var_names,
         branch_vars=[index_of[key] for key in eligible],
         r_index={key: index_of[key] for key in eligible},
+        # The 0/1 boxes for r, i and z live here, not in the matrix.
+        lower=np.zeros(num_vars),
+        upper=np.ones(num_vars),
     )
     return problem
 

@@ -41,6 +41,7 @@ class PlacementConfig:
     loop_weight: int = 10
     solver: str = "ilp"          # "ilp" | "greedy" | "exhaustive"
     max_nodes: int = 400
+    warm_start: bool = True      # dual-simplex warm starts in the ILP solver
     stack_reserve: int = 1024
     safety_margin: int = 64
 
@@ -57,6 +58,9 @@ class PlacementSolution:
     x_limit: float = 1.0
     solver: str = "ilp"
     solver_status: str = ""
+    #: ILP solver counters (nodes, LP pivots, warm/cold solves); empty for
+    #: the greedy and exhaustive solvers.
+    solver_stats: Dict[str, int] = field(default_factory=dict)
     instrumented: List[str] = field(default_factory=list)
 
     @property
@@ -156,10 +160,23 @@ class FlashRAMOptimizer:
             solution.solver_status = "exhaustive"
         elif self.config.solver == "ilp":
             problem = build_placement_ilp(model, r_spare, x_limit)
-            result = solve_ilp(problem, max_nodes=self.config.max_nodes)
+            result = solve_ilp(problem, max_nodes=self.config.max_nodes,
+                               warm_start=self.config.warm_start)
+            solution.solver_stats = {
+                "nodes_explored": result.nodes_explored,
+                "lp_pivots": result.lp_pivots,
+                "warm_solves": result.warm_solves,
+                "cold_solves": result.cold_solves,
+                "unresolved_nodes": result.unresolved_nodes,
+            }
             if result.values is None:
+                # The empty placement is always feasible, so falling back to
+                # it must not masquerade as the solver's own verdict: tag the
+                # status so sweep records distinguish "the solver gave up"
+                # (or proved the *constrained* problem empty) from a placement
+                # it actually chose.
                 ram = set()
-                solution.solver_status = result.status
+                solution.solver_status = f"fallback-empty:{result.status}"
             else:
                 ram = set(solution_to_ram_set(problem, result.values))
                 solution.solver_status = result.status

@@ -6,26 +6,44 @@ and ``z`` variables are forced to integral values by their constraints and
 objective signs.  Best-first search with LP lower bounds keeps the tree small
 (the relaxation of this knapsack-like problem is mostly integral already).
 
-Children are warm-started from their parent's bound: fixing one more
-variable can only shrink the feasible region, so a child's true bound is at
-least the parent's, and the child inherits ``max(child LP, parent bound)``.
-This keeps bounds monotone along every branch (LP round-off cannot lower
-them), which both tightens pruning and makes the final optimality check
-sound: when every remaining open node's bound is at least the incumbent, the
-incumbent is provably optimal even if the node budget ran out.
+Two LP back ends drive the node relaxations:
+
+* ``warm_start=True`` (default) — branching *tightens a bound* (``r_b`` is
+  fixed by setting ``l = u``), which leaves the constraint matrix and
+  objective untouched.  Reduced costs depend only on those, so the parent's
+  optimal basis stays **dual-feasible** in both children and the bounded
+  revised simplex re-optimises with the dual method in a handful of pivots
+  (see DESIGN.md, "Warm-started placement ILP").
+* ``warm_start=False`` — every node is solved from scratch by the dense
+  two-phase tableau with bounds materialised as rows.  This is the slow
+  oracle used by the equivalence tests and benchmarks.
+
+Children inherit ``max(child LP, parent bound)``: fixing one more variable
+can only shrink the feasible region, so a child's true bound is at least the
+parent's.  This keeps bounds monotone along every branch (LP round-off
+cannot lower them), which both tightens pruning and makes the final
+optimality check sound.  A child whose LP gives up (iteration limit or
+numerical trouble) is kept as an *unresolved* open node at its parent's
+bound: its subtree may hold the true optimum, so unless the incumbent prunes
+that bound the solver reports ``"feasible"`` rather than claiming a proof.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.placement.ilp import ILPProblem
-from repro.placement.solvers.lp import LPStatus, solve_lp
+from repro.placement.solvers.lp import (
+    LPResult,
+    LPStatus,
+    solve_bounded_lp,
+    solve_lp_dense,
+)
 
 _INTEGRALITY_TOL = 1e-6
 
@@ -39,6 +57,16 @@ class ILPResult:
     values: Optional[np.ndarray] = None
     nodes_explored: int = 0
     optimal: bool = False
+    #: Total simplex pivots across every LP relaxation solved.
+    lp_pivots: int = 0
+    #: LP relaxations re-solved with the dual simplex from a parent basis.
+    warm_solves: int = 0
+    #: LP relaxations solved from scratch (the root, and every node when
+    #: ``warm_start=False``).
+    cold_solves: int = 0
+    #: Children whose LP gave up; each forfeits the optimality proof unless
+    #: the incumbent prunes its (parent) bound.
+    unresolved_nodes: int = 0
 
 
 def _fractional_branch_var(problem: ILPProblem, values: np.ndarray) -> Optional[int]:
@@ -53,19 +81,65 @@ def _fractional_branch_var(problem: ILPProblem, values: np.ndarray) -> Optional[
     return best_var
 
 
+class _NodeSolver:
+    """Solves node relaxations, warm-starting from the parent when allowed."""
+
+    def __init__(self, problem: ILPProblem, warm_start: bool):
+        self.problem = problem
+        self.warm_start = warm_start
+        self.lower, self.upper = problem.bounds()
+        if not warm_start:
+            self.dense_a, self.dense_b = problem.dense_rows()
+        self.lp_pivots = 0
+        self.warm_solves = 0
+        self.cold_solves = 0
+
+    def solve(self, fixed: Dict[int, float],
+              parent: Optional[LPResult]) -> LPResult:
+        if not self.warm_start:
+            self.cold_solves += 1
+            result = solve_lp_dense(self.problem.objective, self.dense_a,
+                                    self.dense_b, fixed=fixed)
+            self.lp_pivots += result.iterations
+            return result
+        lower = self.lower.copy()
+        upper = self.upper.copy()
+        for var, value in fixed.items():
+            lower[var] = value
+            upper[var] = value
+        if parent is not None and parent.basis is not None:
+            self.warm_solves += 1
+            result = solve_bounded_lp(self.problem.objective, self.problem.a_ub,
+                                      self.problem.b_ub, lower=lower,
+                                      upper=upper, basis=parent.basis,
+                                      at_upper=parent.at_upper)
+        else:
+            self.cold_solves += 1
+            result = solve_bounded_lp(self.problem.objective, self.problem.a_ub,
+                                      self.problem.b_ub, lower=lower,
+                                      upper=upper)
+        self.lp_pivots += result.iterations
+        return result
+
+
 def solve_ilp(problem: ILPProblem, max_nodes: int = 400,
-              gap_tolerance: float = 1e-9) -> ILPResult:
+              gap_tolerance: float = 1e-9,
+              warm_start: bool = True) -> ILPResult:
     """Solve the placement ILP with best-first branch and bound."""
     counter = itertools.count()
-    root = solve_lp(problem.objective, problem.a_ub, problem.b_ub, fixed={})
+    solver = _NodeSolver(problem, warm_start)
+    root = solver.solve({}, None)
     result = ILPResult(status="infeasible")
     if root.status is not LPStatus.OPTIMAL:
         result.status = root.status.value
+        result.lp_pivots = solver.lp_pivots
+        result.cold_solves = solver.cold_solves
         return result
 
     best_objective = float("inf")
     best_values: Optional[np.ndarray] = None
     heap = [(root.objective, next(counter), {}, root)]
+    unresolved_bounds: List[float] = []
     nodes = 0
 
     while heap and nodes < max_nodes:
@@ -87,9 +161,16 @@ def solve_ilp(problem: ILPProblem, max_nodes: int = 400,
         for value in (1.0, 0.0):
             child_fixed: Dict[int, float] = dict(fixed)
             child_fixed[branch_var] = value
-            child = solve_lp(problem.objective, problem.a_ub, problem.b_ub,
-                             fixed=child_fixed)
+            child = solver.solve(child_fixed, relaxation)
+            if child.status is LPStatus.INFEASIBLE:
+                continue
             if child.status is not LPStatus.OPTIMAL:
+                # The LP gave up (iteration limit / numerical trouble).  The
+                # subtree may still hold the true optimum, so it must not be
+                # discarded like an infeasible child: remember it as an open
+                # node at the parent's bound and let the final check decide
+                # whether the incumbent's optimality proof survives.
+                unresolved_bounds.append(bound)
                 continue
             # Warm-start the child's bound from the parent: the child's
             # feasible region is a subset of the parent's, so its true bound
@@ -99,28 +180,40 @@ def solve_ilp(problem: ILPProblem, max_nodes: int = 400,
                 continue
             heapq.heappush(heap, (child_bound, next(counter), child_fixed, child))
 
+    result.lp_pivots = solver.lp_pivots
+    result.warm_solves = solver.warm_solves
+    result.cold_solves = solver.cold_solves
+    result.unresolved_nodes = len(unresolved_bounds)
+
     if best_values is None:
         # Fall back to a rounded root solution if the node budget ran out
         # before any integral point was found.
         if root.values is not None:
             rounded = {var: float(round(root.values[var]))
                        for var in problem.branch_vars}
-            repaired = solve_lp(problem.objective, problem.a_ub, problem.b_ub,
-                                fixed=rounded)
+            repaired = solver.solve(rounded, root)
+            result.lp_pivots = solver.lp_pivots
+            result.warm_solves = solver.warm_solves
+            result.cold_solves = solver.cold_solves
             if repaired.status is LPStatus.OPTIMAL:
                 result.status = "feasible"
                 result.objective = repaired.objective
                 result.values = repaired.values
                 result.nodes_explored = nodes
                 return result
-        result.status = "infeasible"
+        # With unresolved subtrees the problem may still be feasible — only
+        # claim infeasibility when every branch was genuinely closed.
+        result.status = "unresolved" if unresolved_bounds else "infeasible"
         result.nodes_explored = nodes
         return result
 
     # The incumbent is proven optimal when no open node could still beat it:
-    # the heap is bound-ordered, so checking its minimum covers every node.
+    # the heap is bound-ordered, so checking its minimum covers every node,
+    # and every unresolved child must be prunable by its parent's bound.
     # (Running out of the node budget alone does not forfeit the proof.)
     proven = not heap or heap[0][0] >= best_objective - gap_tolerance
+    proven = proven and all(open_bound >= best_objective - gap_tolerance
+                            for open_bound in unresolved_bounds)
     result.status = "optimal" if proven else "feasible"
     result.optimal = result.status == "optimal"
     result.objective = best_objective

@@ -1,0 +1,390 @@
+"""Tests for the LP engines: bounded revised simplex vs the dense oracle.
+
+The bounded-variable engine (`solve_bounded_lp`) is fuzzed against the dense
+two-phase tableau (`solve_lp_dense`, the oracle) on randomly generated
+problems, its dual-simplex warm start is checked to agree with cold solves
+after bound tightenings, and the branch-and-bound integration is checked to
+pick bitwise-identical RAM sets warm and cold across the placement
+regression corpus.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen import CompileOptions, compile_source
+from repro.placement import (
+    FlashRAMOptimizer,
+    PlacementConfig,
+    PlacementCostModel,
+    build_placement_ilp,
+    extract_parameters,
+)
+from repro.placement.ilp import ILPProblem, solution_to_ram_set
+from repro.placement.parameters import BlockParameters
+from repro.placement.solvers.branch_and_bound import ILPResult, solve_ilp
+from repro.placement.solvers.lp import (
+    LPResult,
+    LPStatus,
+    _remove_artificials,
+    solve_bounded_lp,
+    solve_lp,
+    solve_lp_dense,
+)
+from repro.sim import EnergyModel
+
+LOOP_SOURCE = """
+int data[32];
+int main(void) {
+    for (int i = 0; i < 32; ++i) { data[i] = i; }
+    int total = 0;
+    for (int round = 0; round < 20; ++round) {
+        for (int i = 0; i < 32; ++i) {
+            total += data[i] * round;
+        }
+        if (total > 100000) { total -= 100000; }
+    }
+    return total;
+}
+"""
+
+
+def make_model():
+    program = compile_source(LOOP_SOURCE, CompileOptions.for_level("O2"))
+    params = extract_parameters(program)
+    energy = EnergyModel()
+    return PlacementCostModel(params, energy.e_flash, energy.e_ram)
+
+
+def materialize_bounds(a, b, lower, upper):
+    """Append ``x <= u`` / ``-x <= -l`` rows for the dense oracle."""
+    n = a.shape[1]
+    rows, rhs = [a], [b]
+    finite = np.where(np.isfinite(upper))[0]
+    if finite.size:
+        block = np.zeros((finite.size, n))
+        block[np.arange(finite.size), finite] = 1.0
+        rows.append(block)
+        rhs.append(upper[finite])
+    positive = np.where(lower > 0)[0]
+    if positive.size:
+        block = np.zeros((positive.size, n))
+        block[np.arange(positive.size), positive] = -1.0
+        rows.append(block)
+        rhs.append(-lower[positive])
+    return np.vstack(rows), np.concatenate(rhs)
+
+
+# --------------------------------------------------------------------------- #
+# Bounded engine vs the dense oracle (fuzz)
+# --------------------------------------------------------------------------- #
+def test_bounded_engine_matches_dense_oracle_on_random_problems():
+    rng = np.random.default_rng(2024)
+    agreements = 0
+    for trial in range(200):
+        n = int(rng.integers(2, 8))
+        m = int(rng.integers(1, 10))
+        c = rng.normal(size=n) * 10.0 ** float(rng.integers(-3, 3))
+        a = rng.normal(size=(m, n))
+        b = rng.normal(size=m) + 0.5
+        upper = np.where(rng.random(n) < 0.6,
+                         rng.uniform(0.3, 4.0, size=n), np.inf)
+        lower = np.where(rng.random(n) < 0.3,
+                         rng.uniform(0.0, 0.25, size=n), 0.0)
+        lower = np.minimum(lower, upper)
+        if rng.random() < 0.3:  # occasionally fix a variable (branching shape)
+            j = int(rng.integers(n))
+            lower[j] = upper[j] = float(np.clip(rng.uniform(0, 1),
+                                                lower[j], upper[j]))
+        mine = solve_bounded_lp(c, a, b, lower=lower, upper=upper)
+        dense_a, dense_b = materialize_bounds(a, b, lower, upper)
+        oracle = solve_lp_dense(c, dense_a, dense_b)
+        if oracle.status is LPStatus.ITERATION_LIMIT:
+            continue
+        # The oracle cannot represent unbounded-below-with-infinite-upper any
+        # differently, so statuses must agree exactly.
+        assert mine.status is oracle.status, trial
+        if oracle.status is LPStatus.OPTIMAL:
+            agreements += 1
+            assert mine.objective == pytest.approx(
+                oracle.objective, abs=1e-6 * (1.0 + abs(oracle.objective))), trial
+    assert agreements >= 80  # plenty of the random draws are feasible
+
+
+def test_warm_start_agrees_with_cold_solve_after_bound_tightening():
+    rng = np.random.default_rng(99)
+    checked = warm_pivots = cold_pivots = 0
+    for trial in range(120):
+        n = int(rng.integers(3, 9))
+        m = int(rng.integers(2, 10))
+        c = rng.normal(size=n)
+        a = rng.normal(size=(m, n))
+        b = rng.normal(size=m) + 1.0
+        upper = rng.uniform(0.5, 3.0, size=n)
+        parent = solve_bounded_lp(c, a, b, upper=upper)
+        if parent.status is not LPStatus.OPTIMAL:
+            continue
+        assert parent.basis is not None and parent.at_upper is not None
+        j = int(rng.integers(n))
+        lower = np.zeros(n)
+        tight_upper = upper.copy()
+        lower[j] = tight_upper[j] = 0.0 if rng.random() < 0.5 else upper[j]
+        warm = solve_bounded_lp(c, a, b, lower=lower, upper=tight_upper,
+                                basis=parent.basis, at_upper=parent.at_upper)
+        cold = solve_bounded_lp(c, a, b, lower=lower, upper=tight_upper)
+        assert warm.status is cold.status, trial
+        if warm.status is LPStatus.OPTIMAL:
+            checked += 1
+            warm_pivots += warm.iterations
+            cold_pivots += cold.iterations
+            assert warm.objective == pytest.approx(
+                cold.objective, abs=1e-6 * (1.0 + abs(cold.objective))), trial
+    assert checked >= 60
+    # The whole point of the warm start: far fewer pivots than a cold solve.
+    assert warm_pivots < cold_pivots
+
+
+def test_bounded_engine_solves_textbook_problem_with_native_bounds():
+    # min -3x - 5y  s.t.  3x + 2y <= 18,  0 <= x <= 4,  0 <= y <= 6.
+    c = np.array([-3.0, -5.0])
+    a = np.array([[3.0, 2.0]])
+    b = np.array([18.0])
+    result = solve_bounded_lp(c, a, b, upper=np.array([4.0, 6.0]))
+    assert result.status is LPStatus.OPTIMAL
+    assert result.objective == pytest.approx(-36.0)
+    assert result.values[0] == pytest.approx(2.0)
+    assert result.values[1] == pytest.approx(6.0)
+    assert result.basis is not None and result.basis.shape == (1,)
+
+
+def test_solve_lp_fixed_via_bounds_matches_historical_behaviour():
+    c = np.array([1.0, 1.0])
+    a = np.array([[1.0, 1.0]])
+    b = np.array([1.0])
+    assert solve_lp(c, a, b, fixed={0: 1.0, 1: 1.0}).status is LPStatus.INFEASIBLE
+    partial = solve_lp(c, a, b, fixed={0: 0.25})
+    assert partial.status is LPStatus.OPTIMAL
+    assert partial.values[0] == pytest.approx(0.25)
+
+
+def test_bounded_engine_reports_iteration_limit():
+    rng = np.random.default_rng(1)
+    c = rng.normal(size=12)
+    a = rng.normal(size=(18, 12))
+    b = rng.normal(size=18) + 1.0
+    limited = solve_bounded_lp(c, a, b, upper=np.full(12, 2.0),
+                               max_iterations=1)
+    assert limited.status is LPStatus.ITERATION_LIMIT
+
+
+def test_degenerate_cycling_problem_terminates_optimal():
+    # Beale's classic cycling example: Dantzig pricing with naive tie-breaks
+    # cycles forever in exact arithmetic; the degenerate-streak Bland
+    # fallback must terminate at the optimum -1/20.
+    c = np.array([-0.75, 150.0, -0.02, 6.0])
+    a = np.array([
+        [0.25, -60.0, -0.04, 9.0],
+        [0.5, -90.0, -0.02, 3.0],
+        [0.0, 0.0, 1.0, 0.0],
+    ])
+    b = np.array([0.0, 0.0, 1.0])
+    dense = solve_lp_dense(c, a, b)
+    assert dense.status is LPStatus.OPTIMAL
+    assert dense.objective == pytest.approx(-0.05)
+    bounded = solve_bounded_lp(c, a, b)
+    assert bounded.status is LPStatus.OPTIMAL
+    assert bounded.objective == pytest.approx(-0.05)
+
+
+# --------------------------------------------------------------------------- #
+# Dense-oracle phase-1 cleanup (redundant rows)
+# --------------------------------------------------------------------------- #
+def test_dense_solver_exact_on_duplicated_constraints():
+    # Regression for the phase-1 artificial cleanup: duplicated >= rows make
+    # the constraint system redundant, which historically could strand an
+    # artificial variable in the basis and corrupt the recovered values via
+    # ``remap.get(b, 0)``.  min x0 + 2 x1 s.t. x0 + x1 >= 2 (three copies),
+    # x0 <= 1.5: optimum sits at x = (1.5, 0.5), objective 2.5.
+    c = np.array([1.0, 2.0])
+    a = np.array([
+        [-1.0, -1.0],
+        [-1.0, -1.0],
+        [-1.0, -1.0],
+        [1.0, 0.0],
+    ])
+    b = np.array([-2.0, -2.0, -2.0, 1.5])
+    result = solve_lp_dense(c, a, b)
+    assert result.status is LPStatus.OPTIMAL
+    assert result.objective == pytest.approx(2.5)
+    assert result.values == pytest.approx(np.array([1.5, 0.5]))
+    # And the bounded engine agrees on the duplicated system.
+    bounded = solve_bounded_lp(c, a, b)
+    assert bounded.status is LPStatus.OPTIMAL
+    assert bounded.objective == pytest.approx(2.5)
+
+
+def test_remove_artificials_drops_redundant_row_instead_of_corrupting():
+    # White-box check of the cleanup itself.  Columns: x0 | s0 s1 | a0 | RHS
+    # (1 structural, 2 slacks, 1 artificial).  Row 1 is a fully redundant
+    # row whose artificial is basic and has no nonzero real coefficient, so
+    # no drive-out pivot exists.  The historical ``remap.get(b, 0)`` mapped
+    # its basis entry onto column 0, silently overwriting x0's value with
+    # this row's RHS; the fix drops the row.
+    tableau = np.array([
+        [1.0, 0.5, 0.0, 0.0, 2.0],
+        [0.0, 0.0, 0.0, 1.0, 0.0],
+    ])
+    basis = np.array([0, 3])
+    reduced, new_basis, num_rows = _remove_artificials(
+        tableau, basis, num_free=1, num_slack=2, artificial_cols=[3])
+    assert num_rows == 1
+    assert list(new_basis) == [0]
+    assert reduced.shape == (1, 4)  # artificial column removed, RHS kept
+    assert reduced[0, -1] == pytest.approx(2.0)
+
+
+def test_remove_artificials_still_drives_out_when_possible():
+    # An artificial basic on a row that *does* have a real coefficient must
+    # be pivoted out, not dropped: the row carries information (s1 = 0).
+    tableau = np.array([
+        [1.0, 0.5, 0.0, 0.0, 2.0],
+        [0.0, 0.0, -1.0, 1.0, 0.0],
+    ])
+    basis = np.array([0, 3])
+    reduced, new_basis, num_rows = _remove_artificials(
+        tableau, basis, num_free=1, num_slack=2, artificial_cols=[3])
+    assert num_rows == 2
+    assert list(new_basis) == [0, 2]  # s1 replaced the artificial
+
+
+# --------------------------------------------------------------------------- #
+# Branch and bound: warm == cold on the placement corpus
+# --------------------------------------------------------------------------- #
+def test_warm_and_cold_ilp_pick_identical_ram_sets_on_regression_corpus():
+    model = make_model()
+    for r_spare, x_limit in [(64, 1.1), (256, 1.3), (4096, 2.0)]:
+        problem = build_placement_ilp(model, r_spare, x_limit)
+        cold = solve_ilp(problem, warm_start=False)
+        warm = solve_ilp(problem, warm_start=True)
+        assert cold.status == warm.status, (r_spare, x_limit)
+        assert cold.values is not None and warm.values is not None
+        cold_ram = set(solution_to_ram_set(problem, cold.values))
+        warm_ram = set(solution_to_ram_set(problem, warm.values))
+        assert cold_ram == warm_ram, (r_spare, x_limit)
+        assert warm.warm_solves + warm.cold_solves > 0
+        assert cold.warm_solves == 0  # the oracle path never warm-starts
+        # Both engines report real pivot work through the stats plumbing.
+        assert cold.lp_pivots > 0 and warm.lp_pivots > 0
+
+
+@pytest.mark.parametrize("kernel", ["crc32", "fdct"])
+def test_warm_and_cold_ilp_agree_on_beebs_kernels(kernel):
+    from repro.engine import default_cache
+    program = default_cache().get_benchmark_mutable(kernel, "O2")
+    optimizer = FlashRAMOptimizer(program, config=PlacementConfig())
+    model = optimizer.build_cost_model()
+    r_spare = optimizer.derive_r_spare()
+    for x_limit in (1.1, 1.5):
+        problem = build_placement_ilp(model, r_spare, x_limit)
+        cold = solve_ilp(problem, warm_start=False)
+        warm = solve_ilp(problem, warm_start=True)
+        assert cold.status == warm.status == "optimal", (kernel, x_limit)
+        assert (set(solution_to_ram_set(problem, cold.values))
+                == set(solution_to_ram_set(problem, warm.values))), (kernel, x_limit)
+
+
+def test_placement_ilp_carries_native_bounds_not_rows():
+    model = make_model()
+    problem = build_placement_ilp(model, r_spare=256, x_limit=1.3)
+    assert problem.lower is not None and problem.upper is not None
+    assert np.all(problem.upper == 1.0) and np.all(problem.lower == 0.0)
+    # No constraint row is a plain single-variable upper bound any more.
+    for row, rhs in zip(problem.a_ub, problem.b_ub):
+        nonzero = np.nonzero(row)[0]
+        assert not (nonzero.size == 1 and row[nonzero[0]] == 1.0
+                    and rhs == 1.0), "bound row leaked into the matrix"
+    # dense_rows() reconstructs them for engines without native bounds.
+    dense_a, dense_b = problem.dense_rows()
+    assert dense_a.shape[0] == problem.a_ub.shape[0] + problem.num_vars
+
+
+def test_library_successor_rows_are_deduplicated():
+    # A block with several library successors historically emitted one
+    # identical ``i_b >= r_b`` row per successor; they must collapse to one.
+    params = {
+        "f:a": BlockParameters("f:a", "f", "a", 10, 5, 1.0, 4, 4, 0,
+                               ["lib:x", "lib:y", "lib:x"]),
+        "lib:x": BlockParameters("lib:x", "lib", "x", 10, 5, 1.0, 4, 4, 0,
+                                 [], library=True),
+        "lib:y": BlockParameters("lib:y", "lib", "y", 10, 5, 1.0, 4, 4, 0,
+                                 [], library=True),
+    }
+    model = PlacementCostModel(params, 2.0, 1.0)
+    problem = build_placement_ilp(model, r_spare=64, x_limit=2.0)
+    rows = {tuple(row) + (rhs,) for row, rhs in zip(problem.a_ub, problem.b_ub)}
+    assert len(rows) == problem.a_ub.shape[0], "duplicate constraint rows"
+
+
+def test_iteration_limited_child_forfeits_optimality_proof(monkeypatch):
+    # min -2x0 - x1  s.t.  2x0 + 2x1 <= 3,  x binary: the optimum (1, 0)
+    # lives in a "fix to 0" subtree.  If those children's LPs give up, the
+    # solver must keep them as open nodes and report a modest "feasible" —
+    # the historical behaviour skipped them like infeasible children and
+    # claimed "optimal" for the wrong incumbent.
+    problem = ILPProblem(
+        objective=np.array([-2.0, -1.0]),
+        constant=0.0,
+        a_ub=np.array([[2.0, 2.0]]),
+        b_ub=np.array([3.0]),
+        var_names=["x0", "x1"],
+        branch_vars=[0, 1],
+        r_index={"x0": 0, "x1": 1},
+        lower=np.zeros(2),
+        upper=np.ones(2),
+    )
+    import repro.placement.solvers.branch_and_bound as bb
+    real_solve = bb.solve_bounded_lp
+
+    def flaky_solve(c, a_ub, b_ub, lower=None, upper=None, **kwargs):
+        if upper is not None and np.asarray(upper)[1] == 0.0:
+            return LPResult(LPStatus.ITERATION_LIMIT)
+        return real_solve(c, a_ub, b_ub, lower=lower, upper=upper, **kwargs)
+
+    monkeypatch.setattr(bb, "solve_bounded_lp", flaky_solve)
+    result = solve_ilp(problem, warm_start=True)
+    assert result.unresolved_nodes >= 1
+    assert result.status == "feasible"
+    assert not result.optimal
+    # The reachable incumbent (0, 1) is *worse* than the optimum hidden in
+    # the unresolved subtree — exactly why claiming "optimal" would be wrong.
+    assert result.objective == pytest.approx(-1.0)
+    # Without interference the same problem is solved to proven optimality.
+    monkeypatch.setattr(bb, "solve_bounded_lp", real_solve)
+    clean = solve_ilp(problem, warm_start=True)
+    assert clean.status == "optimal" and clean.objective == pytest.approx(-2.0)
+    assert clean.unresolved_nodes == 0
+
+
+def test_optimizer_reports_fallback_empty_when_solver_gives_up(monkeypatch):
+    import repro.placement.optimizer as optimizer_module
+    program = compile_source(LOOP_SOURCE, CompileOptions.for_level("O2"))
+    optimizer = FlashRAMOptimizer(program)
+
+    def give_up(problem, max_nodes=400, warm_start=True, **kwargs):
+        return ILPResult(status="iteration_limit")
+
+    monkeypatch.setattr(optimizer_module, "solve_ilp", give_up)
+    solution = optimizer.select_blocks()
+    assert solution.solver_status == "fallback-empty:iteration_limit"
+    assert solution.ram_blocks == set()
+    # The empty placement is genuinely feasible: the estimate is the baseline.
+    assert solution.estimate.energy_j == pytest.approx(solution.baseline_energy_j)
+
+
+def test_optimizer_surfaces_solver_stats():
+    program = compile_source(LOOP_SOURCE, CompileOptions.for_level("O2"))
+    solution = FlashRAMOptimizer(program).select_blocks()
+    stats = solution.solver_stats
+    assert stats["nodes_explored"] >= 1
+    assert stats["lp_pivots"] > 0
+    assert stats["cold_solves"] >= 1
+    assert stats["unresolved_nodes"] == 0
