@@ -140,6 +140,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="work: artificial delay per executed cell "
                              "(manufactures stragglers for tests/benchmarks)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent on-disk program cache shared "
+                             "between processes and runs: compiled programs "
+                             "are pickled under DIR so a fleet compiles "
+                             "each (benchmark, level) once per machine")
     return parser
 
 
@@ -179,6 +184,11 @@ def _print_sweep_summary(summary: dict) -> None:
         line += (f" [distributed: {distrib['workers']} workers, "
                  f"{distrib['requeued_batches']} batches requeued, "
                  f"{distrib['duplicate_records']} duplicates]")
+    cache = summary.get("cache")
+    if cache:
+        line += (f" [cache: {cache['compiles']} compiles, "
+                 f"{cache['hits']} hits, {cache['disk_hits']} disk hits, "
+                 f"{cache['disk_misses']} disk misses]")
     print(line)
 
 
@@ -194,8 +204,11 @@ def _emit(args, name: str, records: List[dict], meta: Optional[dict] = None) -> 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
-    engine = default_engine() if args.workers is None else ExperimentEngine(
-        max_workers=args.workers)
+    if args.workers is None and args.cache_dir is None:
+        engine = default_engine()
+    else:
+        engine = ExperimentEngine(max_workers=args.workers,
+                                  cache_dir=args.cache_dir)
 
     if args.figure == "figure1":
         from repro.evaluation.figure1 import instruction_power_rows
@@ -262,7 +275,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 progress=args.progress,
                 checkpoint_every=args.checkpoint_every,
                 batch_size=args.batch_size,
-                lease_timeout=args.lease_timeout)
+                lease_timeout=args.lease_timeout,
+                cache_dir=args.cache_dir)
         else:
             summary = execute_sweep(
                 sweep, store=store, name=args.name, shard=shard,
@@ -310,13 +324,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     elif args.figure == "work":
         from repro.distrib import run_worker
+        from repro.distrib.worker import format_worker_stats
         if args.port is None:
             parser.error("work requires --port (the coordinator's port)")
         stats = run_worker(args.host, args.port,
                            max_workers=args.workers or 1,
-                           throttle=args.throttle)
-        print(f"worker {stats['worker']} done: {stats['cells']} cells in "
-              f"{stats['batches']} batches", file=sys.stderr)
+                           throttle=args.throttle,
+                           cache_dir=args.cache_dir)
+        print(format_worker_stats(stats), file=sys.stderr)
 
     elif args.figure == "merge":
         if not args.stores or not args.output:

@@ -37,14 +37,17 @@ def execute_sweep_distributed(sweep: SweepSpec,
                               lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                               checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
                               worker_options: Optional[Sequence[Dict]] = None,
-                              timeout: Optional[float] = None) -> Dict:
+                              timeout: Optional[float] = None,
+                              cache_dir: Optional[str] = None) -> Dict:
     """Run *sweep* with a local coordinator and *workers* spawned processes.
 
     ``worker_options`` optionally carries one kwargs dict per worker
     (``name``, ``max_workers``, ``throttle`` — see
     :func:`repro.distrib.worker.run_worker`); tests and benchmarks use it to
-    manufacture deterministic stragglers.  The resulting store is
-    byte-identical to a monolithic ``execute_sweep`` of the same spec.
+    manufacture deterministic stragglers.  ``cache_dir`` is handed to every
+    worker (unless its options dict overrides it) so the whole fleet shares
+    one persistent program cache.  The resulting store is byte-identical to
+    a monolithic ``execute_sweep`` of the same spec.
     """
     if workers < 1:
         raise ValueError("a distributed run needs at least 1 worker")
@@ -68,6 +71,8 @@ def execute_sweep_distributed(sweep: SweepSpec,
         for index, kwargs in enumerate(options):
             kwargs = dict(kwargs)
             kwargs.setdefault("name", f"local-{index}")
+            if cache_dir is not None:
+                kwargs.setdefault("cache_dir", cache_dir)
             # Not daemonic: a worker may itself open an engine process pool
             # (worker_options={"max_workers": N}), which daemonic processes
             # are forbidden to do.  The finally-block below reaps them, and

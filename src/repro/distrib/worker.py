@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import os
 import socket
+import sys
 import threading
 import time
 from typing import Dict, Optional
@@ -82,14 +83,18 @@ def run_worker(host: str, port: int,
                name: Optional[str] = None,
                max_workers: int = 1,
                throttle: float = 0.0,
-               connect_timeout: float = 30.0) -> Dict:
+               connect_timeout: float = 30.0,
+               cache_dir: Optional[str] = None) -> Dict:
     """Serve one coordinator until its sweep is done; returns worker stats.
 
     ``max_workers`` is the engine's in-process fan-out *within* this worker
     (normally 1 — the fleet is the parallelism).  ``throttle`` injects an
     artificial delay of that many seconds per executed cell; it exists so
     tests, benchmarks and the CI smoke job can manufacture deterministic
-    stragglers, and is harmless in production use.
+    stragglers, and is harmless in production use.  ``cache_dir`` points the
+    worker's engine at a persistent on-disk program cache, so a fleet
+    sharing one directory compiles each program once per machine; the
+    returned stats carry the engine's cache counters under ``"cache"``.
     """
     worker_name = name or f"{socket.gethostname()}:{os.getpid()}"
     stream = connect_with_retry(host, port, timeout=connect_timeout)
@@ -109,7 +114,8 @@ def run_worker(host: str, port: int,
 
         sweep = SweepSpec.from_meta(welcome["sweep"])
         cells_by_key = {cell.key: cell for cell in sweep.cells()}
-        engine = ExperimentEngine(max_workers=max_workers)
+        engine = ExperimentEngine(max_workers=max_workers,
+                                  cache_dir=cache_dir)
         heartbeat = _Heartbeat(stream, float(welcome["heartbeat_interval"]))
 
         while True:
@@ -155,6 +161,7 @@ def run_worker(host: str, port: int,
                     f"coordinator error: {message.get('message')}")
             else:
                 raise ProtocolError(f"unknown message type {kind!r}")
+        stats["cache"] = engine.cache.stats.as_dict()
     except ProtocolError as error:
         try:
             stream.send({"type": "error", "message": str(error)})
@@ -168,6 +175,24 @@ def run_worker(host: str, port: int,
     return stats
 
 
+def format_worker_stats(stats: Dict) -> str:
+    """One greppable summary line for a finished worker.
+
+    The CI smoke job asserts on the ``cache ... compiles=``/``disk_hits=``
+    fields to prove that a warm shared ``--cache-dir`` eliminates
+    recompiles, so keep the ``key=value`` shape stable.
+    """
+    line = (f"worker {stats['worker']} done: {stats['cells']} cells in "
+            f"{stats['batches']} batches")
+    cache = stats.get("cache")
+    if cache is not None:
+        line += (f" | cache compiles={cache['compiles']} "
+                 f"hits={cache['hits']} disk_hits={cache['disk_hits']} "
+                 f"disk_misses={cache['disk_misses']}")
+    return line
+
+
 def worker_process_entry(host: str, port: int, **kwargs) -> None:
     """Top-level entry point for spawned local worker processes."""
-    run_worker(host, port, **kwargs)
+    stats = run_worker(host, port, **kwargs)
+    print(format_worker_stats(stats), file=sys.stderr, flush=True)

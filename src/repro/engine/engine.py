@@ -60,9 +60,19 @@ class ExperimentEngine:
 
     def __init__(self, energy_model: Optional[EnergyModel] = None,
                  cache: Optional[ProgramCache] = None,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 cache_dir: Optional[str] = None):
         self.energy_model = energy_model or EnergyModel()
-        self.cache = cache if cache is not None else default_cache()
+        if cache is not None:
+            self.cache = cache
+        elif cache_dir is not None:
+            self.cache = ProgramCache(cache_dir=cache_dir)
+        else:
+            self.cache = default_cache()
+        #: Propagated to pool workers so their per-process caches share the
+        #: same on-disk tier (an explicit ``cache`` object wins over
+        #: ``cache_dir`` locally, but its directory still propagates).
+        self.cache_dir = self.cache.cache_dir if cache is not None else cache_dir
         self.max_workers = max_workers
         self._baseline_results: Dict[Tuple, SimulationResult] = {}
         #: Sub-engines for cells that use a non-default energy model; they
@@ -208,7 +218,8 @@ class ExperimentEngine:
         order = sorted(range(len(resolved)),
                        key=lambda i: (resolved[i][0].benchmark,
                                       resolved[i][0].opt_level, i))
-        tasks = [resolved[i] for i in order]
+        tasks = [(resolved[i][0], resolved[i][1], self.cache_dir)
+                 for i in order]
         chunksize = -(-len(tasks) // workers)
         outputs: List[BenchmarkRun] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -237,18 +248,20 @@ class ExperimentEngine:
 # --------------------------------------------------------------------------- #
 # Worker-process plumbing
 # --------------------------------------------------------------------------- #
-#: Per-process engines reused across tasks, one per distinct energy model
-#: (models are small dataclasses, compared by value).
-_WORKER_ENGINES: List[Tuple[EnergyModel, ExperimentEngine]] = []
+#: Per-process engines reused across tasks, one per distinct (energy model,
+#: cache dir) pair (models are small dataclasses, compared by value).
+_WORKER_ENGINES: List[Tuple[EnergyModel, Optional[str], ExperimentEngine]] = []
 
 
-def _grid_worker(payload: Tuple[ExperimentSpec, EnergyModel]) -> BenchmarkRun:
-    spec, energy_model = payload
-    for model, engine in _WORKER_ENGINES:
-        if model == energy_model:
+def _grid_worker(payload: Tuple[ExperimentSpec, EnergyModel, Optional[str]]
+                 ) -> BenchmarkRun:
+    spec, energy_model, cache_dir = payload
+    for model, directory, engine in _WORKER_ENGINES:
+        if model == energy_model and directory == cache_dir:
             return engine.run_spec(spec)
-    engine = ExperimentEngine(energy_model=energy_model, max_workers=1)
-    _WORKER_ENGINES.append((energy_model, engine))
+    engine = ExperimentEngine(energy_model=energy_model, max_workers=1,
+                              cache_dir=cache_dir)
+    _WORKER_ENGINES.append((energy_model, cache_dir, engine))
     return engine.run_spec(spec)
 
 

@@ -354,7 +354,8 @@ def execute_sweep(sweep: SweepSpec,
                   progress: bool = False,
                   checkpoint_every: Optional[int] = None,
                   batch_size: Optional[int] = None,
-                  lease_timeout: Optional[float] = None) -> Dict:
+                  lease_timeout: Optional[float] = None,
+                  cache_dir: Optional[str] = None) -> Dict:
     """Run *sweep* — optionally one shard of it — with store-backed resume.
 
     * ``shard=(i, N)`` restricts execution to the cells whose key hashes to
@@ -378,11 +379,18 @@ def execute_sweep(sweep: SweepSpec,
       ``0`` disables checkpointing on every path; ``None`` (the default)
       means off in-process and the coordinator default when distributed;
     * ``batch_size`` / ``lease_timeout`` tune the distributed lease
-      granularity and failure detection; they require ``workers``.
+      granularity and failure detection; they require ``workers``;
+    * ``cache_dir`` enables the persistent on-disk program cache: the
+      in-process engine (and, distributed, every spawned worker) loads
+      compiled programs from that directory instead of recompiling, so a
+      fleet compiles each (benchmark, opt level) once per machine.  It
+      cannot be combined with an explicit ``engine`` — configure that
+      engine's cache instead.
 
     Returns a summary dict: the run's records in key order, the store meta,
-    cell/computed/skipped/rechecked counts, and the store path (or ``None``
-    when running storeless).
+    cell/computed/skipped/rechecked counts, the engine's program-cache
+    counters (``cache``), and the store path (or ``None`` when running
+    storeless).
     """
     if workers is not None:
         if recheck:
@@ -401,7 +409,11 @@ def execute_sweep(sweep: SweepSpec,
             kwargs["lease_timeout"] = lease_timeout
         return execute_sweep_distributed(
             sweep, store=store, name=name, workers=workers, shard=shard,
-            resume=resume, progress=progress, **kwargs)
+            resume=resume, progress=progress, cache_dir=cache_dir, **kwargs)
+    if engine is not None and cache_dir is not None:
+        raise ValueError("cache_dir configures a fresh engine; give the "
+                         "explicit engine a disk cache instead "
+                         "(ExperimentEngine(cache_dir=...))")
     if batch_size is not None or lease_timeout is not None:
         raise ValueError("batch_size/lease_timeout configure the distributed "
                          "lease protocol; they require workers=N")
@@ -424,7 +436,9 @@ def execute_sweep(sweep: SweepSpec,
     if resume:
         stored = load_resumable_records(store, name, sweep, by_key)
 
-    engine = engine if engine is not None else default_engine()
+    if engine is None:
+        engine = (ExperimentEngine(cache_dir=cache_dir)
+                  if cache_dir is not None else default_engine())
 
     rechecked = 0
     if recheck and stored:
@@ -479,17 +493,23 @@ def execute_sweep(sweep: SweepSpec,
                                progress=cell_progress)
         new_records = [cell_record(cell, run)
                        for cell, run in zip(missing, runs)]
+    cache_stats = engine.cache.stats.as_dict()
     if reporter is not None:
-        reporter.finish()
+        reporter.finish(extra=(f"cache {cache_stats['compiles']} compiles, "
+                               f"{cache_stats['hits']} hits, "
+                               f"{cache_stats['disk_hits']} disk hits"))
 
     combined = dict(stored)
     combined.update((record["cell_key"], record) for record in new_records)
     records = [combined[key] for key in sorted(combined)]
     meta["cells"] = len(records)
 
+    # Program-cache counters from *this* process's engine (pool workers keep
+    # their own per-process caches; with a shared ``cache_dir`` their disk
+    # hits show up as warm starts, not in these numbers).
     summary = {"records": records, "meta": meta, "cells": len(cells),
                "computed": len(missing), "skipped": len(stored),
-               "rechecked": rechecked, "path": None}
+               "rechecked": rechecked, "cache": cache_stats, "path": None}
     if store is not None:
         if journaled:
             path = store.compact_journal(name, merge_store=resume)

@@ -42,6 +42,16 @@ class Reg:
     def __deepcopy__(self, memo) -> "Reg":
         return self
 
+    def __reduce__(self):
+        # Pickling must also round-trip to the canonical singletons — the
+        # on-disk program cache ships whole programs between processes, and
+        # an unpickled ``pc`` that is not ``PC`` would silently break the
+        # simulator's identity checks.  (NOT ``PHYSICAL_REGS``: those are
+        # distinct instances of the same values.)
+        if not self.virtual and 0 <= self.index < 16:
+            return (_canonical_reg, (self.index,))
+        return (Reg, (self.index, self.virtual))
+
     @property
     def name(self) -> str:
         if self.virtual:
@@ -77,6 +87,15 @@ LR = Reg(14)
 PC = Reg(15)
 
 PHYSICAL_REGS = tuple(Reg(i) for i in range(16))
+
+#: Unpickling target for physical registers (see ``Reg.__reduce__``): the
+#: *named* singletons above, which ``reg is PC``-style checks compare against.
+_CANONICAL_REGS = (R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12,
+                   SP, LR, PC)
+
+
+def _canonical_reg(index: int) -> Reg:
+    return _CANONICAL_REGS[index]
 
 #: Registers used for the first four word-sized arguments and the return value.
 ARG_REGS = (R0, R1, R2, R3)

@@ -56,6 +56,12 @@ class MachineBlock:
                 setattr(clone, key, _copy.deepcopy(value, memo))
         return clone
 
+    def __getstate__(self):
+        # The decode cache holds closures: unpicklable, and lazily rebuilt.
+        state = self.__dict__.copy()
+        state["_decode_cache"] = None
+        return state
+
     # ------------------------------------------------------------------ #
     def append(self, instr: MachineInstr) -> MachineInstr:
         self.instructions.append(instr)

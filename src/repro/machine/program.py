@@ -59,6 +59,10 @@ class MachineProgram:
         #: (see :mod:`repro.sim.decode`) are stamped with it and rebuilt after
         #: any re-layout (e.g. the flash-RAM placement transformation).
         self.layout_generation: int = 0
+        #: Trace-compiled superblock state (:mod:`repro.sim.superblock`):
+        #: ``(generation, superblocks, hot_counts)`` or None.  Holds decode
+        #: closures, so it is dropped on pickle/deepcopy (``__getstate__``).
+        self._superblock_cache = None
 
     # ------------------------------------------------------------------ #
     def add_function(self, function: MachineFunction) -> MachineFunction:
@@ -88,6 +92,33 @@ class MachineProgram:
     def block_key(self, block: MachineBlock) -> str:
         """Globally unique key for a block (function-qualified)."""
         return f"{block.function_name}:{block.name}"
+
+    def superblock_state(self):
+        """Superblock map + hotness counters valid for the current layout.
+
+        Returns ``(superblocks, hot_counts)``, both plain dicts keyed by
+        ``(function_name, block_name)`` payloads.  Stamped with
+        ``layout_generation`` exactly like the per-block decode caches: any
+        re-layout makes the next call start from empty state, so stale
+        superblocks can never execute against a moved block.
+        """
+        cache = self._superblock_cache
+        if cache is None or cache[0] != self.layout_generation:
+            cache = (self.layout_generation, {}, {})
+            self._superblock_cache = cache
+        return cache[1], cache[2]
+
+    def __getstate__(self):
+        # Superblocks hold decode-time closures: unpicklable, and bound to
+        # this program object's blocks.  Copies rebuild them lazily.  (This
+        # also covers deepcopy, which goes through __reduce_ex__.)
+        state = self.__dict__.copy()
+        state["_superblock_cache"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._superblock_cache = None
 
     def find_block(self, key: str) -> MachineBlock:
         function_name, block_name = key.split(":", 1)

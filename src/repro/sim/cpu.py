@@ -9,17 +9,26 @@ cycle counts with RAM-contention stalls, per-cycle power depending on the
 fetch memory, per-block execution counts and return values for correctness
 checks.
 
-Two execution strategies share identical observable behaviour:
+Three execution strategies share identical observable behaviour:
 
-* the **decode-once fast path** (default): blocks are lazily lowered to
-  predecoded instruction records (:mod:`repro.sim.decode`) with pre-bound
-  handlers, pre-resolved operands and precomputed cycle/energy metadata, and
-  the records are cached on the blocks themselves;
+* the **superblock fast path** (default): hot decoded blocks are chained
+  along their observed successor paths into trace-compiled superblocks
+  (:mod:`repro.sim.superblock`) with batched accounting and side-exit
+  guards;
+* the **decode-once path** (``superblocks=False``): blocks are lazily
+  lowered to predecoded instruction records (:mod:`repro.sim.decode`) with
+  pre-bound handlers, pre-resolved operands and precomputed cycle/energy
+  metadata, cached on the blocks themselves;
 * the **interpreted reference path** (``decode_once=False``): the original
   per-instruction dispatch, kept as the bit-exact oracle the regression tests
-  compare the fast path against.
+  compare the fast paths against.
 
-Both paths produce bitwise-identical :class:`SimulationResult` values.
+All paths produce bitwise-identical :class:`SimulationResult` values.  To
+make that hold under batching, energy is accounted uniformly as *event
+counts* per ``(cycles, fetch_region, instr_class, data_region)`` key and
+reduced to a float in one deterministic pass at the end of the run
+(:meth:`Simulator._finish`): identical counts give identical floats no
+matter which path — or what grouping — produced them.
 """
 
 from __future__ import annotations
@@ -37,8 +46,18 @@ from repro.sim.decode import SimulationError, predecode, resolve_symbol
 from repro.sim.energy import EnergyModel
 from repro.sim.memory import MemorySystem
 from repro.sim.profiler import BlockProfile
+from repro.sim.superblock import (
+    HOT_THRESHOLD,
+    MAX_CHAIN,
+    build_superblock,
+    execute_superblock,
+)
 
 _MASK = 0xFFFFFFFF
+
+#: Energy-count keys carry the InstrClass *value* string, not the enum:
+#: str hashes at C speed and caches its hash, Enum.__hash__ is a Python call.
+_ALU_VALUE = InstrClass.ALU.value
 
 #: Link-register token returned to when the entry function finishes.
 EXIT_TOKEN = 0xFFFFFFF1
@@ -83,11 +102,13 @@ class Simulator:
     def __init__(self, program: MachineProgram,
                  energy_model: Optional[EnergyModel] = None,
                  max_instructions: int = 20_000_000,
-                 decode_once: bool = True):
+                 decode_once: bool = True,
+                 superblocks: bool = True):
         self.program = program
         self.energy_model = energy_model or EnergyModel()
         self.max_instructions = max_instructions
         self.decode_once = decode_once
+        self.superblocks = superblocks
 
         self.memory = MemorySystem(program.flash, program.ram)
         self._init_data()
@@ -103,12 +124,6 @@ class Simulator:
         # the table by one entry per dynamic call.
         self._return_sites: List[Tuple[str, str, int]] = []
         self._return_site_tokens: Dict[Tuple[str, str, int], int] = {}
-
-        # Memoised energy contributions keyed by
-        # (cycles, fetch_region, instr_class, data_region); every hit returns
-        # the exact float the energy model computed the first time, keeping
-        # the fast path bitwise identical to the reference path.
-        self._energy_cache: Dict[Tuple, float] = {}
 
         self.registers: List[int] = [0] * 16
         self.flag_n = False
@@ -164,15 +179,34 @@ class Simulator:
         self.flag_c = a >= b
         self.flag_v = ((a ^ b) & (a ^ result) & 0x80000000) != 0
 
-    def _energy(self, cycles: int, fetch_region: str, klass: InstrClass,
-                data_region: Optional[str] = None) -> float:
-        key = (cycles, fetch_region, klass, data_region)
-        value = self._energy_cache.get(key)
-        if value is None:
-            value = self.energy_model.energy_j(cycles, fetch_region, klass,
-                                               data_region)
-            self._energy_cache[key] = value
-        return value
+    def _finish(self, total_cycles: int, total_instructions: int,
+                energy_counts: Dict[Tuple, int], profile: BlockProfile,
+                cycles_by_section: Dict[str, int]) -> SimulationResult:
+        """Reduce the energy event counts and assemble the result.
+
+        Every execution path accounts energy as integer event counts keyed
+        by ``(cycles, fetch_region, instr_class, data_region)``.  The
+        reduction here visits the keys in one fixed order with one
+        multiply-add per key, so identical counts yield bitwise-identical
+        ``energy_j`` regardless of which path (or what batching) produced
+        them — integer counts are associative where float sums are not.
+        """
+        energy_j = self.energy_model.energy_j
+        total_energy = 0.0
+        for key in sorted(energy_counts,
+                          key=lambda k: (k[0], k[1], k[2], k[3] or "")):
+            cycles, fetch_region, klass_value, data_region = key
+            total_energy += energy_counts[key] * energy_j(
+                cycles, fetch_region, InstrClass(klass_value), data_region)
+        return SimulationResult(
+            return_value=self.registers[0] & _MASK,
+            cycles=total_cycles,
+            instructions=total_instructions,
+            energy_j=total_energy,
+            time_s=total_cycles * self.energy_model.cycle_time_s,
+            profile=profile,
+            cycles_by_section=cycles_by_section,
+        )
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -189,9 +223,11 @@ class Simulator:
         self.registers[SP.index] = self.program.ram.end
         self.registers[LR.index] = EXIT_TOKEN
 
-        if self.decode_once:
-            return self._run_decoded(entry)
-        return self._run_interpreted(entry)
+        if not self.decode_once:
+            return self._run_interpreted(entry)
+        if self.superblocks:
+            return self._run_superblocked(entry)
+        return self._run_decoded(entry)
 
     # ------------------------------------------------------------------ #
     # Decode-once fast path
@@ -204,7 +240,8 @@ class Simulator:
         profile = BlockProfile()
         total_cycles = 0
         total_instructions = 0
-        total_energy = 0.0
+        energy_counts: Dict[Tuple, int] = {}
+        counts_get = energy_counts.get
         cycles_by_section = {"flash": 0, "ram": 0}
 
         function_name = entry
@@ -249,7 +286,8 @@ class Simulator:
                 total_cycles += 1
                 total_instructions += 1
                 cycles_by_section[fetch_region] += 1
-                total_energy += self._energy(1, fetch_region, InstrClass.ALU)
+                key = (1, fetch_region, _ALU_VALUE, None)
+                energy_counts[key] = counts_get(key, 0) + 1
                 index += 1
                 continue
 
@@ -260,7 +298,8 @@ class Simulator:
                     total_cycles += 1
                     total_instructions += 1
                     cycles_by_section[fetch_region] += 1
-                    total_energy += self._energy(1, fetch_region, InstrClass.ALU)
+                    key = (1, fetch_region, _ALU_VALUE, None)
+                    energy_counts[key] = counts_get(key, 0) + 1
                     index += 1
                     continue
 
@@ -279,8 +318,8 @@ class Simulator:
             total_cycles += cycles
             total_instructions += 1
             cycles_by_section[fetch_region] += cycles
-            total_energy += self._energy(cycles, fetch_region, record.klass,
-                                         data_region)
+            key = (cycles, fetch_region, record.klass_value, data_region)
+            energy_counts[key] = counts_get(key, 0) + 1
 
             if transfer is None:
                 index += 1
@@ -291,16 +330,8 @@ class Simulator:
             block_cycle_start = total_cycles
 
             if kind == "exit":
-                time_s = total_cycles * self.energy_model.cycle_time_s
-                return SimulationResult(
-                    return_value=self.registers[0] & _MASK,
-                    cycles=total_cycles,
-                    instructions=total_instructions,
-                    energy_j=total_energy,
-                    time_s=time_s,
-                    profile=profile,
-                    cycles_by_section=cycles_by_section,
-                )
+                return self._finish(total_cycles, total_instructions,
+                                    energy_counts, profile, cycles_by_section)
             if kind == "block":
                 target_function, target_block = payload
                 function_name = target_function
@@ -326,13 +357,251 @@ class Simulator:
             current_block_key = program.block_key(block)
 
     # ------------------------------------------------------------------ #
+    # Superblock fast path: decode-once plus trace compilation of hot paths
+    # ------------------------------------------------------------------ #
+    def _run_superblocked(self, entry: str) -> SimulationResult:
+        """The decode-once loop, extended with trace-compiled superblocks.
+
+        Every arrival at the *start* of a block goes through the dispatch
+        prologue: an installed superblock is executed directly; otherwise the
+        block's hotness counter is bumped and, past :data:`HOT_THRESHOLD`,
+        the path execution takes next is recorded and compiled
+        (:func:`build_superblock`).  Blocks without superblocks — and block
+        tails re-entered mid-block after a call returns — run on the generic
+        decode-once machinery below, which is accounting-identical to
+        :meth:`_run_decoded`.
+        """
+        program = self.program
+        functions = program.functions
+        max_instructions = self.max_instructions
+        superblocks, hot_counts = program.superblock_state()
+
+        profile = BlockProfile()
+        total_cycles = 0
+        total_instructions = 0
+        energy_counts: Dict[Tuple, int] = {}
+        counts_get = energy_counts.get
+        cycles_by_section = {"flash": 0, "ram": 0}
+
+        # Trace recording state: payload list of the trace being recorded
+        # (None when idle) plus a membership set for O(1) cycle detection.
+        trace: Optional[List[Tuple[str, str]]] = None
+        trace_set = None
+
+        def compile_trace(loop: bool) -> None:
+            nonlocal trace, trace_set
+            compiled = build_superblock(program, trace, loop)
+            if compiled is not None:
+                superblocks[trace[0]] = compiled
+            trace = None
+            trace_set = None
+
+        function_name = entry
+        block = functions[entry].entry_block
+        payload = (entry, block.name)
+        decoded = predecode(program, block)
+        records = decoded.records
+        fetch_region = decoded.fetch_region
+        fetch_is_ram = decoded.fetch_is_ram
+        index = 0
+        entering = True
+        pending_cond: Optional[Cond] = None
+        block_cycle_start = 0
+        current_block_key = program.block_key(block)
+
+        while True:
+            if entering:
+                # ---- block-entry dispatch: superblocks and trace state ---- #
+                entering = False
+                sb = superblocks.get(payload)
+                if sb is not None:
+                    if trace is not None:
+                        # Chain the recorded prefix up to (not into) the
+                        # existing superblock; execution continues inside it.
+                        compile_trace(False)
+                    kind, target, total_cycles, total_instructions = \
+                        execute_superblock(self, sb, superblocks,
+                                           total_cycles, total_instructions,
+                                           cycles_by_section, energy_counts,
+                                           profile, max_instructions)
+                    block_cycle_start = total_cycles
+                    if kind == "exit":
+                        return self._finish(total_cycles, total_instructions,
+                                            energy_counts, profile,
+                                            cycles_by_section)
+                    if kind == "block":
+                        function_name, target_block = target
+                        payload = target
+                        block = functions[function_name].blocks[target_block]
+                        index = 0
+                        entering = True
+                    elif kind == "call":
+                        callee, return_site = target
+                        self.registers[LR.index] = \
+                            self._intern_return_site(return_site)
+                        function_name = callee
+                        block = functions[callee].entry_block
+                        payload = (callee, block.name)
+                        index = 0
+                        entering = True
+                    elif kind == "return":
+                        site_function, site_block, site_index = target
+                        function_name = site_function
+                        block = functions[site_function].blocks[site_block]
+                        payload = (site_function, site_block)
+                        index = site_index
+                    else:  # pragma: no cover - defensive
+                        raise SimulationError(f"unknown transfer kind {kind}")
+                    decoded = predecode(program, block)
+                    records = decoded.records
+                    fetch_region = decoded.fetch_region
+                    fetch_is_ram = decoded.fetch_is_ram
+                    current_block_key = program.block_key(block)
+                    continue
+                if trace is not None:
+                    if payload == trace[0]:
+                        # The trace closed back on its head: a loop.  Compile
+                        # and immediately dispatch the new superblock.
+                        compile_trace(True)
+                        entering = True
+                        continue
+                    if (payload in trace_set or not decoded.chainable
+                            or len(trace) >= MAX_CHAIN):
+                        compile_trace(False)
+                    else:
+                        trace.append(payload)
+                        trace_set.add(payload)
+                if trace is None:
+                    count = hot_counts.get(payload, 0) + 1
+                    hot_counts[payload] = count
+                    if count >= HOT_THRESHOLD and decoded.chainable:
+                        trace = [payload]
+                        trace_set = {payload}
+
+            # ---- generic decode-once execution (mirrors _run_decoded) ---- #
+            if total_instructions > max_instructions:
+                raise SimulationError(
+                    f"instruction limit exceeded ({self.max_instructions}); "
+                    f"likely an infinite loop in {function_name}")
+
+            if index >= len(records):
+                # End of block without explicit control transfer: fall through.
+                profile.record(current_block_key, total_cycles - block_cycle_start)
+                next_name = block.fallthrough
+                if next_name is None:
+                    raise SimulationError(
+                        f"fell off the end of {function_name}/{block.name}")
+                block = functions[function_name].blocks[next_name]
+                payload = (function_name, next_name)
+                decoded = predecode(program, block)
+                records = decoded.records
+                fetch_region = decoded.fetch_region
+                fetch_is_ram = decoded.fetch_is_ram
+                index = 0
+                entering = True
+                block_cycle_start = total_cycles
+                current_block_key = program.block_key(block)
+                continue
+
+            record = records[index]
+
+            # --- predication (it blocks) ---------------------------------- #
+            if record.is_it:
+                pending_cond = record.cond
+                total_cycles += 1
+                total_instructions += 1
+                cycles_by_section[fetch_region] += 1
+                key = (1, fetch_region, _ALU_VALUE, None)
+                energy_counts[key] = counts_get(key, 0) + 1
+                index += 1
+                continue
+
+            if record.predicated:
+                condition = record.cond if record.cond is not None else pending_cond
+                if not cond_holds(condition, self.flag_n, self.flag_z,
+                                  self.flag_c, self.flag_v):
+                    total_cycles += 1
+                    total_instructions += 1
+                    cycles_by_section[fetch_region] += 1
+                    key = (1, fetch_region, _ALU_VALUE, None)
+                    energy_counts[key] = counts_get(key, 0) + 1
+                    index += 1
+                    continue
+
+            # --- execute --------------------------------------------------- #
+            data_region, transfer = record.run(self)
+
+            if record.conditional and transfer is None:
+                cycles = record.cycles_not_taken
+            else:
+                cycles = record.cycles_taken
+
+            # RAM bus contention: executing from RAM while touching RAM data.
+            if fetch_is_ram and data_region == "ram" and record.contention:
+                cycles += RAM_CONTENTION_STALL
+
+            total_cycles += cycles
+            total_instructions += 1
+            cycles_by_section[fetch_region] += cycles
+            key = (cycles, fetch_region, record.klass_value, data_region)
+            energy_counts[key] = counts_get(key, 0) + 1
+
+            if transfer is None:
+                index += 1
+                continue
+
+            kind, target = transfer
+            profile.record(current_block_key, total_cycles - block_cycle_start)
+            block_cycle_start = total_cycles
+
+            if kind == "exit":
+                return self._finish(total_cycles, total_instructions,
+                                    energy_counts, profile, cycles_by_section)
+            if kind == "block":
+                function_name, target_block = target
+                payload = target
+                block = functions[function_name].blocks[target_block]
+                index = 0
+                entering = True
+            elif kind == "call":
+                # The superblock executor side-exits on call transfers, so a
+                # chain crossing one could never be followed: end the trace.
+                if trace is not None:
+                    compile_trace(False)
+                callee, return_site = target
+                self.registers[LR.index] = self._intern_return_site(return_site)
+                function_name = callee
+                block = functions[callee].entry_block
+                payload = (callee, block.name)
+                index = 0
+                entering = True
+            elif kind == "return":
+                # Re-enters the calling block mid-stream: not a block entry,
+                # likewise ends any live trace.
+                if trace is not None:
+                    compile_trace(False)
+                site_function, site_block, site_index = target
+                function_name = site_function
+                block = functions[site_function].blocks[site_block]
+                payload = (site_function, site_block)
+                index = site_index
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown transfer kind {kind}")
+            decoded = predecode(program, block)
+            records = decoded.records
+            fetch_region = decoded.fetch_region
+            fetch_is_ram = decoded.fetch_is_ram
+            current_block_key = program.block_key(block)
+
+    # ------------------------------------------------------------------ #
     # Interpreted reference path (the seed implementation, kept as oracle)
     # ------------------------------------------------------------------ #
     def _run_interpreted(self, entry: str) -> SimulationResult:
         profile = BlockProfile()
         total_cycles = 0
         total_instructions = 0
-        total_energy = 0.0
+        energy_counts: Dict[Tuple, int] = {}
+        counts_get = energy_counts.get
         cycles_by_section = {"flash": 0, "ram": 0}
 
         function_name = entry
@@ -371,8 +640,8 @@ class Simulator:
                 total_cycles += 1
                 total_instructions += 1
                 cycles_by_section[fetch_region] += 1
-                total_energy += self.energy_model.energy_j(
-                    1, fetch_region, InstrClass.ALU)
+                key = (1, fetch_region, _ALU_VALUE, None)
+                energy_counts[key] = counts_get(key, 0) + 1
                 index += 1
                 continue
 
@@ -384,8 +653,8 @@ class Simulator:
                     total_cycles += 1
                     total_instructions += 1
                     cycles_by_section[fetch_region] += 1
-                    total_energy += self.energy_model.energy_j(
-                        1, fetch_region, InstrClass.ALU)
+                    key = (1, fetch_region, _ALU_VALUE, None)
+                    energy_counts[key] = counts_get(key, 0) + 1
                     index += 1
                     continue
 
@@ -402,8 +671,8 @@ class Simulator:
             total_cycles += cycles
             total_instructions += 1
             cycles_by_section[fetch_region] += cycles
-            total_energy += self.energy_model.energy_j(
-                cycles, fetch_region, instr_class(instr), data_region)
+            key = (cycles, fetch_region, instr_class(instr).value, data_region)
+            energy_counts[key] = counts_get(key, 0) + 1
 
             if transfer is None:
                 index += 1
@@ -414,16 +683,8 @@ class Simulator:
             block_cycle_start = total_cycles
 
             if kind == "exit":
-                time_s = total_cycles * self.energy_model.cycle_time_s
-                return SimulationResult(
-                    return_value=self.registers[0] & _MASK,
-                    cycles=total_cycles,
-                    instructions=total_instructions,
-                    energy_j=total_energy,
-                    time_s=time_s,
-                    profile=profile,
-                    cycles_by_section=cycles_by_section,
-                )
+                return self._finish(total_cycles, total_instructions,
+                                    energy_counts, profile, cycles_by_section)
             if kind == "block":
                 target_function, target_block = payload
                 function_name = target_function

@@ -89,14 +89,17 @@ class DecodedInstr:
     """
 
     __slots__ = ("run", "cycles_taken", "cycles_not_taken", "klass",
-                 "contention", "conditional", "is_it", "predicated", "cond",
-                 "instr")
+                 "klass_value", "contention", "conditional", "is_it",
+                 "predicated", "cond", "instr")
 
     def __init__(self, instr: MachineInstr):
         self.instr = instr
         self.cycles_taken = cycles_for(instr, taken=True)
         self.cycles_not_taken = cycles_for(instr, taken=False)
         self.klass = instr_class(instr)
+        # Plain-string mirror of ``klass`` for energy-count keys: strings
+        # hash at C speed (and cache it), Enum.__hash__ is a Python call.
+        self.klass_value = self.klass.value
         self.contention = instr.opcode in _CONTENTION_OPS
         self.conditional = instr.opcode in _CONDITIONAL_OPS
         self.is_it = instr.opcode is Opcode.IT
@@ -106,14 +109,23 @@ class DecodedInstr:
 
 
 class DecodedBlock:
-    """All predecoded records of one block plus its static fetch region."""
+    """All predecoded records of one block plus its static fetch region.
 
-    __slots__ = ("records", "fetch_region", "fetch_is_ram")
+    ``chainable`` marks blocks eligible for superblock formation
+    (:mod:`repro.sim.superblock`): no predication (``it`` blocks carry
+    cross-instruction condition state the straight-line fast path does not
+    model) and no deferred decode errors (a faulty instruction must keep its
+    execute-time error semantics, so the block stays on the generic path).
+    """
 
-    def __init__(self, records: List[DecodedInstr], fetch_region: str):
+    __slots__ = ("records", "fetch_region", "fetch_is_ram", "chainable")
+
+    def __init__(self, records: List[DecodedInstr], fetch_region: str,
+                 chainable: bool = False):
         self.records = records
         self.fetch_region = fetch_region
         self.fetch_is_ram = fetch_region == "ram"
+        self.chainable = chainable
 
 
 # --------------------------------------------------------------------------- #
@@ -288,20 +300,18 @@ def _make_load(dst: int, base_cv, off_cv, byte: bool):
             regs = sim.registers
             base = regs[br] if br is not None else bc
             offset = regs[orr] if orr is not None else oc
-            address = (base + offset) & _MASK
-            memory = sim.memory
-            region = memory.region_of(address)
-            regs[dst] = memory.read_byte(address)
+            value, region = sim.memory.read_byte_region(
+                (base + offset) & _MASK)
+            regs[dst] = value
             return region, None
     else:
         def run(sim):
             regs = sim.registers
             base = regs[br] if br is not None else bc
             offset = regs[orr] if orr is not None else oc
-            address = (base + offset) & _MASK
-            memory = sim.memory
-            region = memory.region_of(address)
-            regs[dst] = memory.read_word(address)
+            value, region = sim.memory.read_word_region(
+                (base + offset) & _MASK)
+            regs[dst] = value
             return region, None
     return run
 
@@ -314,20 +324,16 @@ def _make_store(src: int, base_cv, off_cv, byte: bool):
             regs = sim.registers
             base = regs[br] if br is not None else bc
             offset = regs[orr] if orr is not None else oc
-            address = (base + offset) & _MASK
-            memory = sim.memory
-            region = memory.region_of(address)
-            memory.write_byte(address, regs[src])
+            region = sim.memory.write_byte_region(
+                (base + offset) & _MASK, regs[src])
             return region, None
     else:
         def run(sim):
             regs = sim.registers
             base = regs[br] if br is not None else bc
             offset = regs[orr] if orr is not None else oc
-            address = (base + offset) & _MASK
-            memory = sim.memory
-            region = memory.region_of(address)
-            memory.write_word(address, regs[src])
+            region = sim.memory.write_word_region(
+                (base + offset) & _MASK, regs[src])
             return region, None
     return run
 
@@ -510,6 +516,7 @@ def _build_handler(program: MachineProgram, block: MachineBlock,
 
 def _build_block(program: MachineProgram, block: MachineBlock) -> DecodedBlock:
     records: List[DecodedInstr] = []
+    chainable = True
     for index, instr in enumerate(block.instructions):
         record = DecodedInstr(instr)
         try:
@@ -518,9 +525,12 @@ def _build_block(program: MachineProgram, block: MachineBlock) -> DecodedBlock:
             # Match the seed interpreter: the error surfaces only if the
             # instruction is actually executed.
             record.run = _make_deferred_error(exc)
+            chainable = False
+        if record.is_it or record.predicated:
+            chainable = False
         records.append(record)
     fetch_region = "ram" if block.section == "ram" else "flash"
-    return DecodedBlock(records, fetch_region)
+    return DecodedBlock(records, fetch_region, chainable)
 
 
 def predecode(program: MachineProgram, block: MachineBlock) -> DecodedBlock:

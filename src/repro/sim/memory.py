@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.machine.program import MemoryRegion
 
@@ -12,11 +12,14 @@ class MemoryError_(Exception):
 
 
 class MemorySystem:
-    """Sparse byte-addressable memory backed by a dictionary.
+    """Byte-addressable memory backed by one ``bytearray`` per region.
 
     Two regions exist, mirroring the paper's SoC: embedded flash (code +
     constant data + literal pools) and SRAM (mutable data, stack, and the
-    ``.ramcode`` section the optimization creates).
+    ``.ramcode`` section the optimization creates).  Regions are frozen
+    dataclasses, so their bounds are flattened to plain ints once — these
+    methods run on every simulated memory access and the bounds tests plus
+    buffer indexing must stay free of nested method calls.
     """
 
     def __init__(self, flash: MemoryRegion, ram: MemoryRegion,
@@ -24,49 +27,150 @@ class MemorySystem:
         self.flash = flash
         self.ram = ram
         self.allow_flash_writes = allow_flash_writes
-        self._bytes: Dict[int, int] = {}
+        self._flash_start = flash.origin
+        self._flash_size = flash.size
+        self._flash_end = flash.end
+        self._ram_start = ram.origin
+        self._ram_size = ram.size
+        self._ram_end = ram.end
+        self._flash_bytes = bytearray(flash.size)
+        self._ram_bytes = bytearray(ram.size)
 
     # ------------------------------------------------------------------ #
     def region_of(self, address: int) -> Optional[str]:
-        if self.flash.contains(address):
+        if self._flash_start <= address < self._flash_end:
             return "flash"
-        if self.ram.contains(address):
+        if self._ram_start <= address < self._ram_end:
             return "ram"
         return None
 
     def _check(self, address: int, for_write: bool) -> str:
-        region = self.region_of(address)
-        if region is None:
-            raise MemoryError_(f"access to unmapped address {address:#010x}")
-        if for_write and region == "flash" and not self.allow_flash_writes:
-            raise MemoryError_(f"write to flash address {address:#010x} at runtime")
-        return region
+        if self._flash_start <= address < self._flash_end:
+            if for_write and not self.allow_flash_writes:
+                raise MemoryError_(
+                    f"write to flash address {address:#010x} at runtime")
+            return "flash"
+        if self._ram_start <= address < self._ram_end:
+            return "ram"
+        raise MemoryError_(f"access to unmapped address {address:#010x}")
 
     # ------------------------------------------------------------------ #
     def read_byte(self, address: int) -> int:
-        self._check(address, for_write=False)
-        return self._bytes.get(address, 0)
+        offset = address - self._flash_start
+        if 0 <= offset < self._flash_size:
+            return self._flash_bytes[offset]
+        offset = address - self._ram_start
+        if 0 <= offset < self._ram_size:
+            return self._ram_bytes[offset]
+        raise MemoryError_(f"access to unmapped address {address:#010x}")
 
     def write_byte(self, address: int, value: int, initializing: bool = False) -> None:
-        if not initializing:
-            self._check(address, for_write=True)
-        self._bytes[address] = value & 0xFF
+        offset = address - self._ram_start
+        if 0 <= offset < self._ram_size:
+            self._ram_bytes[offset] = value & 0xFF
+            return
+        offset = address - self._flash_start
+        if 0 <= offset < self._flash_size:
+            if not (initializing or self.allow_flash_writes):
+                raise MemoryError_(
+                    f"write to flash address {address:#010x} at runtime")
+            self._flash_bytes[offset] = value & 0xFF
+            return
+        if initializing:
+            return  # startup data outside both regions is unreadable anyway
+        raise MemoryError_(f"access to unmapped address {address:#010x}")
 
     def read_word(self, address: int) -> int:
-        self._check(address, for_write=False)
-        return (self._bytes.get(address, 0)
-                | (self._bytes.get(address + 1, 0) << 8)
-                | (self._bytes.get(address + 2, 0) << 16)
-                | (self._bytes.get(address + 3, 0) << 24))
+        offset = address - self._flash_start
+        if 0 <= offset < self._flash_size:
+            buffer = self._flash_bytes
+        else:
+            offset = address - self._ram_start
+            if 0 <= offset < self._ram_size:
+                buffer = self._ram_bytes
+            else:
+                raise MemoryError_(
+                    f"access to unmapped address {address:#010x}")
+        # A slice past the region end truncates, so the missing high bytes
+        # read as zero — same as unmapped bytes always have.
+        return int.from_bytes(buffer[offset:offset + 4], "little")
 
     def write_word(self, address: int, value: int, initializing: bool = False) -> None:
-        if not initializing:
-            self._check(address, for_write=True)
         value &= 0xFFFFFFFF
-        self._bytes[address] = value & 0xFF
-        self._bytes[address + 1] = (value >> 8) & 0xFF
-        self._bytes[address + 2] = (value >> 16) & 0xFF
-        self._bytes[address + 3] = (value >> 24) & 0xFF
+        offset = address - self._ram_start
+        if 0 <= offset < self._ram_size:
+            buffer = self._ram_bytes
+        else:
+            offset = address - self._flash_start
+            if 0 <= offset < self._flash_size:
+                if not (initializing or self.allow_flash_writes):
+                    raise MemoryError_(
+                        f"write to flash address {address:#010x} at runtime")
+                buffer = self._flash_bytes
+            else:
+                if initializing:
+                    return
+                raise MemoryError_(
+                    f"access to unmapped address {address:#010x}")
+        end = offset + 4
+        if end <= len(buffer):
+            buffer[offset:end] = value.to_bytes(4, "little")
+        else:
+            data = value.to_bytes(4, "little")
+            for i in range(len(buffer) - offset):
+                buffer[offset + i] = data[i]
+
+    # ------------------------------------------------------------------ #
+    # Fused access + region classification: the load/store handlers need
+    # both the value and the data region for energy accounting, and paying
+    # the bounds tests once per access instead of twice is measurable on
+    # memory-heavy kernels.
+    # ------------------------------------------------------------------ #
+    def read_word_region(self, address: int):
+        offset = address - self._flash_start
+        if 0 <= offset < self._flash_size:
+            return (int.from_bytes(self._flash_bytes[offset:offset + 4],
+                                   "little"), "flash")
+        offset = address - self._ram_start
+        if 0 <= offset < self._ram_size:
+            return (int.from_bytes(self._ram_bytes[offset:offset + 4],
+                                   "little"), "ram")
+        raise MemoryError_(f"access to unmapped address {address:#010x}")
+
+    def read_byte_region(self, address: int):
+        offset = address - self._flash_start
+        if 0 <= offset < self._flash_size:
+            return self._flash_bytes[offset], "flash"
+        offset = address - self._ram_start
+        if 0 <= offset < self._ram_size:
+            return self._ram_bytes[offset], "ram"
+        raise MemoryError_(f"access to unmapped address {address:#010x}")
+
+    def write_word_region(self, address: int, value: int) -> str:
+        offset = address - self._ram_start
+        if 0 <= offset < self._ram_size:
+            end = offset + 4
+            value &= 0xFFFFFFFF
+            if end <= self._ram_size:
+                self._ram_bytes[offset:end] = value.to_bytes(4, "little")
+            else:
+                data = value.to_bytes(4, "little")
+                for i in range(self._ram_size - offset):
+                    self._ram_bytes[offset + i] = data[i]
+            return "ram"
+        # Flash write (raises unless allow_flash_writes) or unmapped (raises).
+        region = self._check(address, for_write=True)
+        self.write_word(address, value)  # pragma: no cover - flash writes
+        return region  # pragma: no cover
+
+    def write_byte_region(self, address: int, value: int) -> str:
+        offset = address - self._ram_start
+        if 0 <= offset < self._ram_size:
+            self._ram_bytes[offset] = value & 0xFF
+            return "ram"
+        region = self._check(address, for_write=True)
+        self.write_byte(address, value)  # pragma: no cover - flash writes
+        return region  # pragma: no cover
 
     # ------------------------------------------------------------------ #
     def load_words(self, address: int, words, initializing: bool = True) -> None:
