@@ -3,16 +3,31 @@
 The graph-based analyses (dominators, natural loops, loop depth, static
 execution-frequency estimation) are written against a generic CFG description
 (entry block name + successor map) so they can be reused unchanged on IR
-functions and on machine functions.
+functions and on machine functions.  On top of them sit a generic worklist
+dataflow solver (:mod:`repro.analysis.dataflow`), the machine-code lint
+(:mod:`repro.analysis.verifier`), Wu–Larus static branch frequencies
+(:mod:`repro.analysis.wu_larus`) and the superblock invariant auditor
+(:mod:`repro.analysis.superblock_audit`).
 """
 
 from repro.analysis.cfg import CFGView, cfg_of_ir_function, reachable_blocks
 from repro.analysis.dominators import compute_dominators, immediate_dominators
 from repro.analysis.loops import NaturalLoop, find_natural_loops, loop_depths
-from repro.analysis.frequency import estimate_block_frequencies, DEFAULT_LOOP_WEIGHT
+from repro.analysis.frequency import (estimate_block_frequencies,
+                                      DEFAULT_LOOP_WEIGHT, MAX_BLOCK_FREQUENCY)
 from repro.analysis.liveness import compute_liveness, LivenessInfo
 from repro.analysis.callgraph import build_call_graph, CallGraph
 from repro.analysis.stack_usage import estimate_stack_usage, StackUsageReport
+from repro.analysis.dataflow import (DataflowResult, solve_dataflow,
+                                     FORWARD, BACKWARD, MAY, MUST)
+from repro.analysis.verifier import (Diagnostic, MachineVerifier,
+                                     verify_machine_program)
+from repro.analysis.wu_larus import (branch_probabilities,
+                                     wu_larus_frequencies,
+                                     LOOP_BRANCH_PROBABILITY,
+                                     MAX_CYCLIC_PROBABILITY)
+from repro.analysis.superblock_audit import (AuditFinding, audit_superblock,
+                                             audit_program_superblocks)
 
 __all__ = [
     "CFGView",
@@ -25,10 +40,27 @@ __all__ = [
     "loop_depths",
     "estimate_block_frequencies",
     "DEFAULT_LOOP_WEIGHT",
+    "MAX_BLOCK_FREQUENCY",
     "compute_liveness",
     "LivenessInfo",
     "build_call_graph",
     "CallGraph",
     "estimate_stack_usage",
     "StackUsageReport",
+    "DataflowResult",
+    "solve_dataflow",
+    "FORWARD",
+    "BACKWARD",
+    "MAY",
+    "MUST",
+    "Diagnostic",
+    "MachineVerifier",
+    "verify_machine_program",
+    "branch_probabilities",
+    "wu_larus_frequencies",
+    "LOOP_BRANCH_PROBABILITY",
+    "MAX_CYCLIC_PROBABILITY",
+    "AuditFinding",
+    "audit_superblock",
+    "audit_program_superblocks",
 ]

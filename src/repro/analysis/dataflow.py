@@ -1,0 +1,114 @@
+"""Generic worklist dataflow framework.
+
+Analyses are phrased over a :class:`CFGView` (entry block + successor map)
+with a per-block transfer function, a direction and a lattice join, so the
+same solver backs liveness (backward/may), the machine verifier's
+defined-register analysis (forward/may) and the reaching-flags analysis
+(forward/must).  Values are frozensets of arbitrary hashable facts.
+
+The solver seeds the worklist with *every* block — including blocks not
+reachable from the entry — so clients that want a fixpoint over dead code
+(liveness feeding the register allocator does) get one, and iterates in
+reverse post-order (forward) or post-order (backward), which converges in
+a couple of passes on reducible graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Optional
+
+from repro.analysis.cfg import CFGView, reverse_postorder
+
+FORWARD = "forward"
+BACKWARD = "backward"
+MAY = "may"    # union join (facts that hold on *some* path)
+MUST = "must"  # intersection join (facts that hold on *every* path)
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint of a dataflow problem.
+
+    ``in_values[b]`` is the joined value flowing *into* the transfer function
+    of block ``b`` — the block-start value for a forward analysis, the
+    block-end value for a backward one.  ``out_values[b]`` is the transfer
+    function's result on that input.
+    """
+
+    in_values: Dict[str, FrozenSet]
+    out_values: Dict[str, FrozenSet]
+
+
+def solve_dataflow(cfg: CFGView,
+                   transfer: Callable[[str, FrozenSet], Iterable],
+                   *,
+                   direction: str = FORWARD,
+                   join: str = MAY,
+                   boundary: Iterable = (),
+                   init: Optional[Iterable] = None) -> DataflowResult:
+    """Solve a dataflow problem to its least (may) / greatest (must) fixpoint.
+
+    ``transfer(name, value)`` maps a block's joined input value to its output
+    value.  ``boundary`` is the value at the graph boundary: the entry block
+    for forward problems, blocks without (known) successors for backward
+    ones.  ``init`` is the starting value of every block's output — it
+    defaults to the empty set for may-problems and is *required* for
+    must-problems, where it plays the role of the lattice top (the universe
+    of facts); intersection from an empty starting value would pin every
+    block to the bottom.
+    """
+    if direction not in (FORWARD, BACKWARD):
+        raise ValueError(f"unknown direction {direction!r}")
+    if join not in (MAY, MUST):
+        raise ValueError(f"unknown join {join!r}")
+    if join == MUST and init is None:
+        raise ValueError("must-analyses need an explicit init (universe) value")
+    boundary_value = frozenset(boundary)
+    init_value = frozenset(init) if init is not None else frozenset()
+
+    names = list(cfg.successors)
+    known_succs = {name: [s for s in succs if s in cfg.successors]
+                   for name, succs in cfg.successors.items()}
+    if direction == FORWARD:
+        join_sources = cfg.predecessors()
+        propagate_to = known_succs
+    else:
+        join_sources = known_succs
+        propagate_to = cfg.predecessors()
+
+    order = reverse_postorder(cfg)
+    in_order = set(order)
+    order += [name for name in names if name not in in_order]
+    if direction == BACKWARD:
+        order.reverse()
+
+    in_values: Dict[str, FrozenSet] = {}
+    out_values: Dict[str, FrozenSet] = {name: init_value for name in names}
+
+    pending = deque(order)
+    on_list = set(order)
+    while pending:
+        name = pending.popleft()
+        on_list.discard(name)
+        inputs = [out_values[source] for source in join_sources[name]]
+        at_boundary = (name == cfg.entry if direction == FORWARD
+                       else not cfg.successors[name])
+        if at_boundary:
+            inputs.append(boundary_value)
+        if not inputs:
+            joined = init_value if join == MUST else frozenset()
+        elif join == MAY:
+            joined = frozenset().union(*inputs)
+        else:
+            joined = inputs[0].intersection(*inputs[1:])
+        new_out = frozenset(transfer(name, joined))
+        if joined != in_values.get(name) or new_out != out_values[name]:
+            in_values[name] = joined
+            out_values[name] = new_out
+            for target in propagate_to[name]:
+                if target not in on_list:
+                    on_list.add(target)
+                    pending.append(target)
+    return DataflowResult(in_values=in_values, out_values=out_values)

@@ -50,10 +50,10 @@ def immediate_dominators(cfg: CFGView) -> Dict[str, Optional[str]]:
             continue
         strict = doms - {name}
         # The immediate dominator is the strict dominator dominated by all
-        # other strict dominators.
+        # other strict dominators (the deepest one in the dominator tree).
         best = None
         for candidate in strict:
-            if all(candidate in dominators[other] or candidate == other
+            if all(other in dominators[candidate] or candidate == other
                    for other in strict):
                 best = candidate
                 break

@@ -19,6 +19,14 @@ from repro.analysis.loops import loop_depths
 #: that a rough estimate suffices.
 DEFAULT_LOOP_WEIGHT = 10
 
+#: Ceiling on an estimated block frequency.  ``loop_weight ** depth`` grows
+#: without bound on deep (fuzz-generated) loop nests, and the placement code
+#: converts frequencies to floats where huge ints overflow.  10**9 is far
+#: above anything a real BEEBS nest reaches (depth <= 4 at the default
+#: weight gives 10**4) while staying exactly representable as a float, so
+#: clamping never changes results on the benchmark suite.
+MAX_BLOCK_FREQUENCY = 10 ** 9
+
 
 def estimate_block_frequencies(cfg: CFGView,
                                loop_weight: int = DEFAULT_LOOP_WEIGHT,
@@ -26,7 +34,8 @@ def estimate_block_frequencies(cfg: CFGView,
     """Estimate how many times each block executes per function invocation.
 
     Returns ``entry_frequency * loop_weight ** depth(block)`` for reachable
-    blocks and 0 for unreachable ones.
+    blocks — clamped to :data:`MAX_BLOCK_FREQUENCY` — and 0 for unreachable
+    ones.
     """
     depths = loop_depths(cfg)
     reachable = reachable_blocks(cfg)
@@ -35,5 +44,7 @@ def estimate_block_frequencies(cfg: CFGView,
         if name not in reachable:
             frequencies[name] = 0
         else:
-            frequencies[name] = entry_frequency * (loop_weight ** depths[name])
+            frequencies[name] = min(
+                entry_frequency * (loop_weight ** depths[name]),
+                MAX_BLOCK_FREQUENCY)
     return frequencies

@@ -1,15 +1,22 @@
-"""Backward liveness analysis over virtual registers.
+"""Backward liveness analysis over virtual (or machine) registers.
 
 Works on any function-like object whose blocks expose ``all_instructions()``
 and ``successors()`` and whose instructions expose ``defs()`` and ``uses()``
 (the machine representation before register allocation does).  The register
 allocator consumes the per-block live-out sets and derives live intervals.
+
+The fixpoint itself is delegated to the generic worklist solver in
+:mod:`repro.analysis.dataflow` as a backward may-problem: a register is live
+out of a block if it is live into *some* successor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, Set
+
+from repro.analysis.cfg import CFGView
+from repro.analysis.dataflow import BACKWARD, MAY, solve_dataflow
 
 
 @dataclass
@@ -26,11 +33,13 @@ def compute_liveness(function, only_virtual: bool = True) -> LivenessInfo:
     """Compute live-in/live-out sets for every block of *function*.
 
     With ``only_virtual`` (the default) physical registers are ignored, which
-    is what the linear-scan allocator wants; the simulator never needs
-    liveness.
+    is what the linear-scan allocator wants; ``only_virtual=False`` analyses
+    the post-allocation machine registers instead.
     """
     info = LivenessInfo()
     blocks = list(function.iter_blocks())
+    if not blocks:
+        return info
 
     def keep(reg) -> bool:
         return (not only_virtual) or getattr(reg, "virtual", False)
@@ -47,20 +56,16 @@ def compute_liveness(function, only_virtual: bool = True) -> LivenessInfo:
                     def_set.add(reg)
         info.use[block.name] = use_set
         info.defs[block.name] = def_set
-        info.live_in[block.name] = set()
-        info.live_out[block.name] = set()
 
-    changed = True
-    while changed:
-        changed = False
-        for block in reversed(blocks):
-            name = block.name
-            live_out: Set = set()
-            for succ in block.successors():
-                live_out |= info.live_in.get(succ, set())
-            live_in = info.use[name] | (live_out - info.defs[name])
-            if live_out != info.live_out[name] or live_in != info.live_in[name]:
-                info.live_out[name] = live_out
-                info.live_in[name] = live_in
-                changed = True
+    cfg = CFGView(entry=blocks[0].name,
+                  successors={block.name: list(block.successors())
+                              for block in blocks})
+
+    def transfer(name: str, live_out):
+        return info.use[name] | (live_out - info.defs[name])
+
+    result = solve_dataflow(cfg, transfer, direction=BACKWARD, join=MAY)
+    for block in blocks:
+        info.live_out[block.name] = set(result.in_values.get(block.name, ()))
+        info.live_in[block.name] = set(result.out_values.get(block.name, ()))
     return info

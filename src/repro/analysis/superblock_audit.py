@@ -1,0 +1,263 @@
+"""Static invariant auditor for trace-compiled superblocks.
+
+PR 6's superblocks are ``exec``-generated straight-line functions whose
+correctness is otherwise only checked *dynamically* (bitwise parity against
+the interpreted oracle on the paths a benchmark happens to execute).  This
+auditor statically checks every compiled :class:`SuperblockNode` against the
+decode-once records of its source block — the same
+:class:`~repro.sim.decode.DecodedInstr` objects superblock compilation
+consumed, because ``predecode`` caches per block and generation:
+
+* **step coverage** — the handler closures referenced by the node's steps
+  are exactly the block's decoded records, in program order, each once;
+  a dropped or duplicated handler would silently skip or repeat
+  architectural effects;
+* **side-exit guard completeness** — every control-transfer record
+  (``b``/``bcc``/``cbz``/``cbnz``/``bl``/``bx``/``ldr pc``/``pop {…,pc}``)
+  is compiled as a guard step with the correct conditionality, and nothing
+  else is; a transfer hidden inside a batch would escape the side-exit
+  check and corrupt the simulated control flow;
+* **energy-key conservation** — each step's cycle counts and
+  ``(cycles, fetch_region, class, data_region)`` energy keys re-derive
+  exactly from the record's static metadata and the block's section,
+  including the RAM-contention stall rules; a wrong key is *silent* energy
+  corruption (the run completes, Figure 5 numbers are just wrong);
+* **chain consistency** — ``chain_next``/``next_index`` link node *i* to
+  node *i+1* (wrapping only for loop traces) and ``fall_payload`` matches
+  the block's recorded fallthrough edge.
+
+Run it over a program's live superblock state with
+:func:`audit_program_superblocks` (wired into ``repro-eval analyze``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Opcode
+from repro.isa.registers import PC
+from repro.isa.timing import RAM_CONTENTION_STALL
+from repro.machine.program import MachineProgram
+from repro.sim.decode import DecodedInstr, predecode
+from repro.sim.superblock import (
+    _DYNAMIC_MEM_OPS,
+    _PURE_OPS,
+    STEP_BATCH,
+    STEP_CTRL,
+    STEP_MEM,
+    Superblock,
+    SuperblockNode,
+)
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One invariant violation in a compiled superblock."""
+
+    rule: str          # step-coverage | side-exit | energy-keys | chain
+    superblock: str    # entry block key of the owning superblock
+    node: str          # block key of the offending node
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.superblock} node {self.node}: {self.message}"
+
+
+def _expected_shape(record: DecodedInstr, fetch_is_ram: bool,
+                    static_data_region: str) -> Tuple[str, Optional[str], int]:
+    """(step kind, data region, taken-cycles) the compiler must have used."""
+    op = record.instr.opcode
+    if op in _PURE_OPS:
+        return "batch", None, record.cycles_taken
+    if op is Opcode.LDR_LIT:
+        cycles = record.cycles_taken
+        if fetch_is_ram and static_data_region == "ram":
+            cycles += RAM_CONTENTION_STALL
+        return "batch", static_data_region, cycles
+    if op is Opcode.PUSH:
+        return "batch", "ram", record.cycles_taken
+    if op is Opcode.POP and not any(reg.index == PC.index for reg
+                                    in record.instr.operands[0].regs):
+        return "batch", "ram", record.cycles_taken
+    if op in _DYNAMIC_MEM_OPS:
+        return "mem", None, record.cycles_taken
+    if op is Opcode.LDR_PC_LIT:
+        return "ctrl", static_data_region, record.cycles_taken
+    if op is Opcode.POP:
+        return "ctrl", "ram", record.cycles_taken
+    return "ctrl", None, record.cycles_taken
+
+
+def _audit_node(program: MachineProgram, sb_key: str, node: SuperblockNode,
+                findings: List[AuditFinding]) -> None:
+    def report(rule: str, message: str) -> None:
+        findings.append(AuditFinding(rule, sb_key, node.key, message))
+
+    function = program.functions.get(node.function_name)
+    block = None if function is None else function.blocks.get(node.block_name)
+    if block is None:
+        report("chain", "node references a block the program does not define")
+        return
+    if node.key != program.block_key(block):
+        report("chain", f"node key {node.key!r} does not match its payload")
+
+    decoded = predecode(program, block)
+    if not decoded.chainable:
+        report("step-coverage", "source block is not chainable (predicated "
+                                "or deferred-error records)")
+        return
+    if node.fetch_region != decoded.fetch_region:
+        report("energy-keys",
+               f"node fetch region {node.fetch_region!r} != block section "
+               f"region {decoded.fetch_region!r}")
+    static_data_region = "ram" if block.section == "ram" else "flash"
+
+    expected_fall = (None if block.fallthrough is None
+                     else (node.function_name, block.fallthrough))
+    if node.fall_payload != expected_fall:
+        report("chain", f"fall_payload {node.fall_payload!r} does not match "
+                        f"the block's fallthrough edge {expected_fall!r}")
+
+    # --- step coverage: the steps' handlers are the records, in order ----- #
+    step_runs: List[object] = []
+    for step in node.steps:
+        if step[0] == STEP_BATCH:
+            step_runs.extend(step[1])
+        else:
+            step_runs.append(step[1])
+    record_runs = [record.run for record in decoded.records]
+    if not all(a is b for a, b in zip(step_runs, record_runs)) \
+            or len(step_runs) != len(record_runs):
+        report("step-coverage",
+               f"steps reference {len(step_runs)} handlers but the decoded "
+               f"block has {len(record_runs)}, or the order/identity differs")
+        return  # per-step key checks below would misalign
+
+    # --- per-step classification and energy-key conservation -------------- #
+    position = 0
+    for step in node.steps:
+        if step[0] == STEP_BATCH:
+            _tag, runs, n, cycles, energy_items = step
+            if n != len(runs):
+                report("energy-keys",
+                       f"batch claims {n} instructions for {len(runs)} handlers")
+            expected_cycles = 0
+            expected_energy: Dict[tuple, int] = {}
+            for _ in runs:
+                record = decoded.records[position]
+                position += 1
+                kind, region, taken = _expected_shape(
+                    record, decoded.fetch_is_ram, static_data_region)
+                if kind != "batch":
+                    report("side-exit",
+                           f"{record.instr.opcode} (a {kind} instruction) is "
+                           f"hidden inside a batch step")
+                    continue
+                expected_cycles += taken
+                key = (taken, decoded.fetch_region, record.klass_value, region)
+                expected_energy[key] = expected_energy.get(key, 0) + 1
+            if cycles != expected_cycles:
+                report("energy-keys",
+                       f"batch cycles {cycles} != re-derived {expected_cycles}")
+            if dict(energy_items) != expected_energy:
+                report("energy-keys",
+                       f"batch energy items {sorted(dict(energy_items).items(), key=repr)} "
+                       f"!= re-derived {sorted(expected_energy.items(), key=repr)}")
+        elif step[0] == STEP_MEM:
+            _tag, _run, cycles, ekey_ram, ekey_flash, ekey_none = step
+            record = decoded.records[position]
+            position += 1
+            kind, _region, taken = _expected_shape(
+                record, decoded.fetch_is_ram, static_data_region)
+            if kind != "mem":
+                report("side-exit",
+                       f"{record.instr.opcode} (a {kind} instruction) is "
+                       f"compiled as a dynamic-memory step")
+                continue
+            stalled = taken + RAM_CONTENTION_STALL if decoded.fetch_is_ram else taken
+            expected = (
+                cycles == taken
+                and ekey_ram == (stalled, decoded.fetch_region,
+                                 record.klass_value, "ram")
+                and ekey_flash == (taken, decoded.fetch_region,
+                                   record.klass_value, "flash")
+                and ekey_none == (taken, decoded.fetch_region,
+                                  record.klass_value, None))
+            if not expected:
+                report("energy-keys",
+                       f"memory step keys for `{record.instr}` do not "
+                       f"re-derive from the record metadata")
+        else:  # STEP_CTRL
+            _tag, _run, conditional, cycles, ekey_taken, cycles_nt, ekey_nt = step
+            record = decoded.records[position]
+            position += 1
+            kind, region, taken = _expected_shape(
+                record, decoded.fetch_is_ram, static_data_region)
+            if kind != "ctrl":
+                report("side-exit",
+                       f"{record.instr.opcode} (a {kind} instruction) is "
+                       f"compiled as a control guard step")
+                continue
+            if bool(conditional) != bool(record.conditional):
+                report("side-exit",
+                       f"guard for `{record.instr}` has conditional="
+                       f"{conditional!r}, record says {record.conditional!r}")
+            expected = (
+                cycles == taken
+                and cycles_nt == record.cycles_not_taken
+                and ekey_taken == (taken, decoded.fetch_region,
+                                   record.klass_value, region)
+                and ekey_nt == (record.cycles_not_taken, decoded.fetch_region,
+                                record.klass_value, region))
+            if not expected:
+                report("energy-keys",
+                       f"guard step keys for `{record.instr}` do not "
+                       f"re-derive from the record metadata")
+
+
+def audit_superblock(program: MachineProgram,
+                     sb: Superblock) -> List[AuditFinding]:
+    """Audit one superblock; returns all invariant violations found."""
+    findings: List[AuditFinding] = []
+    sb_key = "{}:{}".format(*sb.entry_payload)
+    if not sb.nodes:
+        findings.append(AuditFinding("chain", sb_key, sb_key,
+                                     "superblock has no nodes"))
+        return findings
+    if sb.entry_payload != sb.nodes[0].payload:
+        findings.append(AuditFinding(
+            "chain", sb_key, sb.nodes[0].key,
+            f"entry payload {sb.entry_payload!r} is not the first node"))
+    for index, node in enumerate(sb.nodes):
+        if index + 1 < len(sb.nodes):
+            want_next, want_index = sb.nodes[index + 1].payload, index + 1
+        elif sb.loop:
+            want_next, want_index = sb.nodes[0].payload, 0
+        else:
+            want_next, want_index = None, -1
+        if node.chain_next != want_next or node.next_index != want_index:
+            findings.append(AuditFinding(
+                "chain", sb_key, node.key,
+                f"chain link ({node.chain_next!r}, {node.next_index}) != "
+                f"expected ({want_next!r}, {want_index})"))
+        _audit_node(program, sb_key, node, findings)
+    return findings
+
+
+def audit_program_superblocks(program: MachineProgram
+                              ) -> Tuple[int, List[AuditFinding]]:
+    """Audit every superblock currently installed on *program*.
+
+    Returns ``(nodes_checked, findings)``; ``nodes_checked`` counts audited
+    :class:`SuperblockNode` instances so callers can assert the audit
+    actually saw the traces a run compiled.
+    """
+    superblocks, _hot_counts = program.superblock_state()
+    findings: List[AuditFinding] = []
+    checked = 0
+    for payload in sorted(superblocks):
+        sb = superblocks[payload]
+        checked += len(sb.nodes)
+        findings.extend(audit_superblock(program, sb))
+    return checked, findings

@@ -1,0 +1,311 @@
+"""Machine-level lint over :class:`MachineProgram`.
+
+The verifier statically catches the bug classes that otherwise only surface
+as simulator crashes (``fell off the end``, unknown-symbol decode errors,
+stack running into the data section) or as *silent* energy corruption (CFG
+edge metadata diverging from the instruction stream feeds wrong frequencies
+into the placement cost model).  It runs after codegen and after the
+flash/RAM placement transformation, and is wired into CI over every BEEBS
+benchmark at every optimization level via ``repro-eval analyze --lint``.
+
+Rule catalogue (see DESIGN.md for the failure each rule pre-empts):
+
+``entry``             program entry function missing
+``reg-undef``         read of a register no path ever defined
+``flags-undef``       bcc/it with no flag-setting cmp on some incoming path
+``branch-target``     branch instruction targeting an unknown block
+``edge-metadata``     successor metadata inconsistent with the instructions
+``fallthrough``       control can fall off the end of a block
+``unreachable``       block not reachable from the function entry
+``call-target``       ``bl`` to a function the program does not define
+``call-graph``        ``bl`` present but ``makes_calls`` unset (frame lies)
+``stack-depth``       static worst-case stack exceeds the layout's reserve
+
+The register and flag rules are phrased as dataflow problems on the generic
+worklist solver: defined-registers is a forward may-analysis (a register is
+usable if *some* path defined it — the simulator zero-initialises, so only
+never-defined reads are bugs), reaching-flags is a forward must-analysis
+(flags must be set on *every* incoming path for a conditional to be
+meaningful).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.analysis.cfg import CFGView, reachable_blocks
+from repro.analysis.dataflow import FORWARD, MAY, MUST, solve_dataflow
+from repro.analysis.stack_usage import estimate_stack_usage
+from repro.isa.instructions import MachineInstr, Opcode, RegList, Sym
+from repro.isa.registers import ARG_REGS, LR, R0, SP, Reg
+from repro.machine.blocks import MachineBlock, MachineFunction, TerminatorKind
+from repro.machine.program import MachineProgram
+
+#: The single dataflow fact tracked by the reaching-flags analysis.
+_FLAGS = "flags"
+
+#: Opcodes that branch directly to a block label of the same function.
+_BLOCK_BRANCHES = {Opcode.B, Opcode.BCC, Opcode.CBZ, Opcode.CBNZ,
+                   Opcode.LDR_PC_LIT}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    rule: str
+    function: str
+    block: Optional[str]
+    message: str
+
+    def __str__(self) -> str:
+        where = self.function if self.block is None else \
+            f"{self.function}/{self.block}"
+        return f"[{self.rule}] {where}: {self.message}"
+
+
+def _branch_target_name(instr: MachineInstr) -> Optional[str]:
+    """The block label a direct branch jumps to, or None."""
+    if instr.opcode in (Opcode.B, Opcode.BCC, Opcode.LDR_PC_LIT):
+        operand = instr.operands[0]
+    elif instr.opcode in (Opcode.CBZ, Opcode.CBNZ):
+        operand = instr.operands[1]
+    else:
+        return None
+    return operand.name if isinstance(operand, Sym) else None
+
+
+class MachineVerifier:
+    """Lint a machine program; collect :class:`Diagnostic` records."""
+
+    def __init__(self, program: MachineProgram, stack_reserve: int = 1024):
+        self.program = program
+        self.stack_reserve = stack_reserve
+        self.diagnostics: List[Diagnostic] = []
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> List[Diagnostic]:
+        self.diagnostics = []
+        if self.program.entry not in self.program.functions:
+            self._report("entry", self.program.entry, None,
+                         "program entry function is not defined")
+        for function in self.program.iter_functions():
+            if not function.block_order:
+                self._report("fallthrough", function.name, None,
+                             "function has no blocks")
+                continue
+            cfg = _cfg_of_function(function)
+            reachable = reachable_blocks(cfg)
+            self._check_structure(function, reachable)
+            self._check_calls(function)
+            self._check_defined_registers(function, cfg, reachable)
+            self._check_flags(function, cfg, reachable)
+        self._check_stack_depth()
+        return self.diagnostics
+
+    # ------------------------------------------------------------------ #
+    def _report(self, rule: str, function: str, block: Optional[str],
+                message: str) -> None:
+        self.diagnostics.append(Diagnostic(rule, function, block, message))
+
+    # ------------------------------------------------------------------ #
+    # CFG structure: branch targets, edge metadata, fallthrough, reach
+    # ------------------------------------------------------------------ #
+    def _check_structure(self, function: MachineFunction,
+                         reachable: Set[str]) -> None:
+        for block in function.iter_blocks():
+            if block.name not in reachable:
+                self._report("unreachable", function.name, block.name,
+                             "block is not reachable from the function entry")
+
+            static_targets: List[str] = []
+            for index, instr in enumerate(block.instructions):
+                target = _branch_target_name(instr)
+                if instr.opcode in _BLOCK_BRANCHES and target is not None:
+                    if target not in function.blocks:
+                        self._report(
+                            "branch-target", function.name, block.name,
+                            f"{instr.opcode} targets unknown block {target!r}")
+                    else:
+                        static_targets.append(target)
+                if instr.is_terminator and index != len(block.instructions) - 1:
+                    # The only legal non-final terminator is the conditional
+                    # half of a `b<cc>/cbz + b` two-way pair.
+                    is_pair = (index == len(block.instructions) - 2
+                               and instr.opcode in (Opcode.BCC, Opcode.CBZ,
+                                                    Opcode.CBNZ)
+                               and block.instructions[-1].opcode is Opcode.B)
+                    if not is_pair:
+                        self._report(
+                            "edge-metadata", function.name, block.name,
+                            f"control transfer {instr.opcode} is not the "
+                            f"block terminator (instruction {index})")
+
+            successors = block.successors()
+            for succ in successors:
+                if succ not in function.blocks:
+                    self._report("edge-metadata", function.name, block.name,
+                                 f"successor metadata names unknown block "
+                                 f"{succ!r}")
+            for target in static_targets:
+                if target not in successors:
+                    self._report(
+                        "edge-metadata", function.name, block.name,
+                        f"branch to {target!r} missing from successor "
+                        f"metadata {successors!r}")
+
+            kind = block.terminator_kind()
+            if kind is TerminatorKind.FALLTHROUGH and block.fallthrough is None:
+                self._report("fallthrough", function.name, block.name,
+                             "control falls off the end of the block")
+            if kind in (TerminatorKind.CONDITIONAL,
+                        TerminatorKind.SHORT_CONDITIONAL):
+                last = block.instructions[-1]
+                if last.opcode is not Opcode.B and block.fallthrough is None:
+                    self._report("fallthrough", function.name, block.name,
+                                 "conditional terminator has no not-taken "
+                                 "successor")
+
+    # ------------------------------------------------------------------ #
+    # Call consistency with the callgraph and frame flags
+    # ------------------------------------------------------------------ #
+    def _check_calls(self, function: MachineFunction) -> None:
+        has_call = False
+        for block in function.iter_blocks():
+            for instr in block.instructions:
+                if instr.opcode is not Opcode.BL:
+                    continue
+                has_call = True
+                target = instr.operands[0] if instr.operands else None
+                name = getattr(target, "name", None)
+                if name is None or name not in self.program.functions:
+                    self._report("call-target", function.name, block.name,
+                                 f"bl to unknown function {name!r}")
+        if has_call and not function.makes_calls:
+            # The frame lowering uses makes_calls to reserve the LR save
+            # slot; a lying flag corrupts the return address on the stack.
+            self._report("call-graph", function.name, None,
+                         "function contains bl but makes_calls is False")
+
+    # ------------------------------------------------------------------ #
+    # Defined-register analysis (forward, may)
+    # ------------------------------------------------------------------ #
+    def _entry_defined(self, function: MachineFunction) -> FrozenSet[Reg]:
+        args = ARG_REGS[:min(function.num_params, len(ARG_REGS))]
+        return frozenset(args) | {SP, LR}
+
+    def _instr_defs(self, instr: MachineInstr) -> List[Reg]:
+        if instr.opcode is Opcode.BL:
+            # The callee returns in r0 and leaves LR re-usable.
+            return [R0, LR]
+        return instr.defs()
+
+    def _instr_uses(self, instr: MachineInstr) -> List[Reg]:
+        if instr.opcode is Opcode.BL:
+            target = instr.operands[0] if instr.operands else None
+            callee = self.program.functions.get(getattr(target, "name", None))
+            if callee is None:
+                return []
+            return list(ARG_REGS[:min(callee.num_params, len(ARG_REGS))])
+        if instr.opcode is Opcode.PUSH:
+            # Prologue pushes save callee-saved registers whose incoming
+            # values belong to the caller: reading them is the whole point.
+            return []
+        return instr.uses()
+
+    def _check_defined_registers(self, function: MachineFunction,
+                                 cfg: CFGView, reachable: Set[str]) -> None:
+        def transfer(name: str, defined):
+            out = set(defined)
+            for instr in function.blocks[name].instructions:
+                out.update(self._instr_defs(instr))
+            return out
+
+        result = solve_dataflow(cfg, transfer, direction=FORWARD, join=MAY,
+                                boundary=self._entry_defined(function))
+        for block in function.iter_blocks():
+            if block.name not in reachable:
+                continue
+            defined = set(result.in_values.get(block.name, ()))
+            reported: Set[Reg] = set()
+            for instr in block.instructions:
+                for reg in self._instr_uses(instr):
+                    if reg not in defined and reg not in reported:
+                        reported.add(reg)
+                        self._report(
+                            "reg-undef", function.name, block.name,
+                            f"{reg.name} is read by `{instr}` but never "
+                            f"defined on any path")
+                defined.update(self._instr_defs(instr))
+
+    # ------------------------------------------------------------------ #
+    # Reaching-flags analysis (forward, must)
+    # ------------------------------------------------------------------ #
+    def _check_flags(self, function: MachineFunction, cfg: CFGView,
+                     reachable: Set[str]) -> None:
+        def transfer(name: str, flags):
+            state = _FLAGS in flags
+            for instr in function.blocks[name].instructions:
+                if instr.opcode is Opcode.CMP:
+                    state = True
+                elif instr.opcode is Opcode.BL:
+                    # The callee's own compares leave unrelated flag values.
+                    state = False
+            return {_FLAGS} if state else ()
+
+        result = solve_dataflow(cfg, transfer, direction=FORWARD, join=MUST,
+                                boundary=(), init={_FLAGS})
+        for block in function.iter_blocks():
+            if block.name not in reachable:
+                continue
+            state = _FLAGS in result.in_values.get(block.name, frozenset())
+            reported = False
+            for instr in block.instructions:
+                reads_flags = (instr.opcode in (Opcode.BCC, Opcode.IT)
+                               or instr.predicated)
+                if reads_flags and not state and not reported:
+                    reported = True
+                    self._report(
+                        "flags-undef", function.name, block.name,
+                        f"`{instr}` reads condition flags that are not set "
+                        f"on every incoming path")
+                if instr.opcode is Opcode.CMP:
+                    state = True
+                elif instr.opcode is Opcode.BL:
+                    state = False
+
+    # ------------------------------------------------------------------ #
+    # Static stack bound vs the layout's reserve
+    # ------------------------------------------------------------------ #
+    def _check_stack_depth(self) -> None:
+        program = self.program
+        if program.entry not in program.functions:
+            return
+        frame_sizes: Dict[str, int] = {}
+        call_edges: Dict[str, Set[str]] = {}
+        for function in program.iter_functions():
+            size = function.frame_size + 4 * len(function.saved_registers)
+            if function.makes_calls:
+                size += 4  # the pushed return address
+            frame_sizes[function.name] = size
+            call_edges[function.name] = set(function.callee_names())
+        report = estimate_stack_usage(frame_sizes, call_edges, program.entry)
+        if report.worst_case > self.stack_reserve:
+            chain = " -> ".join(report.worst_chain)
+            self._report(
+                "stack-depth", program.entry, None,
+                f"static worst-case stack {report.worst_case}B exceeds the "
+                f"layout reserve {self.stack_reserve}B (chain: {chain})")
+
+
+def _cfg_of_function(function: MachineFunction) -> CFGView:
+    return CFGView(entry=function.block_order[0],
+                   successors={block.name: block.successors()
+                               for block in function.iter_blocks()})
+
+
+def verify_machine_program(program: MachineProgram,
+                           stack_reserve: int = 1024) -> List[Diagnostic]:
+    """Run every lint rule over *program*; returns the findings."""
+    return MachineVerifier(program, stack_reserve=stack_reserve).run()

@@ -1,0 +1,149 @@
+"""Wu–Larus style static branch prediction and block-frequency propagation.
+
+Implements the CFG-shape subset of Wu & Larus, "Static branch frequency and
+program profile analysis" (MICRO-27, 1994), which the paper's Section 4.1
+loop-depth weighting approximates very coarsely: instead of ``weight**depth``
+every branch edge gets a heuristic probability (back edges and loop-staying
+edges are likely, loop exits unlikely), loops are contracted innermost-first
+into a single node carrying the expected trip count ``1 / (1 - cp)`` (``cp``
+the loop's cyclic probability, capped below 1), and frequencies propagate
+through the resulting DAG in reverse post-order.
+
+Everything here is bitwise deterministic: loops and latches are processed in
+sorted order and all float accumulation happens in fixed (RPO × predecessor
+list) order, so the same CFG always produces the same frequencies — sweeps
+record them in content-addressed cells and assert bitwise-equal merges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFGView, reverse_postorder
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.loops import NaturalLoop, find_natural_loops
+
+#: Probability that a branch with a loop back edge (or loop-staying edge)
+#: takes it; Wu–Larus report 88% for the loop-branch heuristic.
+LOOP_BRANCH_PROBABILITY = 0.88
+
+#: Cap on a loop's cyclic probability, bounding the implied trip count at
+#: ``1 / (1 - cap)`` ≈ 14 — keeps irreducible or pathological shapes finite.
+MAX_CYCLIC_PROBABILITY = 0.93
+
+
+def _ordered_loops(loops: List[NaturalLoop]) -> List[NaturalLoop]:
+    """Loops innermost-first: by body size, header name breaking ties."""
+    return sorted(loops, key=lambda loop: (len(loop.body), loop.header))
+
+
+def _innermost_loop(loops: List[NaturalLoop], name: str) -> Optional[NaturalLoop]:
+    for loop in loops:  # already innermost-first
+        if name in loop.body:
+            return loop
+    return None
+
+
+def branch_probabilities(cfg: CFGView) -> Dict[Tuple[str, str], float]:
+    """Heuristic probability of every CFG edge ``(block, successor)``.
+
+    Per block the raw weights are: loop back edges and edges staying inside
+    the block's innermost loop score :data:`LOOP_BRANCH_PROBABILITY`, edges
+    leaving it score the complement, everything else 0.5; the weights are
+    then normalised to sum to 1.  Single-successor blocks get probability 1.
+    """
+    dominators = compute_dominators(cfg)
+    loops = _ordered_loops(find_natural_loops(cfg))
+    probabilities: Dict[Tuple[str, str], float] = {}
+
+    for name, successors in cfg.successors.items():
+        targets: List[str] = []
+        for succ in successors:
+            if succ in cfg.successors and succ not in targets:
+                targets.append(succ)
+        if not targets:
+            continue
+        if len(targets) == 1:
+            probabilities[(name, targets[0])] = 1.0
+            continue
+        inner = _innermost_loop(loops, name)
+        weights: List[float] = []
+        for succ in targets:
+            if succ in dominators.get(name, set()):
+                weight = LOOP_BRANCH_PROBABILITY           # back edge
+            elif inner is not None and succ in inner.body:
+                weight = LOOP_BRANCH_PROBABILITY           # stays in loop
+            elif inner is not None:
+                weight = 1.0 - LOOP_BRANCH_PROBABILITY     # exits loop
+            else:
+                weight = 0.5
+            weights.append(weight)
+        total = sum(weights)
+        for succ, weight in zip(targets, weights):
+            probabilities[(name, succ)] = weight / total
+    return probabilities
+
+
+def wu_larus_frequencies(cfg: CFGView, entry_frequency: float = 1.0,
+                         max_cyclic_probability: float = MAX_CYCLIC_PROBABILITY,
+                         ) -> Dict[str, float]:
+    """Expected per-invocation execution frequency of every block.
+
+    Returns a dict over all blocks of *cfg*; blocks unreachable from the
+    entry get frequency 0.0.
+    """
+    probabilities = branch_probabilities(cfg)
+    dominators = compute_dominators(cfg)
+    loops = _ordered_loops(find_natural_loops(cfg))
+    rpo = reverse_postorder(cfg)
+    preds = cfg.predecessors()
+
+    def is_back_edge(source: str, target: str) -> bool:
+        return target in dominators.get(source, set())
+
+    # Expected trip count of each loop, computed innermost-first so outer
+    # loops see their inner loops as single nodes with a known multiplier.
+    multiplier: Dict[str, float] = {}
+
+    def propagate(head: str, region: Optional[Set[str]]) -> Dict[str, float]:
+        """Acyclic frequency propagation (back edges cut) from *head*."""
+        freq: Dict[str, float] = {}
+        for name in rpo:
+            if region is not None and name not in region:
+                continue
+            if name == head:
+                # A head that is itself a loop header (e.g. the function
+                # entry) carries its trip-count multiplier; during its own
+                # loop's local propagation the multiplier does not exist
+                # yet, so this is a no-op there.
+                value = multiplier.get(name, 1.0)
+            else:
+                value = 0.0
+                for pred in preds.get(name, []):
+                    if region is not None and pred not in region:
+                        continue
+                    if is_back_edge(pred, name):
+                        continue
+                    value += freq.get(pred, 0.0) * probabilities.get(
+                        (pred, name), 0.0)
+                if name in multiplier:
+                    value *= multiplier[name]
+            freq[name] = value
+        return freq
+
+    for loop in loops:
+        local = propagate(loop.header, loop.body)
+        cyclic = 0.0
+        for latch in sorted(set(loop.back_edges)):
+            cyclic += local.get(latch, 0.0) * probabilities.get(
+                (latch, loop.header), 0.0)
+        cyclic = min(cyclic, max_cyclic_probability)
+        multiplier[loop.header] = 1.0 / (1.0 - cyclic)
+
+    frequencies = {name: 0.0 for name in cfg.successors}
+    if cfg.entry not in cfg.successors:
+        return frequencies
+    final = propagate(cfg.entry, None)
+    for name, value in final.items():
+        frequencies[name] = value * entry_frequency
+    return frequencies

@@ -42,6 +42,16 @@ a monolithic ``explore`` run of the same axes::
 ``explore --distributed N`` is the one-machine shorthand (coordinator plus
 N spawned local workers); ``--progress`` prints live cells/s + ETA to
 stderr on any path.
+
+``analyze`` is the static-analysis gate: it lints every requested benchmark
+× optimization level with :mod:`repro.analysis.verifier` (pristine and
+again after a placement pass rewrites the code), simulates the optimized
+program and audits every compiled superblock against its decode-once
+records (:mod:`repro.analysis.superblock_audit`), printing each finding and
+exiting non-zero if there are any::
+
+    repro-eval analyze                       # lint + audit, all benchmarks
+    repro-eval analyze --lint --levels O2    # lint only, one level
 """
 
 from __future__ import annotations
@@ -53,9 +63,13 @@ from typing import List, Optional
 
 from repro.beebs import BENCHMARK_NAMES
 from repro.engine import ExperimentEngine, ResultStore, default_engine
+from repro.placement.parameters import FREQUENCY_MODES
 
 FIGURES = ["figure1", "figure2", "figure5", "figure6", "figure9", "case-study",
-           "explore", "merge", "report", "coordinate", "work"]
+           "explore", "merge", "report", "coordinate", "work", "analyze"]
+
+#: Every optimization level the compiler driver accepts, in pipeline order.
+ALL_OPT_LEVELS = ("O0", "O1", "O2", "O3", "Os")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,8 +86,17 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--levels", nargs="*", default=None, metavar="LEVEL",
                         help="optimization levels, e.g. O2 Os")
     parser.add_argument("--frequency-modes", nargs="*", default=("static",),
-                        choices=("static", "profile"),
-                        help="block-frequency estimation modes (figure5)")
+                        choices=FREQUENCY_MODES,
+                        help="block-frequency estimation modes "
+                             "(figure5/explore)")
+    parser.add_argument("--lint", action="store_true",
+                        help="analyze: run the machine-code lint over each "
+                             "benchmark, pristine and after placement "
+                             "(default: lint and audit)")
+    parser.add_argument("--audit", action="store_true",
+                        help="analyze: simulate each optimized benchmark and "
+                             "audit every compiled superblock against its "
+                             "decode records (default: lint and audit)")
     parser.add_argument("--x-limit", type=float, default=1.5,
                         help="allowed slowdown factor X_limit (default 1.5)")
     parser.add_argument("--x-limits", nargs="*", type=float, default=None,
@@ -341,6 +364,61 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"merged {stats['records']} cells from {stats['sources']} "
               f"stores into {stats['path']} "
               f"({stats['duplicates']} duplicates, all bitwise-identical)")
+
+    elif args.figure == "analyze":
+        from repro.analysis import (audit_program_superblocks,
+                                    verify_machine_program)
+        from repro.placement.optimizer import (FlashRAMOptimizer,
+                                               PlacementConfig)
+        from repro.sim import Simulator
+        do_lint = args.lint or not (args.lint or args.audit)
+        do_audit = args.audit or not (args.lint or args.audit)
+        benchmarks = args.benchmarks or list(BENCHMARK_NAMES)
+        levels = args.levels or list(ALL_OPT_LEVELS)
+        rows: List[dict] = []
+        failures = 0
+
+        def _report_lint(name, level, stage, program):
+            diagnostics = verify_machine_program(program)
+            for diagnostic in diagnostics:
+                print(f"{name}/{level} [{stage}] {diagnostic}")
+            return len(diagnostics)
+
+        for name in benchmarks:
+            for level in levels:
+                # A private copy: placement rewrites the program in place.
+                program = engine.compile_benchmark_mutable(name, level)
+                row = {"benchmark": name, "opt_level": level}
+                if do_lint:
+                    row["lint_pristine"] = _report_lint(
+                        name, level, "pristine", program)
+                    failures += row["lint_pristine"]
+                # The same transformation the evaluation applies: lint must
+                # hold after relocation/instrumentation, and the audit wants
+                # traces through instrumented code, not just pristine flash.
+                FlashRAMOptimizer(program, config=PlacementConfig(
+                    x_limit=args.x_limit, solver="greedy")).optimize()
+                if do_lint:
+                    row["lint_placed"] = _report_lint(
+                        name, level, "placed", program)
+                    failures += row["lint_placed"]
+                if do_audit:
+                    Simulator(program).run()
+                    nodes, findings = audit_program_superblocks(program)
+                    for finding in findings:
+                        print(f"{name}/{level} [audit] {finding}")
+                    row["superblock_nodes"] = nodes
+                    row["audit_findings"] = len(findings)
+                    failures += len(findings)
+                rows.append(row)
+        checks = [label for label, active in (("lint", do_lint),
+                                              ("audit", do_audit)) if active]
+        print(f"analyze ({'+'.join(checks)}): "
+              f"{len(rows)} benchmark/level cells, {failures} findings")
+        if args.output:
+            _emit(args, "analyze", rows,
+                  meta={"checks": checks, "findings": failures})
+        return 1 if failures else 0
 
     elif args.figure == "report":
         if not args.store:

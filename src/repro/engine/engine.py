@@ -28,6 +28,7 @@ baseline memos (which are not).
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -40,6 +41,41 @@ from repro.engine.results import BenchmarkRun
 from repro.machine.program import MachineProgram
 from repro.placement import FlashRAMOptimizer, PlacementConfig
 from repro.sim import EnergyModel, SimulationResult, Simulator
+
+
+def frequency_fidelity(parameters, profile) -> Dict[str, float]:
+    """How well the extracted ``F_b`` estimates match profiled block counts.
+
+    The paper evaluates its static loop-depth estimate against exact
+    profiled frequencies (Figure 5); this quantifies the gap per run, from
+    data both placements already have in hand (the cost-model parameters
+    and the baseline profile — no extra simulation).  Returns flat
+    JSON-safe fields: the mean absolute natural-log ratio over blocks both
+    sides consider live, plus the counts of blocks only one side does.
+    Iteration is in sorted block-key order so the float accumulation — and
+    therefore the stored record — is bitwise deterministic.
+    """
+    ratios_total = 0.0
+    compared = 0
+    predicted_dead = 0  # estimated hot but never executed
+    missed_hot = 0      # executed but estimated dead
+    for key in sorted(parameters):
+        estimated = parameters[key].frequency
+        profiled = float(profile.count(key))
+        if estimated > 0.0 and profiled > 0.0:
+            ratios_total += abs(math.log(estimated / profiled))
+            compared += 1
+        elif estimated > 0.0:
+            predicted_dead += 1
+        elif profiled > 0.0:
+            missed_hot += 1
+    mean = ratios_total / compared if compared else 0.0
+    return {
+        "fb_blocks_compared": compared,
+        "fb_mean_abs_log_ratio": mean,
+        "fb_predicted_dead": predicted_dead,
+        "fb_missed_hot": missed_hot,
+    }
 
 
 @dataclass(frozen=True)
@@ -131,6 +167,7 @@ class ExperimentEngine:
                                       config=config)
         profile = baseline.profile if frequency_mode == "profile" else None
         solution = optimizer.optimize(profile=profile)
+        fb_report = frequency_fidelity(optimizer.parameters, baseline.profile)
         optimized = Simulator(optimized_program,
                               energy_model=self.energy_model).run()
 
@@ -141,7 +178,8 @@ class ExperimentEngine:
 
         return BenchmarkRun(name=name, opt_level=opt_level, baseline=baseline,
                             optimized=optimized, solution=solution,
-                            frequency_mode=frequency_mode)
+                            frequency_mode=frequency_mode,
+                            fb_report=fb_report)
 
     def run_spec(self, spec: ExperimentSpec) -> BenchmarkRun:
         """Run one grid cell."""

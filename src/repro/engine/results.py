@@ -120,6 +120,9 @@ class BenchmarkRun:
     optimized: Optional[SimulationResult] = None
     solution: Optional[PlacementSolution] = None
     frequency_mode: str = "static"
+    #: Static-vs-profiled ``F_b`` fidelity fields (flat JSON-safe dict from
+    #: :func:`repro.engine.engine.frequency_fidelity`); None for baselines.
+    fb_report: Optional[Dict] = None
 
     @property
     def energy_change(self) -> float:
@@ -183,6 +186,8 @@ def run_record(run: BenchmarkRun) -> Dict:
         record["ram_blocks"] = sorted(run.solution.ram_blocks)
         record["instrumented"] = sorted(run.solution.instrumented)
         record["solver"] = run.solution.solver
+    if run.fb_report is not None:
+        record.update(run.fb_report)
     return record
 
 

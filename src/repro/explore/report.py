@@ -11,7 +11,13 @@ simulation**:
 * an energy/time-vs-``X_limit`` envelope table: for every group and
   ``X_limit`` the lowest-energy cell, i.e. the curve Figure 5 samples at one
   point;
-* a frontier-size summary per group.
+* a frontier-size summary per group;
+* a static-vs-profiled frequency-fidelity table: per (benchmark,
+  ``frequency_mode``) the mean F_b error (mean absolute natural-log ratio of
+  estimated vs profiled block frequencies, recorded by the engine at
+  optimization time) and the placement-set agreement against the
+  ``"profile"`` cells that share every other knob (exact-match fraction and
+  mean Jaccard of the chosen RAM block sets).
 
 The report is emitted as one JSON document plus CSV tables that gnuplot
 (``set datafile separator ","``) or a spreadsheet can consume directly,
@@ -53,9 +59,100 @@ ENVELOPE_COLUMNS: Tuple[str, ...] = (
     "time_ratio", "ram_bytes", "blocks_moved", "pareto", "cell_key",
 )
 
+#: Columns of the frequency-fidelity CSV (one row per benchmark × mode).
+FIDELITY_COLUMNS: Tuple[str, ...] = (
+    "benchmark", "frequency_mode", "cells", "fb_mean_abs_log_ratio",
+    "fb_blocks_compared", "fb_predicted_dead", "fb_missed_hot",
+    "placements_compared", "placement_exact_match", "placement_jaccard",
+)
+
+#: Cell-key knobs that must coincide for two records to be *the same
+#: experiment under a different frequency mode* — everything in
+#: :data:`~repro.explore.sweep.CELL_KEY_FIELDS` except ``frequency_mode``.
+FIDELITY_PAIR_FIELDS: Tuple[str, ...] = (
+    "benchmark", "opt_level", "solver", "x_limit", "r_spare_requested",
+    "flash_ram_ratio",
+)
+
 
 def _group_label(fields: Sequence[str], record: Dict) -> str:
     return ",".join(f"{name}={record.get(name)}" for name in fields)
+
+
+def _fidelity_pair_key(record: Dict) -> Tuple[str, ...]:
+    return tuple(repr(record.get(name)) for name in FIDELITY_PAIR_FIELDS)
+
+
+def frequency_fidelity_rows(records: Sequence[Dict]) -> List[Dict]:
+    """Per (benchmark, frequency_mode) F_b fidelity and placement agreement.
+
+    Built from stored records alone — the per-cell ``fb_*`` fields were
+    recorded by the engine when the placement model was built, so no
+    simulation happens here.  Placement agreement compares each cell's
+    ``ram_blocks`` against the ``"profile"``-mode cell with identical
+    remaining knobs (:data:`FIDELITY_PAIR_FIELDS`): ``placement_exact_match``
+    is the fraction of pairs choosing bitwise-identical block sets and
+    ``placement_jaccard`` the mean Jaccard index (two empty selections count
+    as perfect agreement).  Rows and all accumulations iterate in sorted
+    (benchmark, mode, cell_key) order, so the output is deterministic in the
+    record contents.
+    """
+    by_group: Dict[Tuple[str, str], List[Dict]] = {}
+    profile_reference: Dict[Tuple[str, ...], Dict] = {}
+    for record in records:
+        benchmark = record.get("benchmark")
+        mode = record.get("frequency_mode")
+        if benchmark is None or mode is None:
+            continue
+        by_group.setdefault((str(benchmark), str(mode)), []).append(record)
+        if mode == "profile":
+            profile_reference[_fidelity_pair_key(record)] = record
+
+    rows: List[Dict] = []
+    for benchmark, mode in sorted(by_group):
+        group = sorted(by_group[(benchmark, mode)],
+                       key=lambda r: r.get("cell_key", ""))
+        fb_cells = [r for r in group
+                    if r.get("fb_mean_abs_log_ratio") is not None]
+        row: Dict = {
+            "benchmark": benchmark,
+            "frequency_mode": mode,
+            "cells": len(group),
+            "fb_mean_abs_log_ratio": (
+                sum(r["fb_mean_abs_log_ratio"] for r in fb_cells)
+                / len(fb_cells) if fb_cells else None),
+            "fb_blocks_compared": (
+                max(r.get("fb_blocks_compared", 0) or 0 for r in fb_cells)
+                if fb_cells else None),
+            "fb_predicted_dead": (
+                max(r.get("fb_predicted_dead", 0) or 0 for r in fb_cells)
+                if fb_cells else None),
+            "fb_missed_hot": (
+                max(r.get("fb_missed_hot", 0) or 0 for r in fb_cells)
+                if fb_cells else None),
+        }
+
+        compared = exact = 0
+        jaccard_sum = 0.0
+        if mode != "profile":
+            for record in group:
+                reference = profile_reference.get(_fidelity_pair_key(record))
+                if reference is None:
+                    continue
+                chosen = set(record.get("ram_blocks") or ())
+                wanted = set(reference.get("ram_blocks") or ())
+                compared += 1
+                exact += int(chosen == wanted)
+                union = chosen | wanted
+                jaccard_sum += (len(chosen & wanted) / len(union)
+                                if union else 1.0)
+        row["placements_compared"] = compared
+        row["placement_exact_match"] = (exact / compared if compared
+                                        else None)
+        row["placement_jaccard"] = (jaccard_sum / compared if compared
+                                    else None)
+        rows.append(row)
+    return rows
 
 
 def sweep_report(records: Sequence[Dict],
@@ -110,6 +207,7 @@ def sweep_report(records: Sequence[Dict],
         "summary": summary,
         "fronts": fronts,
         "energy_vs_x_limit": envelope,
+        "frequency_fidelity": frequency_fidelity_rows(marked),
     }
 
 
@@ -148,6 +246,8 @@ def report_tables(report: Dict) -> Dict[str, str]:
         "pareto_fronts.csv": _csv(front_rows, FRONT_COLUMNS),
         "energy_vs_x_limit.csv": _csv(report["energy_vs_x_limit"],
                                       ENVELOPE_COLUMNS),
+        "frequency_fidelity.csv": _csv(report.get("frequency_fidelity", []),
+                                       FIDELITY_COLUMNS),
     }
 
 

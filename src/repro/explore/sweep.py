@@ -245,6 +245,11 @@ def cell_record(cell: SweepCell, run: BenchmarkRun) -> Dict:
         "r_spare_derived": run.solution.r_spare if run.solution else None,
         "ram_blocks": sorted(run.solution.ram_blocks) if run.solution else [],
     }
+    if run.fb_report is not None:
+        # Static-vs-profiled F_b fidelity of this cell's frequency mode
+        # (fb_mean_abs_log_ratio etc.); flows through shards/merges/distrib
+        # like every other field and feeds the report's fidelity section.
+        record.update(run.fb_report)
     return record
 
 

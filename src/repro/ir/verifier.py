@@ -55,10 +55,17 @@ def verify_function(function: Function, module: Module = None) -> None:
                         f"{function.name}/{block.name}: unknown frame object "
                         f"{instr.object_name}")
             if module is not None:
-                if isinstance(instr, Call) and instr.callee not in module.functions:
-                    raise IRVerificationError(
-                        f"{function.name}/{block.name}: call to unknown function "
-                        f"{instr.callee}")
+                if isinstance(instr, Call):
+                    if instr.callee not in module.functions:
+                        raise IRVerificationError(
+                            f"{function.name}/{block.name}: call to unknown "
+                            f"function {instr.callee}")
+                    callee = module.functions[instr.callee]
+                    if len(instr.args) != len(callee.params):
+                        raise IRVerificationError(
+                            f"{function.name}/{block.name}: call to "
+                            f"{instr.callee} passes {len(instr.args)} "
+                            f"argument(s), expected {len(callee.params)}")
                 if isinstance(instr, AddrOf) and instr.symbol not in module.globals:
                     raise IRVerificationError(
                         f"{function.name}/{block.name}: reference to unknown global "

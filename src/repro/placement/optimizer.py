@@ -110,6 +110,13 @@ class FlashRAMOptimizer:
             self.build_cost_model()
         return self._cost_model
 
+    @property
+    def parameters(self) -> Dict[str, BlockParameters]:
+        """The per-block Section 4.1 parameters the last model was built on."""
+        if self._parameters is None:
+            self.build_cost_model()
+        return self._parameters
+
     def derive_r_spare(self) -> int:
         """Derive the spare RAM available for code (Section 4.1, R_spare).
 

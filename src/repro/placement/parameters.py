@@ -24,12 +24,17 @@ from typing import Dict, List, Optional
 
 from repro.analysis.cfg import CFGView
 from repro.analysis.frequency import DEFAULT_LOOP_WEIGHT, estimate_block_frequencies
+from repro.analysis.wu_larus import wu_larus_frequencies
 from repro.isa.instructions import Opcode
 from repro.isa.timing import RAM_CONTENTION_STALL
 from repro.machine.blocks import MachineFunction, TerminatorKind
 from repro.machine.program import MachineProgram
 from repro.sim.profiler import BlockProfile
 from repro.transform.instrumentation import instrumentation_overhead
+
+#: The supported ``F_b`` estimation modes, in the order they appear in
+#: sweep axes and CLI choices.
+FREQUENCY_MODES = ("static", "profile", "wu_larus")
 
 
 @dataclass
@@ -108,11 +113,13 @@ def extract_parameters(program: MachineProgram,
                        entry: Optional[str] = None) -> Dict[str, BlockParameters]:
     """Extract :class:`BlockParameters` for every block of *program*.
 
-    ``frequency_mode`` selects the paper's two ``F_b`` variants: ``"static"``
-    (loop-depth estimate, the default) or ``"profile"`` (exact counts from a
+    ``frequency_mode`` selects the ``F_b`` variant: ``"static"`` (the paper's
+    loop-depth estimate ``weight**depth``, the default), ``"wu_larus"``
+    (heuristic branch probabilities with proper loop-nest propagation, see
+    :mod:`repro.analysis.wu_larus`) or ``"profile"`` (exact counts from a
     prior simulation, requires *profile*).
     """
-    if frequency_mode not in ("static", "profile"):
+    if frequency_mode not in FREQUENCY_MODES:
         raise ValueError(f"unknown frequency mode {frequency_mode!r}")
     if frequency_mode == "profile" and profile is None:
         raise ValueError("profile frequency mode requires a BlockProfile")
@@ -122,10 +129,13 @@ def extract_parameters(program: MachineProgram,
     per_function_block_freq: Dict[str, Dict[str, float]] = {}
     for function in program.iter_functions():
         cfg = _cfg_of_machine_function(function)
-        per_function_block_freq[function.name] = {
-            name: float(value)
-            for name, value in estimate_block_frequencies(cfg, loop_weight).items()
-        }
+        if frequency_mode == "wu_larus":
+            per_function_block_freq[function.name] = wu_larus_frequencies(cfg)
+        else:
+            per_function_block_freq[function.name] = {
+                name: float(value)
+                for name, value in estimate_block_frequencies(cfg, loop_weight).items()
+            }
 
     function_frequencies = _static_function_frequencies(
         program, per_function_block_freq, entry)

@@ -84,6 +84,35 @@ def test_verifier_checks_cross_module_references():
         verify_module(module)
 
 
+def test_verifier_rejects_call_arity_mismatch():
+    module = Module("m")
+    callee = build_simple_function()      # named "f", one parameter
+    module.add_function(callee)
+    caller = Function("g")
+    builder = IRBuilder(caller)
+    entry = builder.new_block("entry")
+    builder.set_block(entry)
+    builder.call("f", [Const(1), Const(2)])   # one argument too many
+    builder.ret(Const(0))
+    module.add_function(caller)
+    with pytest.raises(IRVerificationError, match="expected 1"):
+        verify_module(module)
+
+
+def test_verifier_accepts_matching_call_arity():
+    module = Module("m")
+    callee = build_simple_function()
+    module.add_function(callee)
+    caller = Function("g")
+    builder = IRBuilder(caller)
+    entry = builder.new_block("entry")
+    builder.set_block(entry)
+    builder.call("f", [Const(1)])
+    builder.ret(Const(0))
+    module.add_function(caller)
+    verify_module(module)
+
+
 def test_block_rejects_second_terminator():
     block = BasicBlock("b")
     block.append(Ret())

@@ -4,6 +4,9 @@ import struct
 
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis import (CFGView, branch_probabilities, compute_dominators,
+                            find_natural_loops, immediate_dominators,
+                            loop_depths, reachable_blocks)
 from repro.frontend.lexer import tokenize
 from repro.irgen.lowering import bits_to_float, float_to_bits
 from repro.machine.frame import FrameLayout
@@ -87,6 +90,98 @@ def test_frame_layout_offsets_do_not_overlap(objects):
         assert end_a <= start_b or start_a == start_b  # no overlap
     assert layout.aligned_size() >= max(end for _, end in intervals)
     assert layout.aligned_size() % 8 == 0
+
+
+# --------------------------------------------------------------------------- #
+# Dominator / loop analyses on random CFGs
+# --------------------------------------------------------------------------- #
+@st.composite
+def random_cfg(draw):
+    """An arbitrary CFG: entry ``b0``, up to 2 successors per block.
+
+    Deliberately unconstrained — self-loops, unreachable blocks, duplicate
+    edges and irreducible regions all occur, which is exactly what the
+    dominator and loop analyses must survive.
+    """
+    count = draw(st.integers(min_value=1, max_value=10))
+    names = [f"b{i}" for i in range(count)]
+    block_index = st.integers(min_value=0, max_value=count - 1)
+    successors = {
+        name: [names[i] for i in draw(st.lists(block_index, max_size=2))]
+        for name in names
+    }
+    return CFGView(entry="b0", successors=successors)
+
+
+@given(random_cfg())
+@settings(max_examples=120, deadline=None)
+def test_entry_dominates_every_reachable_block(cfg):
+    reachable = reachable_blocks(cfg)
+    dominators = compute_dominators(cfg)
+    assert set(dominators) == reachable  # unreachable blocks are omitted
+    assert dominators[cfg.entry] == {cfg.entry}
+    for name, doms in dominators.items():
+        assert cfg.entry in doms
+        assert name in doms            # every block dominates itself
+        assert doms <= reachable       # dominators are themselves reachable
+
+
+@given(random_cfg())
+@settings(max_examples=120, deadline=None)
+def test_immediate_dominators_form_a_tree_rooted_at_entry(cfg):
+    dominators = compute_dominators(cfg)
+    idom = immediate_dominators(cfg)
+    assert idom[cfg.entry] is None
+    for name in idom:
+        if name == cfg.entry:
+            continue
+        parent = idom[name]
+        # The parent strictly dominates its child...
+        assert parent in dominators[name] - {name}
+        # ...and the dominator sets satisfy dom(b) = {b} ∪ dom(idom(b)).
+        assert dominators[name] == {name} | dominators[parent]
+        # Walking parents reaches the entry without ever revisiting a node.
+        seen = {name}
+        while name != cfg.entry:
+            name = idom[name]
+            assert name is not None and name not in seen
+            seen.add(name)
+
+
+@given(random_cfg())
+@settings(max_examples=120, deadline=None)
+def test_loop_depths_non_negative_and_monotone_into_nests(cfg):
+    loops = find_natural_loops(cfg)
+    depths = loop_depths(cfg)
+    in_any_loop = set().union(*(loop.body for loop in loops)) if loops else set()
+    for name, depth in depths.items():
+        assert depth >= 0
+        if name in in_any_loop:
+            assert depth >= 1
+        else:
+            assert depth == 0
+    # Nesting is monotone: blocks of a loop strictly inside another loop sit
+    # in (at least) two loop bodies, so their depth exceeds the outer-only
+    # blocks' minimum of 1.
+    for inner in loops:
+        for outer in loops:
+            if inner is not outer and inner.body < outer.body:
+                for name in inner.body:
+                    assert depths[name] >= 2
+
+
+@given(random_cfg())
+@settings(max_examples=120, deadline=None)
+def test_branch_probabilities_normalized_per_block(cfg):
+    probabilities = branch_probabilities(cfg)
+    reachable = reachable_blocks(cfg)
+    for name in reachable:
+        targets = list(dict.fromkeys(cfg.successors.get(name, [])))
+        if not targets:
+            continue
+        total = sum(probabilities[(name, target)] for target in targets)
+        assert abs(total - 1.0) < 1e-9
+        assert all(probabilities[(name, target)] > 0.0 for target in targets)
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,118 @@
+"""Superblock invariant auditor: clean on real traces, catches corruption."""
+
+import pytest
+
+from repro.analysis import audit_program_superblocks, audit_superblock
+from repro.beebs import get_benchmark
+from repro.codegen import CompileOptions, compile_source
+from repro.placement.optimizer import FlashRAMOptimizer, PlacementConfig
+from repro.sim import Simulator
+from repro.sim.superblock import STEP_BATCH, STEP_CTRL
+
+SOURCE = """
+int main(void) {
+    int total = 0;
+    int i = 0;
+    while (i < 200) {
+        total = total + i;
+        i = i + 1;
+    }
+    return total;
+}
+"""
+
+
+def traced_program(source=SOURCE, level="O2"):
+    """Compile *source* and run it so hot paths compile into superblocks."""
+    program = compile_source(source, CompileOptions.for_level(level))
+    Simulator(program).run()
+    superblocks, _ = program.superblock_state()
+    assert superblocks, "the hot loop must have trace-compiled"
+    return program
+
+
+def some_superblock(program):
+    superblocks, _ = program.superblock_state()
+    return superblocks[sorted(superblocks)[0]]
+
+
+# --------------------------------------------------------------------------- #
+# Clean traces audit clean
+# --------------------------------------------------------------------------- #
+def test_audit_is_clean_on_compiled_loop_traces():
+    program = traced_program()
+    checked, findings = audit_program_superblocks(program)
+    assert checked > 0
+    assert findings == []
+
+
+def test_audit_is_clean_on_optimized_benchmark_run():
+    # The Figure 5 shape: placement rewrites the program (flash and RAM
+    # sections, instrumented edges), then simulation trace-compiles it.
+    program = compile_source(get_benchmark("crc32").source,
+                             CompileOptions.for_level("O2"))
+    FlashRAMOptimizer(program, config=PlacementConfig(
+        x_limit=1.5, solver="greedy")).optimize()
+    Simulator(program).run()
+    checked, findings = audit_program_superblocks(program)
+    assert checked > 0
+    assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# Deliberate corruption is detected
+# --------------------------------------------------------------------------- #
+def find_step(superblock, tag):
+    for node in superblock.nodes:
+        for index, step in enumerate(node.steps):
+            if step[0] == tag:
+                return node, index, step
+    pytest.skip(f"no step with tag {tag} in the compiled trace")
+
+
+def test_audit_detects_corrupted_batch_energy_key():
+    program = traced_program()
+    superblock = some_superblock(program)
+    node, index, step = find_step(superblock, STEP_BATCH)
+    _tag, runs, n, cycles, energy_items = step
+    node.steps[index] = (STEP_BATCH, runs, n, cycles + 1, energy_items)
+    findings = audit_superblock(program, superblock)
+    assert any(f.rule == "energy-keys" for f in findings)
+
+
+def test_audit_detects_dropped_handler():
+    program = traced_program()
+    superblock = some_superblock(program)
+    node, index, step = find_step(superblock, STEP_BATCH)
+    _tag, runs, n, cycles, energy_items = step
+    node.steps[index] = (STEP_BATCH, runs[1:], n, cycles, energy_items)
+    findings = audit_superblock(program, superblock)
+    assert any(f.rule == "step-coverage" for f in findings)
+
+
+def test_audit_detects_corrupted_chain_link():
+    program = traced_program()
+    superblock = some_superblock(program)
+    superblock.nodes[0].chain_next = ("main", "no_such_block")
+    superblock.nodes[0].next_index = 99
+    findings = audit_superblock(program, superblock)
+    assert any(f.rule == "chain" for f in findings)
+
+
+def test_audit_detects_flipped_guard_conditionality():
+    program = traced_program()
+    superblock = some_superblock(program)
+    node, index, step = find_step(superblock, STEP_CTRL)
+    _tag, run, conditional, cycles, ekey_taken, cycles_nt, ekey_nt = step
+    node.steps[index] = (STEP_CTRL, run, not conditional, cycles,
+                        ekey_taken, cycles_nt, ekey_nt)
+    findings = audit_superblock(program, superblock)
+    assert any(f.rule == "side-exit" for f in findings)
+
+
+def test_audit_detects_stale_fall_payload():
+    program = traced_program()
+    superblock = some_superblock(program)
+    superblock.nodes[0].fall_payload = ("main", "no_such_block")
+    findings = audit_superblock(program, superblock)
+    assert any(f.rule == "chain" for f in findings)

@@ -514,6 +514,67 @@ def test_report_tables_are_csv_with_exact_floats():
     assert ",," in tables["pareto_fronts.csv"]  # the None ratio column
 
 
+def fidelity_records():
+    def record(key, mode, fb, blocks, x_limit=1.5):
+        return {"cell_key": key, "benchmark": "a", "opt_level": "O2",
+                "solver": "ilp", "frequency_mode": mode, "x_limit": x_limit,
+                "r_spare_requested": None, "flash_ram_ratio": None,
+                "energy_j": 1.0, "time_ratio": 1.0, "ram_bytes": 0,
+                "energy_change": 0.0, "time_change": 0.0, "blocks_moved": 0,
+                "fb_mean_abs_log_ratio": fb, "fb_blocks_compared": 7,
+                "fb_predicted_dead": 0, "fb_missed_hot": 0,
+                "ram_blocks": blocks}
+    return [
+        record("p1", "profile", 0.0, ["f:a", "f:b"]),
+        record("p2", "profile", 0.0, ["f:c"], x_limit=1.1),
+        record("s1", "static", 0.8, ["f:a", "f:b"]),            # exact match
+        record("s2", "static", 0.6, ["f:a"], x_limit=1.1),      # differs
+        record("w1", "wu_larus", 0.4, ["f:a"]),                 # overlaps p1
+    ]
+
+
+def test_frequency_fidelity_rows_aggregate_and_pair_against_profile():
+    from repro.explore.report import frequency_fidelity_rows
+    rows = frequency_fidelity_rows(fidelity_records())
+    by_mode = {row["frequency_mode"]: row for row in rows}
+    assert set(by_mode) == {"profile", "static", "wu_larus"}
+
+    profile = by_mode["profile"]
+    assert profile["fb_mean_abs_log_ratio"] == 0.0
+    assert profile["placements_compared"] == 0      # nothing to compare with
+    assert profile["placement_exact_match"] is None
+
+    static = by_mode["static"]
+    assert static["cells"] == 2
+    assert static["fb_mean_abs_log_ratio"] == pytest.approx(0.7)
+    # s1 matches p1 exactly; s2 picks {f:a} against p2's {f:c} (Jaccard 0).
+    assert static["placements_compared"] == 2
+    assert static["placement_exact_match"] == pytest.approx(0.5)
+    assert static["placement_jaccard"] == pytest.approx(0.5)
+
+    wu = by_mode["wu_larus"]
+    # w1's {f:a} vs p1's {f:a, f:b}: no exact match, Jaccard 1/2.
+    assert wu["placements_compared"] == 1
+    assert wu["placement_exact_match"] == 0.0
+    assert wu["placement_jaccard"] == pytest.approx(0.5)
+
+    # Deterministic in record contents, not their order.
+    assert frequency_fidelity_rows(list(reversed(fidelity_records()))) == rows
+
+
+def test_report_embeds_fidelity_section_and_csv():
+    report = sweep_report(fidelity_records())
+    assert len(report["frequency_fidelity"]) == 3
+    csv_text = report_tables(report)["frequency_fidelity.csv"]
+    lines = csv_text.splitlines()
+    assert lines[0].startswith("benchmark,frequency_mode,cells,")
+    assert len(lines) == 4
+    # Records without fidelity fields produce an empty (but valid) table.
+    bare = sweep_report(hand_records())
+    assert bare["frequency_fidelity"] == []
+    assert len(report_tables(bare)["frequency_fidelity.csv"].splitlines()) == 1
+
+
 def test_report_gnuplot_scripts_cover_every_series():
     report = sweep_report(hand_records())
     scripts = report_scripts(report)
@@ -575,6 +636,7 @@ def test_report_from_store_needs_no_simulation(tmp_path, monolithic,
     write_report(report, tmp_path / "out")
     assert sorted(p.name for p in (tmp_path / "out").iterdir()) == \
         ["energy_vs_x_limit.csv", "energy_vs_x_limit.gp",
-         "pareto_fronts.csv", "pareto_fronts.gp", "report.json"]
+         "frequency_fidelity.csv", "pareto_fronts.csv", "pareto_fronts.gp",
+         "report.json"]
     reloaded = json.loads((tmp_path / "out" / "report.json").read_text())
     assert reloaded == json.loads(json.dumps(report))

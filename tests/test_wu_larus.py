@@ -1,0 +1,188 @@
+"""Wu–Larus branch probabilities / frequencies and the frequency-mode plumbing."""
+
+import pytest
+
+from repro.analysis import (
+    CFGView,
+    LOOP_BRANCH_PROBABILITY,
+    MAX_BLOCK_FREQUENCY,
+    branch_probabilities,
+    estimate_block_frequencies,
+    wu_larus_frequencies,
+)
+from repro.beebs import get_benchmark
+from repro.codegen import CompileOptions, compile_source
+from repro.placement.parameters import FREQUENCY_MODES, extract_parameters
+
+
+def simple_loop():
+    return CFGView(entry="entry", successors={
+        "entry": ["header"],
+        "header": ["body", "exit"],
+        "body": ["header"],
+        "exit": [],
+    })
+
+
+def nested_loop():
+    # Two-level nest with a dedicated inner exit block, so the inner loop's
+    # leaving edge is not simultaneously the outer loop's back edge.
+    return CFGView(entry="entry", successors={
+        "entry": ["h1"],
+        "h1": ["h2", "exit"],
+        "h2": ["b2", "x2"],
+        "b2": ["h2"],
+        "x2": ["h1"],
+        "exit": [],
+    })
+
+
+# --------------------------------------------------------------------------- #
+# Branch probabilities
+# --------------------------------------------------------------------------- #
+def test_loop_branch_heuristic_on_simple_loop():
+    probabilities = branch_probabilities(simple_loop())
+    assert probabilities[("entry", "header")] == 1.0
+    assert probabilities[("body", "header")] == 1.0       # back edge, only out
+    stay = probabilities[("header", "body")]
+    leave = probabilities[("header", "exit")]
+    assert stay == pytest.approx(LOOP_BRANCH_PROBABILITY)
+    assert leave == pytest.approx(1.0 - LOOP_BRANCH_PROBABILITY)
+    assert stay + leave == pytest.approx(1.0)
+
+
+def test_probabilities_of_straight_line_code_are_even():
+    cfg = CFGView(entry="a", successors={"a": ["b", "c"], "b": [], "c": []})
+    probabilities = branch_probabilities(cfg)
+    assert probabilities[("a", "b")] == pytest.approx(0.5)
+    assert probabilities[("a", "c")] == pytest.approx(0.5)
+
+
+# --------------------------------------------------------------------------- #
+# Frequency propagation
+# --------------------------------------------------------------------------- #
+def test_simple_loop_trip_count_and_mass_conservation():
+    frequencies = wu_larus_frequencies(simple_loop())
+    # Trip count = 1 / (1 - 0.88); the header runs once per iteration plus
+    # the exit test, and exactly unit mass leaves through the exit.
+    assert frequencies["header"] == pytest.approx(1.0 / 0.12)
+    assert frequencies["body"] == pytest.approx(0.88 / 0.12)
+    assert frequencies["exit"] == pytest.approx(1.0)
+    assert frequencies["entry"] == pytest.approx(1.0)
+
+
+def test_nested_loop_frequencies_multiply():
+    frequencies = wu_larus_frequencies(nested_loop())
+    # The inner loop runs ~1/0.12 times per entry from h1, which itself
+    # loops ~1/0.12 times: trip counts multiply into the nest.
+    assert frequencies["h2"] > frequencies["h1"] > frequencies["entry"]
+    assert frequencies["h2"] == pytest.approx(
+        frequencies["h1"] * 0.88 * (1.0 / 0.12))
+    assert frequencies["x2"] == pytest.approx(frequencies["h1"] * 0.88)
+    assert frequencies["exit"] == pytest.approx(1.0)
+
+
+def test_unreachable_blocks_get_zero_frequency():
+    cfg = CFGView(entry="a", successors={"a": [], "island": ["a"]})
+    frequencies = wu_larus_frequencies(cfg)
+    assert frequencies["island"] == 0.0
+    assert frequencies["a"] == 1.0
+
+
+def test_cyclic_probability_cap_bounds_pathological_loops():
+    # Both successors stay in the loop: uncapped cp would be 1.0.
+    cfg = CFGView(entry="h", successors={"h": ["a", "b"], "a": ["h"],
+                                         "b": ["h"]})
+    frequencies = wu_larus_frequencies(cfg)
+    assert frequencies["h"] == pytest.approx(1.0 / (1.0 - 0.93))
+
+
+def test_frequencies_are_bitwise_deterministic_across_dict_orders():
+    forward = simple_loop()
+    shuffled = CFGView(entry="entry", successors=dict(
+        reversed(list(simple_loop().successors.items()))))
+    first = wu_larus_frequencies(forward)
+    second = wu_larus_frequencies(shuffled)
+    assert first == second  # exact float equality, not approx
+
+
+# --------------------------------------------------------------------------- #
+# frequency_mode plumbing through the placement parameters
+# --------------------------------------------------------------------------- #
+def test_frequency_modes_constant_lists_all_modes():
+    assert FREQUENCY_MODES == ("static", "profile", "wu_larus")
+
+
+def loop_program():
+    return compile_source("""
+        int main(void) {
+            int total = 0;
+            int i = 0;
+            while (i < 100) {
+                total = total + i;
+                i = i + 1;
+            }
+            return total;
+        }
+    """, CompileOptions.for_level("O2"))
+
+
+def test_extract_parameters_accepts_wu_larus_mode():
+    static = extract_parameters(loop_program(), frequency_mode="static")
+    wu = extract_parameters(loop_program(), frequency_mode="wu_larus")
+    assert set(static) == set(wu)
+    # Both weight the loop body above straight-line code, with different
+    # numbers: static uses weight**depth, Wu–Larus the expected trip count.
+    assert max(p.frequency for p in wu.values()) > 1.0
+    assert {p.frequency for p in static.values()} != \
+        {p.frequency for p in wu.values()}
+
+
+def test_extract_parameters_is_deterministic_for_wu_larus():
+    first = extract_parameters(loop_program(), frequency_mode="wu_larus")
+    second = extract_parameters(loop_program(), frequency_mode="wu_larus")
+    assert {k: p.frequency for k, p in first.items()} == \
+        {k: p.frequency for k, p in second.items()}
+
+
+def test_extract_parameters_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        extract_parameters(loop_program(), frequency_mode="oracle")
+
+
+def test_cell_key_distinguishes_frequency_modes():
+    from repro.engine.engine import ExperimentSpec
+    from repro.explore.sweep import SweepCell, cell_key
+
+    def key(mode):
+        return cell_key(SweepCell(spec=ExperimentSpec(
+            benchmark="crc32", frequency_mode=mode), flash_ram_ratio=None))
+
+    assert key("static") != key("wu_larus") != key("profile")
+
+
+# --------------------------------------------------------------------------- #
+# Frequency clamp regression (satellite): BEEBS untouched, fuzz nests capped
+# --------------------------------------------------------------------------- #
+def test_clamp_never_fires_on_beebs_frequencies():
+    for name in ("crc32", "fdct", "int_matmult"):
+        program = compile_source(get_benchmark(name).source,
+                                 CompileOptions.for_level("O2"))
+        parameters = extract_parameters(program, frequency_mode="static")
+        assert parameters
+        # Far below the ceiling: depth <= 4 at weight 10 gives 10**4.
+        assert max(p.frequency for p in parameters.values()) \
+            < MAX_BLOCK_FREQUENCY
+
+
+def test_deep_synthetic_nest_clamps_to_documented_maximum():
+    # h_{i+1} -> h_i are back edges of a 11-deep loop nest chain, so the
+    # innermost header's unclamped estimate would be 10**11.
+    successors = {"entry": ["h0"], "h0": ["h1", "exit"], "exit": []}
+    for i in range(1, 11):
+        successors[f"h{i}"] = [f"h{i + 1}", f"h{i - 1}"]
+    successors["h11"] = ["h10"]
+    cfg = CFGView(entry="entry", successors=successors)
+    frequencies = estimate_block_frequencies(cfg, loop_weight=10)
+    assert max(frequencies.values()) == MAX_BLOCK_FREQUENCY
+    assert frequencies["entry"] == 1
