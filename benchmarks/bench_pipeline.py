@@ -1,0 +1,152 @@
+"""Bench: how the flash-RAM frontier moves when the clock model changes.
+
+Runs a Figure 5-style grid (three BEEBS kernels x four ``X_limit`` points)
+under all three timing models (`repro.sim.pipeline`) and records the
+placement frontier of each:
+
+* **flat** — the paper's calibration: RAM placement trades time for
+  energy, and the run must be *bitwise identical* when repeated (and to
+  stores written before the timing axis existed — ``tests/test_pipeline.py``
+  ``cmp``s the committed reference store; here we re-assert repeat-run
+  identity);
+* **pipelined** — flash wait states make RAM placement save time too:
+  every grid cell's ``time_change`` must drop below its flat counterpart
+  and the mean must go negative (the trade-off becomes a free lunch);
+* **pipelined+icache** — the icache absorbs wait states and flash fetch
+  energy, so the energy savings must collapse to a fraction of the
+  uncached pipeline's.
+
+Records everything to ``BENCH_pipeline.json`` for the CI regression gate
+(``benchmarks/check_bench.py``).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from conftest import print_table
+
+from repro.engine import ExperimentEngine, ProgramCache, atomic_write_json
+from repro.explore import SweepSpec, mark_pareto, run_sweep
+
+BENCHMARKS = ("crc32", "fdct", "2dfir")
+X_LIMITS = (1.05, 1.1, 1.5, 2.0)
+MODELS = ("flat", "pipelined", "pipelined+icache:16x16")
+
+#: The icache must keep less than this fraction of the uncached pipeline's
+#: mean energy savings for the "collapse" claim to hold.
+COLLAPSE_CEILING = 0.5
+
+
+def fresh_engine() -> ExperimentEngine:
+    return ExperimentEngine(cache=ProgramCache(), max_workers=1)
+
+
+def bench_grid() -> dict:
+    sweep = SweepSpec(benchmarks=BENCHMARKS, x_limits=X_LIMITS,
+                      timing_models=MODELS)
+    start = time.perf_counter()
+    records = mark_pareto(run_sweep(sweep, engine=fresh_engine()).records)
+    sweep_s = time.perf_counter() - start
+
+    by_model = {model: [r for r in records
+                        if r.get("timing_model", "flat") == model]
+                for model in MODELS}
+    assert all(len(cells) == len(BENCHMARKS) * len(X_LIMITS)
+               for cells in by_model.values())
+
+    # Repeat the flat slice and require bitwise-identical records.
+    flat_only = SweepSpec(benchmarks=BENCHMARKS, x_limits=X_LIMITS)
+    first = json.dumps(run_sweep(flat_only, engine=fresh_engine()).records,
+                       sort_keys=True)
+    second = json.dumps(run_sweep(flat_only, engine=fresh_engine()).records,
+                        sort_keys=True)
+    flat_bitwise = first == second
+    assert flat_bitwise, "repeated flat sweeps diverged"
+
+    def mean(values):
+        return sum(values) / len(values)
+
+    summary_rows = []
+    summaries = {}
+    for model, cells in by_model.items():
+        front = [r for r in cells if r["pareto"]]
+        summaries[model] = {
+            "cells": len(cells),
+            "pareto_points": len(front),
+            "mean_energy_change": mean([r["energy_change"] for r in cells]),
+            "mean_time_change": mean([r["time_change"] for r in cells]),
+            "min_time_change": min(r["time_change"] for r in cells),
+            "mean_baseline_cycles": mean([r["baseline_cycles"] for r in cells]),
+        }
+        summary_rows.append({"model": model, **summaries[model]})
+    print_table("frontier by timing model", summary_rows,
+                ["model", "cells", "pareto_points", "mean_energy_change",
+                 "mean_time_change", "min_time_change"])
+
+    flat, pipe, cached = (summaries[m] for m in MODELS)
+
+    # Wait states slow the baseline; the icache wins most of it back.
+    assert pipe["mean_baseline_cycles"] > flat["mean_baseline_cycles"]
+    assert cached["mean_baseline_cycles"] < pipe["mean_baseline_cycles"]
+
+    # Frontier shift 1: under the pipelined clock, RAM placement buys time.
+    per_cell_shift = all(
+        p["time_change"] <= f["time_change"] + 1e-12
+        for p, f in zip(sorted(by_model["pipelined"],
+                               key=lambda r: (r["benchmark"], r["x_limit"])),
+                        sorted(by_model["flat"],
+                               key=lambda r: (r["benchmark"], r["x_limit"]))))
+    pipelined_time_negative = pipe["mean_time_change"] < 0
+    assert per_cell_shift, "a pipelined cell slowed down more than its flat twin"
+    assert pipelined_time_negative, (
+        f"pipelined mean time_change {pipe['mean_time_change']:+.3f} "
+        f"did not go negative")
+    assert pipe["mean_energy_change"] < flat["mean_energy_change"] < 0
+
+    # Frontier shift 2: the icache collapses the energy savings.
+    collapse_ratio = (abs(cached["mean_energy_change"])
+                      / abs(pipe["mean_energy_change"]))
+    assert collapse_ratio < COLLAPSE_CEILING, (
+        f"icache kept {collapse_ratio:.0%} of the uncached energy savings "
+        f"(ceiling {COLLAPSE_CEILING:.0%})")
+
+    print(f"\nsweep: {len(records)} cells in {sweep_s:.2f}s")
+    print(f"flat repeat-run bitwise identity: {flat_bitwise}")
+    print(f"pipelined mean d-time {pipe['mean_time_change']:+.1%} "
+          f"(flat {flat['mean_time_change']:+.1%}) — RAM placement buys time")
+    print(f"icache keeps {collapse_ratio:.0%} of uncached energy savings "
+          f"(ceiling {COLLAPSE_CEILING:.0%}) — the trade-off collapses")
+
+    return {
+        "benchmarks": list(BENCHMARKS),
+        "x_limits": list(X_LIMITS),
+        "sweep_s": sweep_s,
+        "by_model": summaries,
+        "flat_bitwise_identical": flat_bitwise,
+        "pipelined_time_change_all_below_flat": per_cell_shift,
+        "pipelined_mean_time_change_negative": pipelined_time_negative,
+        "icache_energy_collapse_ratio": collapse_ratio,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--output", default=None, metavar="FILE")
+    args = parser.parse_args()
+
+    record = bench_grid()
+
+    if args.output:
+        atomic_write_json(args.output, {"pipeline": record})
+        print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Flat vs pipelined vs pipelined+icache timing for one BEEBS kernel.
+
+The paper's flat cycle model makes flash and RAM instruction fetches cost
+the same, so RAM placement is a pure energy-for-time trade.  The pipelined
+timing models (``repro.sim.pipeline``) add flash wait states the fetch
+stage can only partly hide, and optionally a direct-mapped icache in front
+of flash.  This example runs the same placement experiment under all three
+models and *asserts* the headline frontier shift:
+
+* ``pipelined``: RAM placement removes fetch stalls, so it saves energy
+  AND time (``time_change`` goes negative);
+* ``pipelined+icache``: the cache absorbs the wait states and most of the
+  flash fetch energy, so the RAM-placement energy savings collapse.
+
+Run with::
+
+    python examples/timing_models.py [benchmark]
+"""
+
+import sys
+
+from repro.engine import ExperimentEngine
+from repro.sim import TimingSpec
+
+MODELS = ("flat", "pipelined", "pipelined+icache")
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "crc32"
+    engine = ExperimentEngine()
+
+    print(f"=== {benchmark} (O2, X_limit 1.5): one placement, three clocks ===")
+    print(f"{'timing model':>24s} {'base cycles':>12s} {'base uJ':>9s} "
+          f"{'d-energy':>9s} {'d-time':>8s} {'RAM B':>6s}")
+    runs = {}
+    for model in MODELS:
+        run = engine.run_optimized(benchmark, x_limit=1.5, timing_model=model)
+        runs[model] = run
+        print(f"{TimingSpec.parse(model).name:>24s} "
+              f"{run.baseline.cycles:12d} "
+              f"{run.baseline.energy_j * 1e6:9.2f} "
+              f"{run.energy_change:+9.1%} {run.time_change:+8.1%} "
+              f"{run.solution.estimate.ram_bytes:6d}")
+
+    flat, pipe, cached = (runs[m] for m in MODELS)
+
+    # The uncached pipeline pays flash wait states the flat model ignores...
+    assert pipe.baseline.cycles > flat.baseline.cycles
+    # ...and an icache wins most of them back.
+    assert cached.baseline.cycles < pipe.baseline.cycles
+
+    # Frontier shift 1: with wait states, RAM placement *speeds up* the
+    # program — the trade-off of the paper's Figure 5 becomes a free lunch.
+    assert pipe.time_change < 0 < flat.time_change or pipe.time_change < flat.time_change
+    assert pipe.energy_change < flat.energy_change < 0
+
+    # Frontier shift 2: an icache absorbs flash fetch energy, so the
+    # energy argument for RAM placement (nearly) collapses.
+    assert cached.energy_change > pipe.energy_change
+    assert abs(cached.energy_change) < 0.5 * abs(pipe.energy_change)
+
+    print("\nall frontier-shift assertions hold:")
+    print("  pipelined       : RAM placement saves energy and time "
+          f"({pipe.energy_change:+.1%} energy, {pipe.time_change:+.1%} time)")
+    print("  pipelined+icache: savings collapse "
+          f"({cached.energy_change:+.1%} energy vs {pipe.energy_change:+.1%} uncached)")
+
+
+if __name__ == "__main__":
+    main()

@@ -112,6 +112,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--solvers", nargs="*", default=None,
                         choices=("ilp", "greedy", "exhaustive"),
                         help="solver axis of an explore sweep (default: ilp)")
+    parser.add_argument("--timing-models", nargs="*", default=None,
+                        metavar="MODEL",
+                        help="timing-model axis of an explore sweep: flat, "
+                             "pipelined, pipelined+icache or "
+                             "pipelined+icache:LxB (default: flat)")
     parser.add_argument("--workers", type=int, default=None,
                         help="process fan-out for grids (default: cpu count)")
     parser.add_argument("--output", default=None, metavar="DIR",
@@ -185,6 +190,7 @@ def _sweep_from_args(args):
         flash_ram_ratios=ratios,
         solvers=tuple(args.solvers or ("ilp",)),
         frequency_modes=tuple(args.frequency_modes),
+        timing_models=tuple(args.timing_models or ("flat",)),
     )
 
 

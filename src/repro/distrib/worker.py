@@ -3,7 +3,11 @@
 A worker is one process with one engine.  It connects to a coordinator,
 rebuilds the sweep's cell set from the axes in the ``welcome`` message
 (cells are content-addressed, so a list of ``cell_key``\\ s identifies a
-batch unambiguously), and then loops: request → execute → result.  A
+batch unambiguously), and then loops: request → execute → result.  Axes
+round-trip through ``SweepSpec.meta()`` / ``from_meta``; axes with an
+all-default value (e.g. ``timing_models == ("flat",)``) are omitted from the
+meta block and restored to the default on rebuild, so old coordinators and
+new workers (and vice versa) agree on the cell set byte-for-byte.  A
 background thread heartbeats while a batch is executing so the coordinator
 does not re-lease work from a slow-but-alive worker; a *dead* worker stops
 heartbeating and drops its connection, which is exactly what triggers the

@@ -80,7 +80,12 @@ def frequency_fidelity(parameters, profile) -> Dict[str, float]:
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One cell of an evaluation grid."""
+    """One cell of an evaluation grid.
+
+    ``timing_model`` selects the cycle-accounting scheme for both the
+    placement cost model and the validating simulations (``"flat"`` default,
+    or the pipelined variants of :mod:`repro.sim.pipeline`).
+    """
 
     benchmark: str
     opt_level: str = "O2"
@@ -89,6 +94,7 @@ class ExperimentSpec:
     r_spare: Optional[int] = None
     frequency_mode: str = "static"
     solver: str = "ilp"
+    timing_model: str = "flat"
 
 
 class ExperimentEngine:
@@ -131,37 +137,45 @@ class ExperimentEngine:
     # ------------------------------------------------------------------ #
     # Single experiments
     # ------------------------------------------------------------------ #
-    def _baseline(self, name: str, opt_level: str) -> SimulationResult:
-        """Simulate the unmodified program; memoised per (benchmark, level)."""
-        key = (name, opt_level)
+    def _baseline(self, name: str, opt_level: str,
+                  timing_model: str = "flat") -> SimulationResult:
+        """Simulate the unmodified program; memoised per (benchmark, level,
+        timing model)."""
+        key = (name, opt_level, timing_model)
         result = self._baseline_results.get(key)
         if result is None:
             program = self.compile_benchmark(name, opt_level)
-            result = Simulator(program, energy_model=self.energy_model).run()
+            result = Simulator(program, energy_model=self.energy_model,
+                               timing_model=timing_model).run()
             self._baseline_results[key] = result
         return result
 
-    def run_baseline(self, name: str, opt_level: str = "O2") -> BenchmarkRun:
+    def run_baseline(self, name: str, opt_level: str = "O2",
+                     timing_model: str = "flat") -> BenchmarkRun:
         """Compile and simulate one benchmark without the optimization."""
         get_benchmark(name)  # fail fast on unknown names
         return BenchmarkRun(name=name, opt_level=opt_level,
-                            baseline=self._baseline(name, opt_level))
+                            baseline=self._baseline(name, opt_level,
+                                                    timing_model))
 
     def run_optimized(self, name: str, opt_level: str = "O2",
                       x_limit: float = 1.5,
                       r_spare: Optional[int] = None,
                       frequency_mode: str = "static",
-                      solver: str = "ilp") -> BenchmarkRun:
+                      solver: str = "ilp",
+                      timing_model: str = "flat") -> BenchmarkRun:
         """Full experiment for one benchmark: baseline, optimize, re-run.
 
         ``frequency_mode="profile"`` feeds the baseline simulation's block
         counts to the optimizer (the dotted points of Figure 5).
+        ``timing_model`` applies to the cost model and both simulations.
         """
-        baseline = self._baseline(name, opt_level)
+        baseline = self._baseline(name, opt_level, timing_model)
 
         optimized_program = self.compile_benchmark_mutable(name, opt_level)
         config = PlacementConfig(x_limit=x_limit, r_spare=r_spare,
-                                 frequency_mode=frequency_mode, solver=solver)
+                                 frequency_mode=frequency_mode, solver=solver,
+                                 timing_model=timing_model)
         optimizer = FlashRAMOptimizer(optimized_program,
                                       energy_model=self.energy_model,
                                       config=config)
@@ -169,7 +183,8 @@ class ExperimentEngine:
         solution = optimizer.optimize(profile=profile)
         fb_report = frequency_fidelity(optimizer.parameters, baseline.profile)
         optimized = Simulator(optimized_program,
-                              energy_model=self.energy_model).run()
+                              energy_model=self.energy_model,
+                              timing_model=timing_model).run()
 
         if optimized.return_value != baseline.return_value:
             raise AssertionError(
@@ -183,12 +198,15 @@ class ExperimentEngine:
 
     def run_spec(self, spec: ExperimentSpec) -> BenchmarkRun:
         """Run one grid cell."""
+        timing_model = getattr(spec, "timing_model", "flat")
         if not spec.optimize:
-            return self.run_baseline(spec.benchmark, spec.opt_level)
+            return self.run_baseline(spec.benchmark, spec.opt_level,
+                                     timing_model=timing_model)
         return self.run_optimized(spec.benchmark, spec.opt_level,
                                   x_limit=spec.x_limit, r_spare=spec.r_spare,
                                   frequency_mode=spec.frequency_mode,
-                                  solver=spec.solver)
+                                  solver=spec.solver,
+                                  timing_model=timing_model)
 
     # ------------------------------------------------------------------ #
     # Grids

@@ -31,6 +31,7 @@ def exploration_sweep(benchmarks: Optional[Sequence[str]] = None,
                       flash_ram_ratios: Sequence[Optional[float]] = DEFAULT_RATIOS,
                       solvers: Sequence[str] = ("ilp",),
                       frequency_modes: Sequence[str] = ("static",),
+                      timing_models: Sequence[str] = ("flat",),
                       engine: Optional[ExperimentEngine] = None,
                       max_workers: Optional[int] = None) -> Tuple[List[Dict], Dict]:
     """Run the sweep; returns (records, meta) ready for a result store.
@@ -48,6 +49,7 @@ def exploration_sweep(benchmarks: Optional[Sequence[str]] = None,
         flash_ram_ratios=tuple(flash_ram_ratios),
         solvers=tuple(solvers),
         frequency_modes=tuple(frequency_modes),
+        timing_models=tuple(timing_models),
     )
     result = run_sweep(sweep, engine=engine, max_workers=max_workers)
     records = mark_pareto(result.records)

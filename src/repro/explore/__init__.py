@@ -6,8 +6,10 @@ kernels (Figures 5-6, Section 6).  This subsystem runs those sweeps through
 the :class:`~repro.engine.ExperimentEngine`:
 
 * :class:`SweepSpec` / :func:`run_sweep` — a declarative cross product of
-  placement knobs, fanned out deterministically over the engine's process
-  pool with one compile per (benchmark, level) (`repro.explore.sweep`);
+  placement knobs (including the ``timing_models`` axis selecting flat vs
+  pipelined/icache cycle accounting, `repro.sim.pipeline`), fanned out
+  deterministically over the engine's process pool with one compile per
+  (benchmark, level) (`repro.explore.sweep`);
 * :func:`pareto_front` / :func:`pareto_records` — non-dominated filtering of
   the energy / time-ratio / RAM-bytes trade-off space
   (`repro.explore.pareto`);

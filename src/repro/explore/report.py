@@ -24,7 +24,10 @@ The report is emitted as one JSON document plus CSV tables that gnuplot
 plus ready-to-run gnuplot driver scripts (``*.gp``) next to the CSVs —
 ``gnuplot energy_vs_x_limit.gp`` renders the Figure 5-style envelope PNG
 and ``gnuplot pareto_fronts.gp`` the Figure 6-style frontier scatter, one
-series per (benchmark, flash/RAM ratio) group, with no other tooling.
+series per (benchmark, flash/RAM ratio, timing model) group, with no other
+tooling.  Records without a ``timing_model`` field (all stores predating
+the timing-model axis) are normalized to ``"flat"`` on load, so old and
+new stores render identically.
 Everything is deterministic in the store contents alone: fronts are sorted
 by objective vector then cell key, so shard→merge→report reproduces the
 monolithic run's artifacts byte for byte.
@@ -48,15 +51,16 @@ REPORT_SCHEMA = 1
 #: Scalar columns of the Pareto-front CSV (stored records also carry lists —
 #: the selected RAM blocks — which stay JSON-only).
 FRONT_COLUMNS: Tuple[str, ...] = (
-    "benchmark", "flash_ram_ratio", "opt_level", "solver", "frequency_mode",
-    "x_limit", "r_spare_requested", "energy_j", "time_ratio", "ram_bytes",
-    "energy_change", "time_change", "cell_key",
+    "benchmark", "flash_ram_ratio", "timing_model", "opt_level", "solver",
+    "frequency_mode", "x_limit", "r_spare_requested", "energy_j",
+    "time_ratio", "ram_bytes", "energy_change", "time_change", "cell_key",
 )
 
 #: Columns of the energy/time-vs-X_limit envelope CSV.
 ENVELOPE_COLUMNS: Tuple[str, ...] = (
-    "benchmark", "flash_ram_ratio", "x_limit", "energy_j", "energy_change",
-    "time_ratio", "ram_bytes", "blocks_moved", "pareto", "cell_key",
+    "benchmark", "flash_ram_ratio", "timing_model", "x_limit", "energy_j",
+    "energy_change", "time_ratio", "ram_bytes", "blocks_moved", "pareto",
+    "cell_key",
 )
 
 #: Columns of the frequency-fidelity CSV (one row per benchmark × mode).
@@ -71,12 +75,17 @@ FIDELITY_COLUMNS: Tuple[str, ...] = (
 #: :data:`~repro.explore.sweep.CELL_KEY_FIELDS` except ``frequency_mode``.
 FIDELITY_PAIR_FIELDS: Tuple[str, ...] = (
     "benchmark", "opt_level", "solver", "x_limit", "r_spare_requested",
-    "flash_ram_ratio",
+    "flash_ram_ratio", "timing_model",
 )
 
 
 def _group_label(fields: Sequence[str], record: Dict) -> str:
-    return ",".join(f"{name}={record.get(name)}" for name in fields)
+    # ``timing_model=flat`` is omitted so reports over flat-only stores keep
+    # the exact labels they had before the timing axis existed; non-flat
+    # groups name their model explicitly.
+    return ",".join(f"{name}={record.get(name)}" for name in fields
+                    if not (name == "timing_model"
+                            and record.get(name) in (None, "flat")))
 
 
 def _fidelity_pair_key(record: Dict) -> Tuple[str, ...]:
@@ -161,9 +170,18 @@ def sweep_report(records: Sequence[Dict],
     """Build the full report document from raw sweep records.
 
     Records need no particular order; the output depends only on their
-    contents (fronts sort by objective vector, then cell key).
+    contents (fronts sort by objective vector, then cell key).  Records
+    without a ``timing_model`` field (every flat cell, including all stores
+    that predate the axis) are normalized to ``timing_model="flat"`` so the
+    report's group labels, tables and plots name the model explicitly.
     """
-    marked = mark_pareto(list(records), objectives=objectives,
+    normalized = []
+    for record in records:
+        if "timing_model" not in record:
+            record = dict(record)
+            record["timing_model"] = "flat"
+        normalized.append(record)
+    marked = mark_pareto(normalized, objectives=objectives,
                          group_fields=group_fields)
 
     groups: Dict[str, List[Dict]] = {}
@@ -254,38 +272,48 @@ def report_tables(report: Dict) -> Dict[str, str]:
 # --------------------------------------------------------------------------- #
 # Gnuplot driver scripts
 # --------------------------------------------------------------------------- #
-def _series_groups(rows: Sequence[Dict]) -> List[Tuple[str, Optional[float]]]:
-    """The (benchmark, flash/RAM ratio) series of *rows*, in stable order."""
+def _series_groups(rows: Sequence[Dict]
+                   ) -> List[Tuple[str, Optional[float], str]]:
+    """The (benchmark, flash/RAM ratio, timing model) series of *rows*,
+    in stable order."""
     seen = {}
     for row in rows:
-        seen[(row.get("benchmark"), row.get("flash_ram_ratio"))] = True
-    return sorted(seen, key=lambda pair: (str(pair[0]),
-                                          pair[1] is not None,
-                                          pair[1] if pair[1] is not None
-                                          else 0.0))
+        seen[(row.get("benchmark"), row.get("flash_ram_ratio"),
+              row.get("timing_model") or "flat")] = True
+    return sorted(seen, key=lambda group: (str(group[0]),
+                                           group[1] is not None,
+                                           group[1] if group[1] is not None
+                                           else 0.0,
+                                           group[2]))
 
 
-def _series_title(benchmark: str, ratio: Optional[float]) -> str:
-    return (f"{benchmark} (calibrated)" if ratio is None
-            else f"{benchmark} (ratio {ratio})")
+def _series_title(benchmark: str, ratio: Optional[float],
+                  timing_model: str) -> str:
+    title = (f"{benchmark} (calibrated)" if ratio is None
+             else f"{benchmark} (ratio {ratio})")
+    if timing_model != "flat":
+        title += f" [{timing_model}]"
+    return title
 
 
-def _series_filter(benchmark: str, ratio: Optional[float],
+def _series_filter(benchmark: str, ratio: Optional[float], timing_model: str,
                    x_column: int) -> str:
     """A gnuplot ``using`` x-expression selecting one series of the CSV.
 
     Rows of other series map their x to NaN, which gnuplot skips — the
     standard trick for plotting a keyed CSV without external filtering.
     ``flash_ram_ratio`` serializes to the empty cell for the calibrated
-    tables (see :func:`_csv_cell`), so the condition matches it as ``""``.
+    tables (see :func:`_csv_cell`); the timing model lives in column 3 of
+    both CSVs (:data:`FRONT_COLUMNS` / :data:`ENVELOPE_COLUMNS`).
     """
     ratio_text = "" if ratio is None else str(ratio)
     return (f'(strcol(1) eq "{benchmark}" && strcol(2) eq "{ratio_text}" '
+            f'&& strcol(3) eq "{timing_model}" '
             f'? column({x_column}) : NaN)')
 
 
 def _gnuplot_script(stem: str, xlabel: str, ylabel: str,
-                    series: Sequence[Tuple[str, Optional[float]]],
+                    series: Sequence[Tuple[str, Optional[float], str]],
                     x_column: int, y_column: int, style: str,
                     comment: str) -> str:
     lines = [
@@ -301,9 +329,9 @@ def _gnuplot_script(stem: str, xlabel: str, ylabel: str,
     ]
     plots = [
         f'    "{stem}.csv" every ::1 using '
-        f"{_series_filter(benchmark, ratio, x_column)}:{y_column} "
-        f'with {style} title "{_series_title(benchmark, ratio)}"'
-        for benchmark, ratio in series
+        f"{_series_filter(benchmark, ratio, timing_model, x_column)}:{y_column} "
+        f'with {style} title "{_series_title(benchmark, ratio, timing_model)}"'
+        for benchmark, ratio, timing_model in series
     ]
     if plots:
         lines.append("plot \\")

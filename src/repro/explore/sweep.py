@@ -3,8 +3,10 @@
 A :class:`SweepSpec` is a cross product of the placement knobs the paper
 varies in Section 6: ``X_limit`` (allowed slowdown), ``R_spare`` (RAM budget,
 ``None`` = derive statically), the flash/RAM energy ratio (``None`` = the
-calibrated Figure 1 tables), the solver and the block-frequency mode, crossed
-with BEEBS kernels and optimization levels.  :func:`run_sweep` expands the
+calibrated Figure 1 tables), the solver, the block-frequency mode and the
+timing model (``"flat"`` default, or the pipelined/icache variants of
+:mod:`repro.sim.pipeline`), crossed with BEEBS kernels and optimization
+levels.  :func:`run_sweep` expands the
 spec into engine cells in a deterministic order and fans them out through
 :meth:`~repro.engine.ExperimentEngine.run_cells`, so a parallel sweep is
 bitwise identical to a sequential one and every (benchmark, level) compiles
@@ -22,6 +24,7 @@ from repro.beebs import BENCHMARK_NAMES
 from repro.engine import ExperimentEngine, ExperimentSpec, default_engine
 from repro.engine.results import PER_RUN_META_KEYS, BenchmarkRun, ResultStore
 from repro.sim.energy import EnergyModel, PowerTable
+from repro.sim.pipeline import TimingSpec
 
 
 def scaled_energy_model(flash_ram_ratio: float,
@@ -48,9 +51,12 @@ def scaled_energy_model(flash_ram_ratio: float,
 #: The knobs that identify one sweep cell.  ``cell_key`` hashes exactly
 #: these, so two cells are the same experiment iff their keys are equal —
 #: independent of the enumeration order of the spec that produced them.
+#: ``timing_model`` enters the hash payload only when it differs from
+#: ``"flat"``, so every pre-existing flat cell keeps its historical key
+#: (and stored sweeps remain byte-identical).
 CELL_KEY_FIELDS: Tuple[str, ...] = (
     "benchmark", "opt_level", "optimize", "x_limit", "r_spare",
-    "flash_ram_ratio", "solver", "frequency_mode",
+    "flash_ram_ratio", "solver", "frequency_mode", "timing_model",
 )
 
 
@@ -94,6 +100,9 @@ def cell_key(cell: SweepCell) -> str:
         "solver": spec.solver,
         "frequency_mode": spec.frequency_mode,
     }
+    timing_model = getattr(spec, "timing_model", "flat")
+    if timing_model != "flat":
+        payload["timing_model"] = timing_model
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -134,7 +143,15 @@ def parse_shard(text: str) -> Tuple[int, int]:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """Cross product of placement knobs (Section 6's exploration axes)."""
+    """Cross product of placement knobs (Section 6's exploration axes).
+
+    ``timing_models`` is the newest axis: each value is a timing-model
+    string (``"flat"``, ``"pipelined"``, ``"pipelined+icache[:LxB]"``),
+    validated and canonicalized through
+    :meth:`~repro.sim.pipeline.TimingSpec.parse` at construction time.  The
+    default ``("flat",)`` keeps specs, cell keys, store meta and stored
+    bytes identical to sweeps that predate the axis.
+    """
 
     benchmarks: Tuple[str, ...] = tuple(BENCHMARK_NAMES)
     opt_levels: Tuple[str, ...] = ("O2",)
@@ -143,6 +160,7 @@ class SweepSpec:
     flash_ram_ratios: Tuple[Optional[float], ...] = (None,)
     solvers: Tuple[str, ...] = ("ilp",)
     frequency_modes: Tuple[str, ...] = ("static",)
+    timing_models: Tuple[str, ...] = ("flat",)
 
     def __post_init__(self):
         # Accept any sequence; store tuples so the spec stays hashable.
@@ -152,24 +170,42 @@ class SweepSpec:
                 object.__setattr__(self, name, tuple(value))
             if not getattr(self, name):
                 raise ValueError(f"sweep axis {name!r} must not be empty")
+        # Validate + canonicalize timing models up front (fail fast, and
+        # make "pipelined+icache" and its explicit default geometry the
+        # same cell identity).
+        object.__setattr__(self, "timing_models", tuple(
+            TimingSpec.parse(model).name for model in self.timing_models))
 
     @property
     def size(self) -> int:
         return (len(self.benchmarks) * len(self.opt_levels) * len(self.x_limits)
                 * len(self.r_spares) * len(self.flash_ram_ratios)
-                * len(self.solvers) * len(self.frequency_modes))
+                * len(self.solvers) * len(self.frequency_modes)
+                * len(self.timing_models))
 
     #: The axes serialized by :meth:`meta` / consumed by :meth:`from_meta`.
     AXES: ClassVar[Tuple[str, ...]] = (
         "benchmarks", "opt_levels", "x_limits", "r_spares",
-        "flash_ram_ratios", "solvers", "frequency_modes",
+        "flash_ram_ratios", "solvers", "frequency_modes", "timing_models",
     )
 
     def meta(self) -> Dict:
         """JSON-safe record of the axes — shared by every shard's store, so
         :meth:`~repro.engine.ResultStore.merge` can check that partial stores
-        came from the same sweep."""
-        return {name: list(getattr(self, name)) for name in self.AXES}
+        came from the same sweep.
+
+        The ``timing_models`` axis is omitted while it has its default
+        ``["flat"]`` value, so flat sweeps write byte-identical stores to
+        the ones produced before the axis existed (and merge/resume against
+        them).
+        """
+        meta = {}
+        for name in self.AXES:
+            value = list(getattr(self, name))
+            if name == "timing_models" and value == ["flat"]:
+                continue
+            meta[name] = value
+        return meta
 
     @classmethod
     def from_meta(cls, meta: Dict) -> "SweepSpec":
@@ -179,10 +215,18 @@ class SweepSpec:
         spec enumerates cells with the very same :func:`cell_key`\\ s — this
         is how a distributed worker reconstitutes the sweep from the
         coordinator's ``welcome`` message.  Per-run keys (``cells``,
-        ``shard``) are ignored; missing axes are an error.
+        ``shard``) are ignored; missing axes are an error — except
+        ``timing_models``, whose absence means the pre-axis default
+        ``("flat",)``.
         """
         try:
-            return cls(**{name: tuple(meta[name]) for name in cls.AXES})
+            values = {}
+            for name in cls.AXES:
+                if name == "timing_models":
+                    values[name] = tuple(meta.get(name, ("flat",)))
+                else:
+                    values[name] = tuple(meta[name])
+            return cls(**values)
         except KeyError as error:
             raise ValueError(f"sweep meta is missing axis {error}") from error
 
@@ -197,26 +241,33 @@ class SweepSpec:
         for benchmark in self.benchmarks:
             for level in self.opt_levels:
                 for mode in self.frequency_modes:
-                    for solver in self.solvers:
-                        for ratio in self.flash_ram_ratios:
-                            for r_spare in self.r_spares:
-                                for x_limit in self.x_limits:
-                                    cells.append(SweepCell(
-                                        spec=ExperimentSpec(
-                                            benchmark=benchmark,
-                                            opt_level=level,
-                                            x_limit=x_limit,
-                                            r_spare=r_spare,
-                                            frequency_mode=mode,
-                                            solver=solver,
-                                        ),
-                                        flash_ram_ratio=ratio,
-                                    ))
+                    for timing_model in self.timing_models:
+                        for solver in self.solvers:
+                            for ratio in self.flash_ram_ratios:
+                                for r_spare in self.r_spares:
+                                    for x_limit in self.x_limits:
+                                        cells.append(SweepCell(
+                                            spec=ExperimentSpec(
+                                                benchmark=benchmark,
+                                                opt_level=level,
+                                                x_limit=x_limit,
+                                                r_spare=r_spare,
+                                                frequency_mode=mode,
+                                                solver=solver,
+                                                timing_model=timing_model,
+                                            ),
+                                            flash_ram_ratio=ratio,
+                                        ))
         return cells
 
 
 def cell_record(cell: SweepCell, run: BenchmarkRun) -> Dict:
-    """Flat JSON-safe record of one sweep cell (knobs + measurements)."""
+    """Flat JSON-safe record of one sweep cell (knobs + measurements).
+
+    The ``timing_model`` field appears only on non-flat cells, keeping flat
+    records (and therefore whole flat stores) byte-identical to pre-axis
+    runs; report code normalizes the absence back to ``"flat"``.
+    """
     estimate = run.solution.estimate if run.solution else None
     record = {
         "cell_key": cell.key,
@@ -245,6 +296,9 @@ def cell_record(cell: SweepCell, run: BenchmarkRun) -> Dict:
         "r_spare_derived": run.solution.r_spare if run.solution else None,
         "ram_blocks": sorted(run.solution.ram_blocks) if run.solution else [],
     }
+    timing_model = getattr(cell.spec, "timing_model", "flat")
+    if timing_model != "flat":
+        record["timing_model"] = timing_model
     if run.fb_report is not None:
         # Static-vs-profiled F_b fidelity of this cell's frequency mode
         # (fb_mean_abs_log_ratio etc.); flows through shards/merges/distrib

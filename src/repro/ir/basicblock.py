@@ -1,4 +1,8 @@
-"""IR basic blocks."""
+"""IR basic blocks: an instruction list closed by a single terminator.
+
+Blocks know their predecessors/successors through the terminator, which is
+what the CFG cleanup pass and the machine-level lowering traverse.
+"""
 
 from __future__ import annotations
 

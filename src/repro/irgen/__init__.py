@@ -1,4 +1,9 @@
-"""AST-to-IR lowering."""
+"""AST-to-IR lowering: turns the checked mini-C AST into SSA-ish IR.
+
+``lower_program`` walks a semantically-checked AST and emits one IR
+function per mini-C function; ``compile_source_to_ir`` bundles the whole
+frontend in front of it (lex → parse → sema → lower) for tools and tests.
+"""
 
 from repro.irgen.lowering import lower_program, LoweringError, compile_source_to_ir
 

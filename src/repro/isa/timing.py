@@ -10,8 +10,10 @@ quoted cycle counts when costed with this model.
 
 from __future__ import annotations
 
+from typing import FrozenSet
+
 from repro.isa.instructions import InstrClass, MachineInstr, Opcode, RegList
-from repro.isa.registers import PC
+from repro.isa.registers import PC, Reg
 
 #: Core clock of the STM32F100 used by the paper (value B of the datasheet).
 CLOCK_HZ = 24_000_000
@@ -26,6 +28,16 @@ BRANCH_TAKEN_PENALTY = 2
 #: stream itself is being fetched from RAM (single-ported SRAM contention,
 #: the source of the paper's ``L_b`` parameter).
 RAM_CONTENTION_STALL = 1
+
+#: Wait states per flash access at 24 MHz (STM32F100 datasheet: one wait
+#: state above 24 MHz band boundary; the flat model folds this into the
+#: table costs, the pipelined model of :mod:`repro.sim.pipeline` charges it
+#: per fetch unless hidden behind a multi-cycle instruction).
+FLASH_WAIT_STATES = 1
+
+#: Stall cycles when an instruction reads the destination register of the
+#: immediately preceding load (pipelined timing model only).
+LOAD_USE_STALL = 1
 
 
 _CLASS_BY_OPCODE = {
@@ -112,3 +124,64 @@ def cycles_for(instr: MachineInstr, taken: bool = True) -> int:
         # Literal fetch + pipeline refill: the paper quotes 4 cycles.
         return 4
     return 1
+
+
+_LOAD_OPS = frozenset({Opcode.LDR, Opcode.LDRB, Opcode.LDR_LIT})
+_BINARY_ALU_OPS = frozenset({Opcode.ADD, Opcode.SUB, Opcode.RSB, Opcode.AND,
+                             Opcode.ORR, Opcode.EOR, Opcode.LSL, Opcode.LSR,
+                             Opcode.ASR, Opcode.MUL, Opcode.SDIV, Opcode.UDIV})
+
+_EMPTY_READS: "FrozenSet[int]" = frozenset()
+
+
+def load_dest(instr: MachineInstr) -> int:
+    """Destination register index of a load, or -1 for non-loads.
+
+    Used by the pipelined timing model's load-use hazard detection.  ``pop``
+    also loads, but its multi-cycle stack walk already covers the writeback
+    latency, so it is deliberately excluded.
+    """
+    if instr.opcode in _LOAD_OPS and instr.operands:
+        dst = instr.operands[0]
+        if isinstance(dst, Reg):
+            return dst.index
+    return -1
+
+
+def registers_read(instr: MachineInstr) -> "FrozenSet[int]":
+    """Indices of the registers *instr* reads in its first pipeline stage.
+
+    Conservative on purpose: only the operand positions that feed the
+    address/ALU stage (where a load-use hazard bites) are reported, and any
+    unexpected operand shape degrades to "reads nothing" rather than raising
+    at decode time.
+    """
+    op = instr.opcode
+    ops = instr.operands
+    reads = []
+    try:
+        if op in (Opcode.MOV, Opcode.MVN):
+            sources = (ops[1],)
+        elif op in _BINARY_ALU_OPS:
+            sources = (ops[1], ops[2])
+        elif op is Opcode.CMP:
+            sources = (ops[0], ops[1])
+        elif op in (Opcode.LDR, Opcode.LDRB):
+            sources = (ops[1], ops[2])
+        elif op in (Opcode.STR, Opcode.STRB):
+            sources = (ops[0], ops[1], ops[2])
+        elif op in (Opcode.CBZ, Opcode.CBNZ, Opcode.BX):
+            sources = (ops[0],)
+        elif op is Opcode.PUSH:
+            regs = ops[0]
+            sources = tuple(regs.regs) if isinstance(regs, RegList) else ()
+        else:
+            return _EMPTY_READS
+        for source in sources:
+            if isinstance(source, Reg):
+                reads.append(source.index)
+    except (IndexError, AttributeError, TypeError):
+        return _EMPTY_READS
+    if not reads:
+        return _EMPTY_READS
+    return frozenset(reads)

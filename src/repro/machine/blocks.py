@@ -87,6 +87,20 @@ class MachineBlock:
         """The ``S_b`` parameter: total code size of the block in bytes."""
         return sum(size_of(i) for i in self.instructions)
 
+    def instruction_offsets(self) -> List[int]:
+        """Byte offset of each instruction from the block start.
+
+        Combined with ``address`` this gives every instruction's fetch
+        address — the pipelined timing model uses it to map instructions to
+        icache lines.
+        """
+        offsets: List[int] = []
+        position = 0
+        for instr in self.instructions:
+            offsets.append(position)
+            position += size_of(instr)
+        return offsets
+
     def cycle_estimate(self) -> int:
         """The ``C_b`` parameter: estimated cycles for one execution.
 

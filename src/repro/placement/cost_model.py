@@ -107,12 +107,20 @@ class PlacementCostModel:
 
     def block_cycles(self, params: BlockParameters, in_ram: bool,
                      instrumented: bool) -> float:
-        """``C_b + O_c(b) + O_r(b)`` for one execution of the block."""
+        """``C_b + O_c(b) + O_r(b)`` for one execution of the block.
+
+        Under the pipelined timing model a block left in flash additionally
+        pays its estimated fetch-stall cycles (``flash_stall_cycles``) —
+        cycles a RAM placement removes.  The field is 0.0 under the flat
+        model, leaving the flat arithmetic bit-for-bit unchanged.
+        """
         cycles = float(params.cycles)
         if instrumented:
             cycles += params.instrument_cycles
         if in_ram:
             cycles += params.ram_stall_cycles
+        elif params.flash_stall_cycles:
+            cycles += params.flash_stall_cycles
         return cycles
 
     def block_energy(self, params: BlockParameters, in_ram: bool,
@@ -125,8 +133,15 @@ class PlacementCostModel:
     # Program-level sums
     # ------------------------------------------------------------------ #
     def baseline_cycles(self) -> float:
-        """Weighted cycles with everything in flash (denominator of Eq. 9)."""
-        return sum(p.cycles * p.frequency for p in self.parameters.values())
+        """Weighted cycles with everything in flash (denominator of Eq. 9).
+
+        Includes the pipelined model's flash fetch stalls (zero under the
+        flat model) — the baseline runs entirely from flash and pays them.
+        """
+        return sum(
+            ((p.cycles + p.flash_stall_cycles) if p.flash_stall_cycles
+             else p.cycles) * p.frequency
+            for p in self.parameters.values())
 
     def baseline_energy(self) -> float:
         """Equation 1 evaluated at R = {} (the all-in-flash base case)."""

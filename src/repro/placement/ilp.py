@@ -115,15 +115,29 @@ def build_placement_ilp(model: PlacementCostModel, r_spare: float,
     num_vars = len(var_names)
     delta = model.e_ram - model.e_flash  # negative: RAM is cheaper
 
+    # Pipelined timing model: a block left in flash pays its estimated fetch
+    # stalls f_b (flash_stall_cycles), a block moved to RAM does not.  Moving
+    # block b then changes its energy by F_b*[(C_b+L_b)*E_ram - (C_b+f_b)*
+    # E_flash] = F_b*[C_b*delta + L_b*E_ram - f_b*E_flash].  All stall terms
+    # are zero under the flat model, keeping the flat arithmetic bit-exact.
     objective = np.zeros(num_vars)
     constant = 0.0
     for key, params in model.parameters.items():
-        constant += params.frequency * params.cycles * model.e_flash
+        stall = params.flash_stall_cycles
+        if stall:
+            constant += params.frequency * (params.cycles + stall) * model.e_flash
+        else:
+            constant += params.frequency * params.cycles * model.e_flash
         if key not in index_of:
             continue
         base = index_of[key]
-        objective[base + 0] += params.frequency * (
-            params.cycles * delta + params.ram_stall_cycles * model.e_ram)
+        if stall:
+            objective[base + 0] += params.frequency * (
+                params.cycles * delta + params.ram_stall_cycles * model.e_ram
+                - stall * model.e_flash)
+        else:
+            objective[base + 0] += params.frequency * (
+                params.cycles * delta + params.ram_stall_cycles * model.e_ram)
         objective[base + 1] += params.frequency * params.instrument_cycles * model.e_flash
         objective[base + 2] += params.frequency * params.instrument_cycles * delta
 
@@ -174,13 +188,21 @@ def build_placement_ilp(model: PlacementCostModel, r_spare: float,
         ram_row[base + 2] = float(params.instrument_bytes)
     add_row(ram_row, float(r_spare))
 
-    # Equation 9: execution-time bound.
+    # Equation 9: execution-time bound.  Under the pipelined model moving a
+    # block to RAM removes its flash stalls, so its time coefficient is
+    # F_b*(L_b - f_b) — possibly negative (a RAM placement can *speed up*
+    # execution), which the LP relaxation handles without special casing.
+    # The baseline on the right-hand side includes the stalls symmetrically.
     time_row: Dict[int, float] = {}
     for key in eligible:
         base = index_of[key]
         params = model.parameters[key]
         time_row[base + 1] = params.frequency * params.instrument_cycles
-        time_row[base + 0] = params.frequency * params.ram_stall_cycles
+        if params.flash_stall_cycles:
+            time_row[base + 0] = params.frequency * (
+                params.ram_stall_cycles - params.flash_stall_cycles)
+        else:
+            time_row[base + 0] = params.frequency * params.ram_stall_cycles
     add_row(time_row, (x_limit - 1.0) * model.baseline_cycles())
 
     problem = ILPProblem(

@@ -27,13 +27,20 @@ from repro.placement.solvers.branch_and_bound import solve_ilp
 from repro.placement.solvers.exhaustive import exhaustive_best_placement
 from repro.placement.solvers.greedy import greedy_placement
 from repro.sim.energy import EnergyModel
+from repro.sim.pipeline import TimingSpec
 from repro.sim.profiler import BlockProfile
 from repro.transform.relocation import apply_placement
 
 
 @dataclass
 class PlacementConfig:
-    """Developer-facing knobs (Section 4.1's X_limit and R_spare) and options."""
+    """Developer-facing knobs (Section 4.1's X_limit and R_spare) and options.
+
+    ``timing_model`` selects the cycle-accounting scheme the cost model (and
+    the simulator the results are validated against) assumes — ``"flat"``
+    (the paper's wait-state model, default) or the pipelined variants of
+    :mod:`repro.sim.pipeline` (``"pipelined"``, ``"pipelined+icache[:LxB]"``).
+    """
 
     x_limit: float = 1.5
     r_spare: Optional[int] = None
@@ -44,6 +51,7 @@ class PlacementConfig:
     warm_start: bool = True      # dual-simplex warm starts in the ILP solver
     stack_reserve: int = 1024
     safety_margin: int = 64
+    timing_model: str = "flat"
 
 
 @dataclass
@@ -93,15 +101,26 @@ class FlashRAMOptimizer:
     # Model construction
     # ------------------------------------------------------------------ #
     def build_cost_model(self, profile: Optional[BlockProfile] = None) -> PlacementCostModel:
+        """Extract block parameters and build the Section 4.3 cost model.
+
+        Under a pipelined ``timing_model`` the extracted parameters carry
+        static hazard/flash-stall estimates and, with an icache, the
+        ``E_flash`` coefficient blends toward ``E_ram`` at the assumed hit
+        rate (:meth:`~repro.sim.pipeline.TimingSpec.effective_e_flash`).
+        With the flat default both are pass-throughs.
+        """
+        timing = TimingSpec.parse(self.config.timing_model)
         parameters = extract_parameters(
             self.program,
             frequency_mode=self.config.frequency_mode,
             profile=profile,
             loop_weight=self.config.loop_weight,
+            timing=None if timing.is_flat else timing,
         )
         self._parameters = parameters
         self._cost_model = PlacementCostModel(
-            parameters, self.energy_model.e_flash, self.energy_model.e_ram)
+            parameters, timing.effective_e_flash(self.energy_model),
+            self.energy_model.e_ram)
         return self._cost_model
 
     @property

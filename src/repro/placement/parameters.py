@@ -13,6 +13,13 @@ For every basic block ``b`` of the compiled program we compute
 Succ(b)   successor blocks within the same function
 ========  ====================================================================
 
+Under the pipelined timing model (:mod:`repro.sim.pipeline`) two extra terms
+appear: load-use hazard cycles are memory-independent and folded straight
+into ``C_b``, while the estimated flash fetch-stall cycles are recorded
+separately (``flash_stall_cycles``) because a RAM placement *removes* them —
+the mirror image of ``L_b``.  With ``timing=None`` (the flat default) both
+terms are zero and extraction is bit-for-bit unchanged.
+
 Library blocks (soft-float runtime) are extracted too — their energy counts in
 the total — but are marked ``library`` so the solver never moves them.
 """
@@ -20,7 +27,10 @@ the total — but are marked ``library`` so the solver never moves them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.sim.pipeline import TimingSpec
 
 from repro.analysis.cfg import CFGView
 from repro.analysis.frequency import DEFAULT_LOOP_WEIGHT, estimate_block_frequencies
@@ -53,6 +63,9 @@ class BlockParameters:
     successors: List[str] = field(default_factory=list)
     library: bool = False
     terminator: TerminatorKind = TerminatorKind.FALLTHROUGH
+    #: Estimated extra fetch cycles per execution while the block stays in
+    #: flash (pipelined timing model only; 0.0 under the flat model).
+    flash_stall_cycles: float = 0.0
 
     @property
     def eligible(self) -> bool:
@@ -110,7 +123,8 @@ def extract_parameters(program: MachineProgram,
                        frequency_mode: str = "static",
                        profile: Optional[BlockProfile] = None,
                        loop_weight: int = DEFAULT_LOOP_WEIGHT,
-                       entry: Optional[str] = None) -> Dict[str, BlockParameters]:
+                       entry: Optional[str] = None,
+                       timing: Optional["TimingSpec"] = None) -> Dict[str, BlockParameters]:
     """Extract :class:`BlockParameters` for every block of *program*.
 
     ``frequency_mode`` selects the ``F_b`` variant: ``"static"`` (the paper's
@@ -118,6 +132,10 @@ def extract_parameters(program: MachineProgram,
     (heuristic branch probabilities with proper loop-nest propagation, see
     :mod:`repro.analysis.wu_larus`) or ``"profile"`` (exact counts from a
     prior simulation, requires *profile*).
+
+    ``timing`` (a :class:`~repro.sim.pipeline.TimingSpec`, or ``None`` for
+    the flat model) adds the pipelined model's static hazard and flash-stall
+    estimates to the extracted parameters; see the module docstring.
     """
     if frequency_mode not in FREQUENCY_MODES:
         raise ValueError(f"unknown frequency mode {frequency_mode!r}")
@@ -151,16 +169,22 @@ def extract_parameters(program: MachineProgram,
                              * function_frequencies[function.name])
             kind = block.terminator_kind()
             overhead = instrumentation_overhead(kind)
+            cycles = block.cycle_estimate()
+            flash_stall = 0.0
+            if timing is not None and not timing.is_flat:
+                hazard, flash_stall = timing.static_block_costs(block)
+                cycles += hazard
             parameters[key] = BlockParameters(
                 key=key,
                 function=function.name,
                 name=block.name,
                 size=block.size_bytes(),
-                cycles=block.cycle_estimate(),
+                cycles=cycles,
                 frequency=frequency,
                 instrument_bytes=overhead.extra_bytes,
                 instrument_cycles=overhead.extra_cycles,
                 ram_stall_cycles=block.load_store_count() * RAM_CONTENTION_STALL,
+                flash_stall_cycles=flash_stall,
                 successors=[f"{function.name}:{s}" for s in block.successors()],
                 library=function.is_library,
                 terminator=kind,

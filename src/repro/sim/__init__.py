@@ -6,11 +6,19 @@ counts cycles (including the RAM-contention stalls the paper's ``L_b``
 parameter models), attributes per-cycle power according to which memory the
 instruction stream is fetched from (flash or RAM, Figure 1), and produces
 per-block execution counts used as the "actual frequency" input of Figure 5.
+
+Two timing models are available (``repro.sim.pipeline``): the default
+``flat`` accounting the paper calibrates against, and an opt-in
+``pipelined`` model with fetch/execute overlap, branch-flush and load-use
+hazards, and an optional direct-mapped instruction cache in front of flash.
+``flat`` runs are bitwise identical whether or not the pipelined code path
+exists; select a model per run with ``Simulator(..., timing_model=...)``.
 """
 
 from repro.sim.memory import MemorySystem, MemoryError_
 from repro.sim.energy import EnergyModel, PowerTable, DEFAULT_POWER_TABLE
 from repro.sim.profiler import BlockProfile
+from repro.sim.pipeline import TIMING_MODELS, TimingSpec
 from repro.sim.cpu import Simulator, SimulationResult, SimulationError
 
 __all__ = [
@@ -20,6 +28,8 @@ __all__ = [
     "PowerTable",
     "DEFAULT_POWER_TABLE",
     "BlockProfile",
+    "TIMING_MODELS",
+    "TimingSpec",
     "Simulator",
     "SimulationResult",
     "SimulationError",

@@ -34,7 +34,7 @@ matter which path — or what grouping — produced them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.isa.conditions import Cond, cond_holds
 from repro.isa.instructions import Imm, InstrClass, MachineInstr, Opcode, RegList, Sym
@@ -45,6 +45,7 @@ from repro.machine.program import MachineProgram
 from repro.sim.decode import SimulationError, predecode, resolve_symbol
 from repro.sim.energy import EnergyModel
 from repro.sim.memory import MemorySystem
+from repro.sim.pipeline import TimingSpec, run_pipelined
 from repro.sim.profiler import BlockProfile
 from repro.sim.superblock import (
     HOT_THRESHOLD,
@@ -97,18 +98,30 @@ def _signed(value: int) -> int:
 
 
 class Simulator:
-    """Executes a linked machine program and accounts cycles and energy."""
+    """Executes a linked machine program and accounts cycles and energy.
+
+    ``timing_model`` selects the cycle-accounting scheme: the default
+    ``"flat"`` keeps the three bit-exact execution paths described in the
+    module docstring; ``"pipelined"`` (optionally with ``+icache[:LxB]``)
+    switches to the 3-stage fetch/decode/execute accounting of
+    :mod:`repro.sim.pipeline`.  Pipelined runs always use their own
+    decode-once loop — the ``decode_once``/``superblocks`` flags only pick
+    between the flat paths — because superblocks batch statically
+    precomputed *flat* cycles.
+    """
 
     def __init__(self, program: MachineProgram,
                  energy_model: Optional[EnergyModel] = None,
                  max_instructions: int = 20_000_000,
                  decode_once: bool = True,
-                 superblocks: bool = True):
+                 superblocks: bool = True,
+                 timing_model: Union[str, TimingSpec] = "flat"):
         self.program = program
         self.energy_model = energy_model or EnergyModel()
         self.max_instructions = max_instructions
         self.decode_once = decode_once
         self.superblocks = superblocks
+        self.timing = TimingSpec.parse(timing_model)
 
         self.memory = MemorySystem(program.flash, program.ram)
         self._init_data()
@@ -223,6 +236,8 @@ class Simulator:
         self.registers[SP.index] = self.program.ram.end
         self.registers[LR.index] = EXIT_TOKEN
 
+        if not self.timing.is_flat:
+            return run_pipelined(self, entry)
         if not self.decode_once:
             return self._run_interpreted(entry)
         if self.superblocks:

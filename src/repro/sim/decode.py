@@ -35,7 +35,7 @@ from typing import List, Optional, Tuple
 from repro.isa.conditions import Cond, cond_holds
 from repro.isa.instructions import Imm, InstrClass, MachineInstr, Opcode, RegList, Sym
 from repro.isa.registers import PC, Reg
-from repro.isa.timing import cycles_for, instr_class
+from repro.isa.timing import cycles_for, instr_class, load_dest, registers_read
 from repro.machine.blocks import MachineBlock
 from repro.machine.program import MachineProgram
 
@@ -90,13 +90,17 @@ class DecodedInstr:
 
     __slots__ = ("run", "cycles_taken", "cycles_not_taken", "klass",
                  "klass_value", "contention", "conditional", "is_it",
-                 "predicated", "cond", "instr")
+                 "predicated", "cond", "instr", "load_dst", "reads")
 
     def __init__(self, instr: MachineInstr):
         self.instr = instr
         self.cycles_taken = cycles_for(instr, taken=True)
         self.cycles_not_taken = cycles_for(instr, taken=False)
         self.klass = instr_class(instr)
+        # Load-use hazard metadata for the pipelined timing model
+        # (repro.sim.pipeline); unused by the flat execution paths.
+        self.load_dst = load_dest(instr)
+        self.reads = registers_read(instr)
         # Plain-string mirror of ``klass`` for energy-count keys: strings
         # hash at C speed (and cache it), Enum.__hash__ is a Python call.
         self.klass_value = self.klass.value

@@ -588,16 +588,18 @@ def test_report_gnuplot_scripts_cover_every_series():
     assert '"energy_vs_x_limit.csv"' in envelope
     assert 'strcol(1) eq "a" && strcol(2) eq ""' in envelope
     assert 'strcol(1) eq "b" && strcol(2) eq "2.5"' in envelope
+    # Flat records match the timing_model column (3) explicitly.
+    assert 'strcol(3) eq "flat"' in envelope
     assert 'title "a (calibrated)"' in envelope
     assert 'title "b (ratio 2.5)"' in envelope
     # x/y columns must track the CSV layout constants.
-    assert ": NaN):4 " in envelope        # energy_j is envelope column 4
-    assert "column(3)" in envelope        # x_limit is envelope column 3
+    assert ": NaN):5 " in envelope        # energy_j is envelope column 5
+    assert "column(4)" in envelope        # x_limit is envelope column 4
 
     fronts = scripts["pareto_fronts.gp"]
     assert '"pareto_fronts.csv"' in fronts
-    assert ": NaN):8 " in fronts          # energy_j is front column 8
-    assert "column(9)" in fronts          # time_ratio is front column 9
+    assert ": NaN):9 " in fronts          # energy_j is front column 9
+    assert "column(10)" in fronts         # time_ratio is front column 10
 
     # Deterministic in the report alone (shard→merge→report contract).
     assert report_scripts(sweep_report(list(reversed(hand_records())))) \
