@@ -1,0 +1,148 @@
+"""Perf smoke bench: telemetry must be (nearly) free and strictly out of band.
+
+Runs the Figure 5 BEEBS grid (every benchmark x O2/Os) through fresh
+engines sharing one preloaded :class:`ProgramCache`, N times with telemetry
+off and N times streaming spans/counters to a sink directory.  Each repeat
+times the two modes back to back in alternating order, so slow machine-load
+drift hits both equally; the recorded ratio is the **median of the per-pair
+off/on ratios**, which a single noisy outlier pass cannot skew.  Two gates:
+
+* **overhead** — the paired off/on ratio (``telemetry_overhead_speedup``)
+  must stay above 0.98: tracing may cost at most 2% of the grid;
+* **bitwise** — the per-cell records of the traced and untraced passes must
+  be byte-identical once canonically serialized
+  (``records_bitwise_identical``): telemetry never touches results.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py [--quick] \
+        [--repeats N] [--output BENCH_telemetry.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import statistics
+import tempfile
+import time
+from typing import List, Optional, Tuple
+
+from repro.beebs import BENCHMARK_NAMES
+from repro.engine import ExperimentEngine, ProgramCache, atomic_write_json
+from repro.engine.engine import ExperimentSpec
+from repro.engine.results import run_record
+from repro.telemetry import configure_telemetry, reset_telemetry
+
+LEVELS = ["O2", "Os"]
+#: Telemetry may cost at most 2% of grid wall-clock (off/on >= this ratio).
+OVERHEAD_SPEEDUP_FLOOR = 0.98
+
+
+def canonical_records(runs) -> str:
+    """Order- and key-stable serialization of a grid's records."""
+    return json.dumps([run_record(run) for run in runs], sort_keys=True)
+
+
+def run_grid_once(cache: ProgramCache,
+                  specs: List[ExperimentSpec]) -> Tuple[float, str]:
+    """One sequential grid pass on a fresh engine; (seconds, records)."""
+    engine = ExperimentEngine(cache=cache, max_workers=1)
+    started = time.perf_counter()
+    runs = engine.run_grid(specs)
+    seconds = time.perf_counter() - started
+    return seconds, canonical_records(runs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="run a 4-benchmark subset instead of the suite")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timing repetitions per mode (best-of, default 5)")
+    parser.add_argument("--output", default="BENCH_telemetry.json",
+                        help="where to write the JSON record")
+    args = parser.parse_args(argv)
+
+    benchmarks = (["2dfir", "crc32", "fdct", "int_matmult"] if args.quick
+                  else list(BENCHMARK_NAMES))
+    specs = [ExperimentSpec(benchmark=name, opt_level=level)
+             for name in benchmarks for level in LEVELS]
+
+    # One shared cache: programs compile once, every timed pass measures the
+    # optimize+simulate pipeline the instrumentation actually wraps.
+    cache = ProgramCache()
+    for name in benchmarks:
+        for level in LEVELS:
+            cache.get_benchmark(name, level)
+    reset_telemetry(clear_env=True)
+    print(f"Figure 5 grid: {len(specs)} cells, best of {args.repeats} "
+          f"per mode (shared preloaded cache)")
+    warm_seconds, _ = run_grid_once(cache, specs)  # warm-up, untimed mode
+    print(f"warm-up pass         : {warm_seconds:8.2f} s")
+
+    off_records = on_records = None
+    off_times: List[float] = []
+    on_times: List[float] = []
+    ratios: List[float] = []
+    events_written = 0
+    with tempfile.TemporaryDirectory(prefix="bench-telemetry-") as sink_root:
+        for repeat in range(args.repeats):
+            # Alternate the order each repeat so slow machine-load drift
+            # (GC, thermal, noisy CI neighbours) cannot bias one mode.
+            for mode in (("off", "on") if repeat % 2 == 0 else ("on", "off")):
+                if mode == "off":
+                    seconds, off_records = run_grid_once(cache, specs)
+                    off_times.append(seconds)
+                    continue
+                sink = os.path.join(sink_root, f"pass-{repeat}")
+                configure_telemetry(sink, role="main")
+                try:
+                    seconds, on_records = run_grid_once(cache, specs)
+                finally:
+                    reset_telemetry(clear_env=True)
+                on_times.append(seconds)
+                events_written = sum(
+                    1 for path in glob.glob(os.path.join(sink,
+                                                         "*.events.jsonl"))
+                    for _line in open(path, encoding="utf-8"))
+            ratios.append(off_times[-1] / on_times[-1])
+            print(f"  pass {repeat}: off {off_times[-1]:6.2f} s, "
+                  f"on {on_times[-1]:6.2f} s, ratio {ratios[-1]:.3f}x, "
+                  f"{events_written} events")
+
+    bitwise = off_records == on_records
+    speedup = statistics.median(ratios)
+    print(f"telemetry off        : best {min(off_times):8.2f} s")
+    print(f"telemetry on         : best {min(on_times):8.2f} s "
+          f"({events_written} events per pass)")
+    print(f"paired off/on ratio  : {speedup:8.3f} x median "
+          f"(overhead {100.0 * (1.0 / speedup - 1.0):+.1f}%)")
+    print(f"records bitwise      : {bitwise}")
+
+    record = {
+        "grid": {"benchmarks": benchmarks, "levels": LEVELS,
+                 "cells": len(specs), "repeats": args.repeats},
+        "telemetry_off_seconds": min(off_times),
+        "telemetry_on_seconds": min(on_times),
+        "events_per_pass": events_written,
+        "telemetry_overhead_speedup": speedup,
+        "records_bitwise_identical": bitwise,
+    }
+    atomic_write_json(args.output, record)
+    print(f"wrote {args.output}")
+
+    if not bitwise:
+        print("ERROR: traced records differ from untraced records")
+        return 1
+    if speedup < OVERHEAD_SPEEDUP_FLOOR:
+        print(f"ERROR: off/on ratio {speedup:.3f}x below the "
+              f"{OVERHEAD_SPEEDUP_FLOOR}x floor (telemetry overhead >2%)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

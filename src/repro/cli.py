@@ -52,6 +52,17 @@ exiting non-zero if there are any::
 
     repro-eval analyze                       # lint + audit, all benchmarks
     repro-eval analyze --lint --levels O2    # lint only, one level
+
+``--telemetry DIR`` (any subcommand) streams span/counter events from every
+process — coordinator, workers, pool children — into ``DIR`` as JSON lines
+(:mod:`repro.telemetry`); results are byte-identical with or without it.
+``stats`` reduces such a trace directory into a per-phase wall-clock
+breakdown, and ``metrics`` scrapes a live coordinator's Prometheus text
+without joining the fleet::
+
+    repro-eval explore --benchmarks crc32 --telemetry trace/ --output out
+    repro-eval stats trace/                  # where did the time go?
+    repro-eval metrics --port 7399           # live queue depth / ETA / p95
 """
 
 from __future__ import annotations
@@ -66,7 +77,8 @@ from repro.engine import ExperimentEngine, ResultStore, default_engine
 from repro.placement.parameters import FREQUENCY_MODES
 
 FIGURES = ["figure1", "figure2", "figure5", "figure6", "figure9", "case-study",
-           "explore", "merge", "report", "coordinate", "work", "analyze"]
+           "explore", "merge", "report", "coordinate", "work", "analyze",
+           "metrics", "stats"]
 
 #: Every optimization level the compiler driver accepts, in pipeline order.
 ALL_OPT_LEVELS = ("O0", "O1", "O2", "O3", "Os")
@@ -79,6 +91,9 @@ def _build_parser() -> argparse.ArgumentParser:
                     "trade-off in deeply embedded systems' (CGO 2015).")
     parser.add_argument("figure", choices=FIGURES,
                         help="which figure / reported number to reproduce")
+    parser.add_argument("target", nargs="?", default=None, metavar="PATH",
+                        help="stats: telemetry trace directory to summarize "
+                             "(defaults to --telemetry DIR)")
     parser.add_argument("--benchmarks", nargs="*", default=None,
                         metavar="NAME",
                         help=f"benchmark subset (default: figure-specific; "
@@ -168,6 +183,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="work: artificial delay per executed cell "
                              "(manufactures stragglers for tests/benchmarks)")
+    parser.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="write span/counter telemetry events (JSON "
+                             "lines, one file per process) into DIR; "
+                             "propagated to pool and distributed workers; "
+                             "results are byte-identical with or without it")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persistent on-disk program cache shared "
                              "between processes and runs: compiled programs "
@@ -233,6 +253,11 @@ def _emit(args, name: str, records: List[dict], meta: Optional[dict] = None) -> 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.telemetry:
+        from repro.telemetry import configure_telemetry
+        role = {"coordinate": "coordinator", "work": "worker"}.get(
+            args.figure, "main")
+        configure_telemetry(args.telemetry, role=role)
     if args.workers is None and args.cache_dir is None:
         engine = default_engine()
     else:
@@ -425,6 +450,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             _emit(args, "analyze", rows,
                   meta={"checks": checks, "findings": failures})
         return 1 if failures else 0
+
+    elif args.figure == "metrics":
+        from repro.distrib import protocol
+        from repro.telemetry import render_prometheus
+        if args.port is None:
+            parser.error("metrics requires --port (the coordinator's port)")
+        stream = protocol.connect(args.host, args.port)
+        try:
+            stream.send({"type": "metrics"})
+            reply = stream.recv()
+        finally:
+            stream.close()
+        if reply is None or reply.get("type") != "metrics":
+            print(f"unexpected reply from coordinator: {reply!r}",
+                  file=sys.stderr)
+            return 1
+        sys.stdout.write(render_prometheus(reply["snapshot"]))
+
+    elif args.figure == "stats":
+        from repro.telemetry import render_trace_stats
+        trace_dir = args.target or args.telemetry
+        if not trace_dir:
+            parser.error("stats requires a trace directory "
+                         "(positional PATH or --telemetry DIR)")
+        print(render_trace_stats(trace_dir))
 
     elif args.figure == "report":
         if not args.store:

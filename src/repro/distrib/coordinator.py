@@ -53,6 +53,8 @@ from repro.explore.sweep import (
     load_resumable_records,
     shard_cells,
 )
+from repro.telemetry import RateEwma, get_telemetry
+from repro.telemetry.metrics import percentile
 
 #: Cells per lease.  Small enough that a straggler holds little work,
 #: large enough that a batch amortizes one compile.
@@ -77,6 +79,9 @@ class Lease:
     keys: List[str]
     worker: str
     deadline: float
+    #: Monotonic grant time; completion minus grant is the lease latency
+    #: sampled by the metrics plane.
+    granted: float = 0.0
 
 
 class SweepCoordinator:
@@ -152,6 +157,15 @@ class SweepCoordinator:
         self._requeued = 0
         self._duplicates = 0
         self._failure: Optional[str] = None
+
+        # Metrics plane (served to `repro-eval metrics` via the ``metrics``
+        # protocol message; state lives here, no telemetry sink required).
+        self._started = time.monotonic()
+        self._overall_rate = RateEwma(start=self._started)
+        self._worker_rates: Dict[str, RateEwma] = {}
+        self._heartbeat_at: Dict[str, float] = {}
+        self._lease_latencies: Deque[float] = deque(maxlen=256)
+        self._reaped = 0
 
         self._lock = threading.Lock()
         #: Serializes journal file writes only — checkpoints fsync outside
@@ -253,21 +267,27 @@ class SweepCoordinator:
                 },
             }
             if self.store is not None:
-                if self._journaled:
-                    # Checkpoints were written; flush the tail and fold the
-                    # journal into the canonical sorted store in one pass.
-                    with self._journal_lock:
-                        if self._journal_tail:
-                            self.store.append_journal(
-                                self.name, self._journal_tail, meta=self._meta)
-                            self._journal_tail = []
-                        path = self.store.compact_journal(
-                            self.name, merge_store=self.resume)
-                elif self.resume:
-                    path = self.store.append_keyed(
-                        self.name, list(self._completed.values()), meta=meta)
-                else:
-                    path = self.store.save_keyed(self.name, records, meta=meta)
+                with get_telemetry().span("store.checkpoint", kind="final",
+                                          records=len(records)):
+                    if self._journaled:
+                        # Checkpoints were written; flush the tail and fold
+                        # the journal into the canonical sorted store in one
+                        # pass.
+                        with self._journal_lock:
+                            if self._journal_tail:
+                                self.store.append_journal(
+                                    self.name, self._journal_tail,
+                                    meta=self._meta)
+                                self._journal_tail = []
+                            path = self.store.compact_journal(
+                                self.name, merge_store=self.resume)
+                    elif self.resume:
+                        path = self.store.append_keyed(
+                            self.name, list(self._completed.values()),
+                            meta=meta)
+                    else:
+                        path = self.store.save_keyed(self.name, records,
+                                                     meta=meta)
                 summary["path"] = str(path)
         if self._reporter is not None:
             self._reporter.update(summary["computed"] + summary["skipped"],
@@ -303,6 +323,7 @@ class SweepCoordinator:
                            if lease.deadline < now]
                 for lease in expired:
                     self._requeue_locked(lease)
+                self._reaped += len(expired)
             self._emit_progress()
 
     def _requeue_locked(self, lease: Lease) -> None:
@@ -335,6 +356,12 @@ class SweepCoordinator:
                         "total_cells": len(self._cells),
                         "heartbeat_interval": self.heartbeat_interval,
                     })
+                elif kind == "metrics":
+                    # Observer request, allowed without a hello: a metrics
+                    # scraper is not a worker and holds no leases.  The
+                    # connection stays open so a monitor can poll.
+                    stream.send({"type": "metrics",
+                                 "snapshot": self.metrics_snapshot()})
                 elif worker is None:
                     raise ProtocolError(f"first message must be hello, "
                                         f"got {kind!r}")
@@ -407,16 +434,19 @@ class SweepCoordinator:
                     keys.append(key)
             if not keys:
                 return {"type": "wait", "seconds": 0.5}
+            now = time.monotonic()
             lease = Lease(lease_id=self._next_lease_id, keys=keys,
-                          worker=worker,
-                          deadline=time.monotonic() + self.lease_timeout)
+                          worker=worker, deadline=now + self.lease_timeout,
+                          granted=now)
             self._next_lease_id += 1
             self._leases[lease.lease_id] = lease
             return {"type": "lease", "lease_id": lease.lease_id, "keys": keys}
 
     def _extend_leases(self, worker: str) -> None:
-        deadline = time.monotonic() + self.lease_timeout
+        now = time.monotonic()
+        deadline = now + self.lease_timeout
         with self._lock:
+            self._heartbeat_at[worker] = now
             for lease in self._leases.values():
                 if lease.worker == worker:
                     lease.deadline = deadline
@@ -425,11 +455,16 @@ class SweepCoordinator:
         records = message.get("records")
         if not isinstance(records, list):
             raise ProtocolError("result message must carry a records list")
+        now = time.monotonic()
+        new_cells = 0
         with self._lock:
             # The lease may already be gone (expired and re-leased) — the
             # records are still valid work and go through the same duplicate
             # validation as any other completion (at-least-once execution).
             lease = self._leases.pop(message.get("lease_id"), None)
+            if lease is not None:
+                self._lease_latencies.append(now - lease.granted)
+            self._heartbeat_at[worker] = now
             for record in records:
                 key = record.get("cell_key") if isinstance(record, dict) else None
                 if key not in self._by_key:
@@ -455,6 +490,12 @@ class SweepCoordinator:
                 self._journal_tail.append(record)
                 self._active_workers[worker] = \
                     self._active_workers.get(worker, 0) + 1
+                new_cells += 1
+            if new_cells:
+                self._overall_rate.observe(new_cells, now)
+                self._worker_rates.setdefault(
+                    worker, RateEwma(start=self._started)
+                ).observe(new_cells, now)
             to_journal: Optional[List[Dict]] = None
             if (self.store is not None and self.checkpoint_every
                     and len(self._journal_tail) >= self.checkpoint_every):
@@ -465,7 +506,10 @@ class SweepCoordinator:
                 self._done.set()
         if to_journal:
             try:
-                with self._journal_lock:
+                with self._journal_lock, \
+                        get_telemetry().span("store.checkpoint",
+                                             kind="journal",
+                                             records=len(to_journal)):
                     self.store.append_journal(self.name, to_journal,
                                               meta=self._meta)
             except Exception as error:
@@ -501,12 +545,78 @@ class SweepCoordinator:
                 "failure": self._failure,
             }
 
+    def metrics_snapshot(self) -> Dict:
+        """The JSON payload served for a ``metrics`` protocol request.
+
+        Everything :func:`repro.telemetry.render_prometheus` knows how to
+        render: queue depth, lease/worker counts, the overall and per-worker
+        throughput EWMAs, lease latency p50/p95 over the last 256 leases,
+        per-worker heartbeat ages, and the EWMA-based ETA.  All state lives
+        on the coordinator, so the metrics plane works with or without a
+        ``--telemetry`` sink.
+        """
+        now = time.monotonic()
+        with self._lock:
+            total = len(self._cells)
+            done = len(self._completed) + len(self._stored)
+            throughput = self._overall_rate.rate
+            remaining = total - done
+            if remaining <= 0:
+                eta: Optional[float] = 0.0
+            elif throughput:
+                eta = remaining / throughput
+            else:
+                eta = None
+            snapshot: Dict = {
+                "total": total,
+                "done": done,
+                "pending": len(self._pending),
+                "leased": sum(len(l.keys) for l in self._leases.values()),
+                "leases": len(self._leases),
+                "workers": self._connected,
+                "workers_seen": self._workers_seen,
+                "requeued_batches": self._requeued,
+                "reaped_leases": self._reaped,
+                "duplicate_records": self._duplicates,
+                "throughput": throughput,
+                "eta_seconds": eta,
+                "worker_cells": dict(self._active_workers),
+                "worker_throughput": {
+                    name: rate.rate
+                    for name, rate in self._worker_rates.items()
+                    if rate.rate is not None},
+                "heartbeat_age_seconds": {
+                    name: now - at
+                    for name, at in self._heartbeat_at.items()},
+                "lease_latency_seconds": {},
+            }
+            latencies = list(self._lease_latencies)
+        p50 = percentile(latencies, 0.5)
+        if p50 is not None:
+            snapshot["lease_latency_seconds"] = {
+                "0.5": p50, "0.95": percentile(latencies, 0.95)}
+        hub = get_telemetry()
+        if hub.enabled:
+            hub.set_gauge("coordinator.queue_depth", snapshot["pending"])
+            hub.set_gauge("coordinator.outstanding_leases",
+                          snapshot["leases"])
+            hub.set_gauge("coordinator.workers_connected",
+                          snapshot["workers"])
+        return snapshot
+
     def _progress_snapshot(self) -> str:
         stats = self.stats()
         return (f"{stats['done']}/{stats['total']} cells, "
                 f"{stats['workers']} workers, {stats['leases']} leases")
 
     def _emit_progress(self) -> None:
+        hub = get_telemetry()
+        if hub.enabled:
+            with self._lock:
+                hub.set_gauge("coordinator.queue_depth", len(self._pending))
+                hub.set_gauge("coordinator.outstanding_leases",
+                              len(self._leases))
+                hub.set_gauge("coordinator.workers_connected", self._connected)
         if self._reporter is None or self._done.is_set():
             return  # the final line is emitted once, by summary()
         stats = self.stats()

@@ -6,6 +6,13 @@ coordinator (which adds worker/lease counts via ``extra``).  Output goes to
 stderr so stdout stays machine-readable; on a TTY the line redraws in
 place, otherwise one line is printed per reporting interval (CI logs stay
 readable instead of drowning in carriage returns).
+
+The displayed rate — and the ETA derived from it — is an EWMA of *recent*
+completions (:class:`~repro.telemetry.RateEwma`), not the overall average:
+after a compile-heavy warm-up the overall average understates steady-state
+throughput for the rest of the run, which made long-sweep ETAs wildly
+pessimistic.  The same estimator drives the coordinator's per-worker
+throughput gauges, so the progress line and ``repro-eval metrics`` agree.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ from __future__ import annotations
 import sys
 import time
 from typing import Callable, Optional, TextIO
+
+from repro.telemetry import RateEwma
 
 
 def format_eta(seconds: float) -> str:
@@ -44,10 +53,22 @@ class ProgressReporter:
         self.done = 0
         self._last_emit = float("-inf")
         self._last_line = ""
+        #: Seeded with the start time so the very first completion interval
+        #: already yields a rate (there is no "previous" observation to wait
+        #: for — the reporter's creation is the origin).
+        self._rate = RateEwma(start=self.started)
+
+    @property
+    def rate(self) -> float:
+        """Smoothed recent cells/second (overall average until a sample)."""
+        smoothed = self._rate.rate
+        if smoothed is not None:
+            return smoothed
+        elapsed = max(self.clock() - self.started, 1e-9)
+        return self.done / elapsed
 
     def line(self, extra: str = "") -> str:
-        elapsed = max(self.clock() - self.started, 1e-9)
-        rate = self.done / elapsed
+        rate = self.rate
         if self.done >= self.total:
             eta = "done"
         elif rate > 0:
@@ -62,9 +83,16 @@ class ProgressReporter:
         return text
 
     def update(self, done: int, extra: str = "", force: bool = False) -> None:
-        """Record progress and emit a line if the interval elapsed."""
+        """Record progress and emit a line if the interval elapsed.
+
+        Every call feeds the rate EWMA — including throttled ones that emit
+        nothing — so the estimate tracks completions, not emissions.
+        """
+        delta = done - self.done
         self.done = done
         now = self.clock()
+        if delta > 0:
+            self._rate.observe(delta, now)
         if not force and done < self.total and now - self._last_emit < self.interval:
             return
         self._last_emit = now

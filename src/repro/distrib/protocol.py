@@ -21,6 +21,10 @@ type           direction  payload
 ``done``       c → w      sweep complete, disconnect
 ``result``     w → c      ``lease_id``, ``records`` (one per leased cell)
 ``heartbeat``  w → c      extends the worker's lease deadlines (no reply)
+``metrics``    any → c    observer request (no ``hello`` needed); replied
+                          with a ``metrics`` message carrying ``snapshot``
+                          (queue depth, throughput, lease latency — see
+                          ``SweepCoordinator.metrics_snapshot``)
 ``error``      both       ``message`` — fatal, close the connection
 =============  =========  ==================================================
 

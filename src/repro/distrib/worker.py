@@ -35,6 +35,7 @@ from repro.distrib.protocol import (
 )
 from repro.engine import ExperimentEngine
 from repro.explore.sweep import SweepSpec, cell_record, run_sweep_cells
+from repro.telemetry import get_telemetry
 
 
 class WorkerError(RuntimeError):
@@ -122,10 +123,14 @@ def run_worker(host: str, port: int,
                                   cache_dir=cache_dir)
         heartbeat = _Heartbeat(stream, float(welcome["heartbeat_interval"]))
 
+        hub = get_telemetry()
         while True:
             try:
-                stream.send({"type": "request"})
-                message = stream.recv()
+                # The roundtrip span covers queueing at the coordinator plus
+                # the wire time — the worker-side view of lease latency.
+                with hub.span("lease.roundtrip", worker=worker_name):
+                    stream.send({"type": "request"})
+                    message = stream.recv()
             except OSError:
                 break  # coordinator gone mid-exchange; same as clean EOF
             if message is None:
@@ -155,6 +160,9 @@ def run_worker(host: str, port: int,
                     break
                 stats["batches"] += 1
                 stats["cells"] += len(records)
+                hub.add("worker.batches")
+                hub.add("worker.cells", len(records))
+                hub.flush()  # a SIGKILL now loses at most this batch's tail
             elif kind == "wait":
                 stats["waits"] += 1
                 time.sleep(float(message.get("seconds", 0.5)))
@@ -165,7 +173,7 @@ def run_worker(host: str, port: int,
                     f"coordinator error: {message.get('message')}")
             else:
                 raise ProtocolError(f"unknown message type {kind!r}")
-        stats["cache"] = engine.cache.stats.as_dict()
+        stats["cache"] = engine.merged_cache_stats()
     except ProtocolError as error:
         try:
             stream.send({"type": "error", "message": str(error)})

@@ -50,6 +50,7 @@ from typing import Dict, Optional, Tuple
 from repro.beebs import get_benchmark
 from repro.codegen import CompileOptions, compile_source
 from repro.machine.program import MachineProgram
+from repro.telemetry import get_telemetry
 
 #: Layout version of the on-disk entry envelope; bump on any change to the
 #: payload structure below.
@@ -156,10 +157,13 @@ class ProgramCache:
         """
         options = options or CompileOptions()
         key = program_key(source, options)
+        hub = get_telemetry()
         with self._lock:
             program = self._programs.get(key)
             if program is not None:
                 self.stats.hits += 1
+                if hub.enabled:
+                    hub.add("cache.memory_hits")
                 return program
             self.stats.misses += 1
 
@@ -168,9 +172,15 @@ class ProgramCache:
             if program is not None:
                 with self._lock:
                     self.stats.disk_hits += 1
+                if hub.enabled:
+                    hub.add("cache.disk_hits")
+                with self._lock:
                     return self._programs.setdefault(key, program)
             with self._lock:
                 self.stats.disk_misses += 1
+
+        if hub.enabled:
+            hub.add("cache.compiles")
 
         program = compile_source(source, options)
         if self.cache_dir is not None:

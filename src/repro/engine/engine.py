@@ -41,6 +41,7 @@ from repro.engine.results import BenchmarkRun
 from repro.machine.program import MachineProgram
 from repro.placement import FlashRAMOptimizer, PlacementConfig
 from repro.sim import EnergyModel, SimulationResult, Simulator
+from repro.telemetry import get_telemetry
 
 
 def frequency_fidelity(parameters, profile) -> Dict[str, float]:
@@ -117,6 +118,12 @@ class ExperimentEngine:
         self.cache_dir = self.cache.cache_dir if cache is not None else cache_dir
         self.max_workers = max_workers
         self._baseline_results: Dict[Tuple, SimulationResult] = {}
+        #: Latest cache-stats snapshot per pool worker, keyed by
+        #: ``(pool_epoch, pid)`` — pids can be reused across pools, and each
+        #: worker's snapshot is cumulative within its pool, so "latest per
+        #: epoch+pid" sums correctly in :meth:`merged_cache_stats`.
+        self.pool_cache_stats: Dict[Tuple[int, int], Dict[str, int]] = {}
+        self._pool_epoch = 0
         #: Sub-engines for cells that use a non-default energy model; they
         #: share this engine's program cache but keep their own baseline
         #: memos (baselines depend on the energy model).
@@ -144,9 +151,12 @@ class ExperimentEngine:
         key = (name, opt_level, timing_model)
         result = self._baseline_results.get(key)
         if result is None:
-            program = self.compile_benchmark(name, opt_level)
-            result = Simulator(program, energy_model=self.energy_model,
-                               timing_model=timing_model).run()
+            hub = get_telemetry()
+            with hub.span("compile", benchmark=name, opt_level=opt_level):
+                program = self.compile_benchmark(name, opt_level)
+            with hub.span("simulate", stage="baseline"):
+                result = Simulator(program, energy_model=self.energy_model,
+                                   timing_model=timing_model).run()
             self._baseline_results[key] = result
         return result
 
@@ -170,9 +180,12 @@ class ExperimentEngine:
         counts to the optimizer (the dotted points of Figure 5).
         ``timing_model`` applies to the cost model and both simulations.
         """
+        hub = get_telemetry()
         baseline = self._baseline(name, opt_level, timing_model)
 
-        optimized_program = self.compile_benchmark_mutable(name, opt_level)
+        with hub.span("compile", benchmark=name, opt_level=opt_level,
+                      stage="mutable"):
+            optimized_program = self.compile_benchmark_mutable(name, opt_level)
         config = PlacementConfig(x_limit=x_limit, r_spare=r_spare,
                                  frequency_mode=frequency_mode, solver=solver,
                                  timing_model=timing_model)
@@ -180,11 +193,13 @@ class ExperimentEngine:
                                       energy_model=self.energy_model,
                                       config=config)
         profile = baseline.profile if frequency_mode == "profile" else None
-        solution = optimizer.optimize(profile=profile)
+        with hub.span("placement.solve", solver=solver):
+            solution = optimizer.optimize(profile=profile)
         fb_report = frequency_fidelity(optimizer.parameters, baseline.profile)
-        optimized = Simulator(optimized_program,
-                              energy_model=self.energy_model,
-                              timing_model=timing_model).run()
+        with hub.span("simulate", stage="optimized"):
+            optimized = Simulator(optimized_program,
+                                  energy_model=self.energy_model,
+                                  timing_model=timing_model).run()
 
         if optimized.return_value != baseline.return_value:
             raise AssertionError(
@@ -199,14 +214,20 @@ class ExperimentEngine:
     def run_spec(self, spec: ExperimentSpec) -> BenchmarkRun:
         """Run one grid cell."""
         timing_model = getattr(spec, "timing_model", "flat")
-        if not spec.optimize:
-            return self.run_baseline(spec.benchmark, spec.opt_level,
-                                     timing_model=timing_model)
-        return self.run_optimized(spec.benchmark, spec.opt_level,
-                                  x_limit=spec.x_limit, r_spare=spec.r_spare,
+        with get_telemetry().span("cell", benchmark=spec.benchmark,
+                                  opt_level=spec.opt_level,
+                                  x_limit=spec.x_limit, solver=spec.solver,
                                   frequency_mode=spec.frequency_mode,
-                                  solver=spec.solver,
-                                  timing_model=timing_model)
+                                  timing_model=timing_model):
+            if not spec.optimize:
+                return self.run_baseline(spec.benchmark, spec.opt_level,
+                                         timing_model=timing_model)
+            return self.run_optimized(spec.benchmark, spec.opt_level,
+                                      x_limit=spec.x_limit,
+                                      r_spare=spec.r_spare,
+                                      frequency_mode=spec.frequency_mode,
+                                      solver=spec.solver,
+                                      timing_model=timing_model)
 
     # ------------------------------------------------------------------ #
     # Grids
@@ -277,9 +298,15 @@ class ExperimentEngine:
         tasks = [(resolved[i][0], resolved[i][1], self.cache_dir)
                  for i in order]
         chunksize = -(-len(tasks) // workers)
+        self._pool_epoch += 1
+        epoch = self._pool_epoch
         outputs: List[BenchmarkRun] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for output in pool.map(_grid_worker, tasks, chunksize=chunksize):
+            for output, pid, stats in pool.map(_grid_worker, tasks,
+                                               chunksize=chunksize):
+                # Snapshots are cumulative per worker process; the latest
+                # one per (epoch, pid) supersedes the earlier ones.
+                self.pool_cache_stats[(epoch, pid)] = stats
                 outputs.append(output)
                 if progress is not None:
                     progress(len(outputs), len(resolved))
@@ -287,6 +314,22 @@ class ExperimentEngine:
         for position, index in enumerate(order):
             results[index] = outputs[position]
         return results
+
+    def merged_cache_stats(self) -> Dict[str, int]:
+        """Cache statistics including the pool workers' contributions.
+
+        The engine's own :class:`~repro.engine.cache.CacheStats` only sees
+        in-process traffic; compiles and disk hits performed by spawned
+        ``run_cells`` workers are returned through the pool (one cumulative
+        snapshot per worker, latest wins) and summed here.  All fields are
+        additive counts, so the derived ``compiles`` column sums correctly
+        too.
+        """
+        merged = self.cache.stats.as_dict()
+        for snapshot in self.pool_cache_stats.values():
+            for key, value in snapshot.items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
 
     def run_grid(self, specs: Sequence[ExperimentSpec],
                  max_workers: Optional[int] = None) -> List[BenchmarkRun]:
@@ -309,16 +352,34 @@ class ExperimentEngine:
 _WORKER_ENGINES: List[Tuple[EnergyModel, Optional[str], ExperimentEngine]] = []
 
 
+def _worker_cache_stats() -> Dict[str, int]:
+    """This worker process's cumulative cache stats, over all its engines."""
+    totals: Dict[str, int] = {}
+    for _model, _directory, engine in _WORKER_ENGINES:
+        for key, value in engine.cache.stats.as_dict().items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
 def _grid_worker(payload: Tuple[ExperimentSpec, EnergyModel, Optional[str]]
-                 ) -> BenchmarkRun:
+                 ) -> Tuple[BenchmarkRun, int, Dict[str, int]]:
+    """Run one cell in a pool worker; returns (run, pid, cache stats).
+
+    The stats snapshot is cumulative for this worker process so the parent
+    can fold pool-side compiles/disk hits into its own summary (keeping only
+    the latest snapshot per worker)."""
     spec, energy_model, cache_dir = payload
-    for model, directory, engine in _WORKER_ENGINES:
+    engine = None
+    for model, directory, candidate in _WORKER_ENGINES:
         if model == energy_model and directory == cache_dir:
-            return engine.run_spec(spec)
-    engine = ExperimentEngine(energy_model=energy_model, max_workers=1,
-                              cache_dir=cache_dir)
-    _WORKER_ENGINES.append((energy_model, cache_dir, engine))
-    return engine.run_spec(spec)
+            engine = candidate
+            break
+    if engine is None:
+        engine = ExperimentEngine(energy_model=energy_model, max_workers=1,
+                                  cache_dir=cache_dir)
+        _WORKER_ENGINES.append((energy_model, cache_dir, engine))
+    run = engine.run_spec(spec)
+    return run, os.getpid(), _worker_cache_stats()
 
 
 # --------------------------------------------------------------------------- #

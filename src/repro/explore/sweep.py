@@ -25,6 +25,7 @@ from repro.engine import ExperimentEngine, ExperimentSpec, default_engine
 from repro.engine.results import PER_RUN_META_KEYS, BenchmarkRun, ResultStore
 from repro.sim.energy import EnergyModel, PowerTable
 from repro.sim.pipeline import TimingSpec
+from repro.telemetry import get_telemetry
 
 
 def scaled_energy_model(flash_ram_ratio: float,
@@ -540,7 +541,9 @@ def execute_sweep(sweep: SweepSpec,
                                    progress=chunk_progress)
             batch = [cell_record(cell, run)
                      for cell, run in zip(chunk, runs)]
-            store.append_journal(name, batch, meta=meta)
+            with get_telemetry().span("store.checkpoint", kind="journal",
+                                      records=len(batch)):
+                store.append_journal(name, batch, meta=meta)
             journaled = True
             new_records.extend(batch)
     else:
@@ -552,7 +555,7 @@ def execute_sweep(sweep: SweepSpec,
                                progress=cell_progress)
         new_records = [cell_record(cell, run)
                        for cell, run in zip(missing, runs)]
-    cache_stats = engine.cache.stats.as_dict()
+    cache_stats = engine.merged_cache_stats()
     if reporter is not None:
         reporter.finish(extra=(f"cache {cache_stats['compiles']} compiles, "
                                f"{cache_stats['hits']} hits, "
@@ -563,18 +566,20 @@ def execute_sweep(sweep: SweepSpec,
     records = [combined[key] for key in sorted(combined)]
     meta["cells"] = len(records)
 
-    # Program-cache counters from *this* process's engine (pool workers keep
-    # their own per-process caches; with a shared ``cache_dir`` their disk
-    # hits show up as warm starts, not in these numbers).
+    # Program-cache counters for the whole run: this process's engine plus
+    # the per-process caches of its pool workers, whose snapshots come back
+    # through the pool and are merged by ``merged_cache_stats``.
     summary = {"records": records, "meta": meta, "cells": len(cells),
                "computed": len(missing), "skipped": len(stored),
                "rechecked": rechecked, "cache": cache_stats, "path": None}
     if store is not None:
-        if journaled:
-            path = store.compact_journal(name, merge_store=resume)
-        elif resume:
-            path = store.append_keyed(name, new_records, meta=meta)
-        else:
-            path = store.save_keyed(name, records, meta=meta)
+        with get_telemetry().span("store.checkpoint", kind="store",
+                                  records=len(records)):
+            if journaled:
+                path = store.compact_journal(name, merge_store=resume)
+            elif resume:
+                path = store.append_keyed(name, new_records, meta=meta)
+            else:
+                path = store.save_keyed(name, records, meta=meta)
         summary["path"] = str(path)
     return summary

@@ -104,6 +104,11 @@ class MachineProgram:
         """
         cache = self._superblock_cache
         if cache is None or cache[0] != self.layout_generation:
+            if cache is not None and cache[1]:
+                from repro.telemetry import get_telemetry
+                hub = get_telemetry()
+                if hub.enabled:
+                    hub.add("sim.superblock.invalidations", len(cache[1]))
             cache = (self.layout_generation, {}, {})
             self._superblock_cache = cache
         return cache[1], cache[2]

@@ -29,6 +29,7 @@ from repro.placement.solvers.greedy import greedy_placement
 from repro.sim.energy import EnergyModel
 from repro.sim.pipeline import TimingSpec
 from repro.sim.profiler import BlockProfile
+from repro.telemetry import get_telemetry
 from repro.transform.relocation import apply_placement
 
 
@@ -195,6 +196,10 @@ class FlashRAMOptimizer:
                 "cold_solves": result.cold_solves,
                 "unresolved_nodes": result.unresolved_nodes,
             }
+            hub = get_telemetry()
+            if hub.enabled:
+                for stat_name, stat_value in solution.solver_stats.items():
+                    hub.add(f"solver.{stat_name}", stat_value)
             if result.values is None:
                 # The empty placement is always feasible, so falling back to
                 # it must not masquerade as the solver's own verdict: tag the

@@ -53,6 +53,7 @@ from repro.sim.superblock import (
     build_superblock,
     execute_superblock,
 )
+from repro.telemetry import get_telemetry
 
 _MASK = 0xFFFFFFFF
 
@@ -203,7 +204,33 @@ class Simulator:
         multiply-add per key, so identical counts yield bitwise-identical
         ``energy_j`` regardless of which path (or what batching) produced
         them — integer counts are associative where float sums are not.
+
+        Two invariants are asserted before the reduction.  Every execution
+        path bumps exactly one energy-event count and one section bucket per
+        retired instruction/cycle, so the event total must equal the
+        instruction total and the section buckets must sum to the cycle
+        total.  Batched superblock accounting, the pipelined loop and any
+        future path all feed the same counters — a silent drift between
+        them would quietly skew ``energy_j``, which is the paper's core
+        measurement, so the reconciliation is checked on every run (two
+        integer sums; the run itself dwarfs the cost).
         """
+        event_total = sum(energy_counts.values())
+        if event_total != total_instructions:
+            raise AssertionError(
+                f"energy-event counts do not reconcile with the decode-once "
+                f"instruction total: {event_total} events != "
+                f"{total_instructions} instructions")
+        section_total = sum(cycles_by_section.values())
+        if section_total != total_cycles:
+            raise AssertionError(
+                f"per-section cycle buckets do not reconcile with the cycle "
+                f"total: {section_total} != {total_cycles}")
+        hub = get_telemetry()
+        if hub.enabled:
+            hub.add("sim.runs")
+            hub.add("sim.instructions", total_instructions)
+            hub.add("sim.cycles", total_cycles)
         energy_j = self.energy_model.energy_j
         total_energy = 0.0
         for key in sorted(energy_counts,
@@ -398,16 +425,30 @@ class Simulator:
         counts_get = energy_counts.get
         cycles_by_section = {"flash": 0, "ram": 0}
 
+        # Superblock telemetry: counted in plain locals (the dispatch prologue
+        # is hot) and published to the hub once, at finish.
+        sb_compiles = 0
+        sb_dispatches = 0
+        sb_side_exits = 0
+
+        def publish_counters() -> None:
+            hub = get_telemetry()
+            if hub.enabled:
+                hub.add("sim.superblock.compiles", sb_compiles)
+                hub.add("sim.superblock.dispatches", sb_dispatches)
+                hub.add("sim.superblock.side_exits", sb_side_exits)
+
         # Trace recording state: payload list of the trace being recorded
         # (None when idle) plus a membership set for O(1) cycle detection.
         trace: Optional[List[Tuple[str, str]]] = None
         trace_set = None
 
         def compile_trace(loop: bool) -> None:
-            nonlocal trace, trace_set
+            nonlocal trace, trace_set, sb_compiles
             compiled = build_superblock(program, trace, loop)
             if compiled is not None:
                 superblocks[trace[0]] = compiled
+                sb_compiles += 1
             trace = None
             trace_set = None
 
@@ -434,6 +475,7 @@ class Simulator:
                         # Chain the recorded prefix up to (not into) the
                         # existing superblock; execution continues inside it.
                         compile_trace(False)
+                    sb_dispatches += 1
                     kind, target, total_cycles, total_instructions = \
                         execute_superblock(self, sb, superblocks,
                                            total_cycles, total_instructions,
@@ -441,9 +483,11 @@ class Simulator:
                                            profile, max_instructions)
                     block_cycle_start = total_cycles
                     if kind == "exit":
+                        publish_counters()
                         return self._finish(total_cycles, total_instructions,
                                             energy_counts, profile,
                                             cycles_by_section)
+                    sb_side_exits += 1
                     if kind == "block":
                         function_name, target_block = target
                         payload = target
@@ -570,6 +614,7 @@ class Simulator:
             block_cycle_start = total_cycles
 
             if kind == "exit":
+                publish_counters()
                 return self._finish(total_cycles, total_instructions,
                                     energy_counts, profile, cycles_by_section)
             if kind == "block":

@@ -244,6 +244,10 @@ def run_pipelined(sim, entry: str):
     line_shift = timing.icache_line_bytes.bit_length() - 1
     miss_penalty = timing.miss_penalty
     tags = [-1] * lines if lines else None
+    # Icache telemetry: plain locals in the fetch stage (hot), published to
+    # the hub once at finish.
+    icache_hits = 0
+    icache_misses = 0
     #: (function, block) -> (layout generation, per-instruction line ids).
     line_memo = {}
 
@@ -319,8 +323,10 @@ def run_pipelined(sim, entry: str):
                     # Hit: single-cycle fetch from cache SRAM, charged at
                     # RAM fetch power.
                     region = "ram"
+                    icache_hits += 1
                 else:
                     tags[slot] = line
+                    icache_misses += 1
                     stall = miss_penalty - overlap
                     if stall < 0:
                         stall = 0
@@ -397,6 +403,12 @@ def run_pipelined(sim, entry: str):
         block_cycle_start = total_cycles
 
         if kind == "exit":
+            if lines:
+                from repro.telemetry import get_telemetry
+                hub = get_telemetry()
+                if hub.enabled:
+                    hub.add("sim.icache.hits", icache_hits)
+                    hub.add("sim.icache.misses", icache_misses)
             return sim._finish(total_cycles, total_instructions,
                                energy_counts, profile, cycles_by_section)
         if kind == "block":

@@ -1,0 +1,219 @@
+"""Offline reduction of telemetry event files: where did the time go?
+
+``repro-eval stats TRACEDIR`` lands here.  The reducer merges the
+per-process ``*.events.jsonl`` files a sweep left behind into
+
+* a **per-phase wall-clock breakdown** — for every span name, the total
+  *exclusive* time (span duration minus its direct children's durations),
+  so nested spans never double-count and the phase totals telescope up to
+  exactly the time covered by root spans;
+* a **per-cell critical-path table** — each root ``cell`` span with its
+  knob attributes and the per-phase time underneath it, sorted by
+  duration, so the most expensive cells and their dominant phase are
+  visible at a glance;
+* **coverage** — the ratio of phase-accounted time to the measured
+  wall-clock (first event start to last event end, summed per process).
+  An instrumentation gap shows up as coverage well below 1.0.
+
+Robustness: a SIGKILLed process leaves at most one torn trailing line in
+its event file (the hub writes line-buffered ``O_APPEND`` lines); the
+loader parses line by line, counts undecodable lines, and never fails on
+them.  Span ids are scoped per ``(pid)``, so files from many processes —
+including forked pool workers — reduce together safely.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, List, Tuple
+
+
+def load_events(trace_dir: str) -> Tuple[List[Dict], int]:
+    """All decodable events under *trace_dir*, plus the skipped-line count.
+
+    Reads every ``*.events.jsonl`` in sorted order; undecodable lines
+    (typically the torn tail of a killed process) are counted, not fatal.
+    """
+    events: List[Dict] = []
+    skipped = 0
+    pattern = os.path.join(os.fspath(trace_dir), "*.events.jsonl")
+    for path in sorted(glob.glob(pattern)):
+        with open(path, encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    skipped += 1
+                    continue
+                if isinstance(event, dict):
+                    events.append(event)
+                else:
+                    skipped += 1
+    return events, skipped
+
+
+def _span_events(events: List[Dict]) -> List[Dict]:
+    return [event for event in events
+            if event.get("event") == "span"
+            and isinstance(event.get("dur"), (int, float))]
+
+
+def trace_stats(trace_dir: str) -> Dict:
+    """Reduce a trace directory into the stats payload (JSON-safe).
+
+    Returns ``phases`` (per span name: count, total inclusive seconds,
+    total exclusive seconds), ``cells`` (the critical-path rows),
+    ``wall_clock_s`` (per-process event window, summed), ``coverage``
+    (exclusive phase time / wall-clock), ``processes``, ``events`` and
+    ``skipped_lines``.
+    """
+    events, skipped = load_events(trace_dir)
+    spans = _span_events(events)
+
+    # Exclusive time: subtract each span's duration from its parent's.
+    exclusive: Dict[Tuple[int, int], float] = {}
+    by_id: Dict[Tuple[int, int], Dict] = {}
+    for span in spans:
+        key = (span.get("pid"), span.get("id"))
+        exclusive[key] = span["dur"]
+        by_id[key] = span
+    for span in spans:
+        parent = span.get("parent")
+        if parent is None:
+            continue
+        parent_key = (span.get("pid"), parent)
+        if parent_key in exclusive:
+            exclusive[parent_key] -= span["dur"]
+
+    phases: Dict[str, Dict[str, float]] = {}
+    for key, span in by_id.items():
+        entry = phases.setdefault(span["name"],
+                                  {"count": 0, "total_s": 0.0,
+                                   "exclusive_s": 0.0})
+        entry["count"] += 1
+        entry["total_s"] += span["dur"]
+        entry["exclusive_s"] += max(exclusive[key], 0.0)
+
+    # Wall clock: the observed event window of each process, summed.  Uses
+    # all events (meta/counters included) so a process that emitted spans
+    # early and counters late is credited with its whole active window.
+    window: Dict[int, Tuple[float, float]] = {}
+    for event in events:
+        pid = event.get("pid")
+        start = event.get("start", event.get("monotonic"))
+        end = event.get("end", event.get("monotonic"))
+        if pid is None or start is None or end is None:
+            continue
+        low, high = window.get(pid, (start, end))
+        window[pid] = (min(low, start), max(high, end))
+    wall_clock = sum(high - low for low, high in window.values())
+    accounted = sum(entry["exclusive_s"] for entry in phases.values())
+
+    # Per-cell critical path: every root "cell" span plus the per-phase
+    # time of its descendants (children link to parents per process).
+    children: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    for key, span in by_id.items():
+        parent = span.get("parent")
+        if parent is not None:
+            children.setdefault((span.get("pid"), parent), []).append(key)
+
+    def descend(key: Tuple[int, int], breakdown: Dict[str, float]) -> None:
+        for child_key in children.get(key, ()):  # direct + recursive
+            child = by_id[child_key]
+            breakdown[child["name"]] = (breakdown.get(child["name"], 0.0)
+                                        + max(exclusive[child_key], 0.0))
+            descend(child_key, breakdown)
+
+    cells: List[Dict] = []
+    for key, span in by_id.items():
+        if span["name"] != "cell" or span.get("parent") is not None:
+            continue
+        breakdown: Dict[str, float] = {}
+        descend(key, breakdown)
+        cells.append({
+            "attrs": span.get("attrs") or {},
+            "pid": span.get("pid"),
+            "total_s": span["dur"],
+            "phases": breakdown,
+        })
+    cells.sort(key=lambda row: -row["total_s"])
+
+    # Counters are cumulative per process: the last event per pid wins,
+    # then processes sum.
+    counters: Dict[str, int] = {}
+    latest: Dict[int, Dict] = {}
+    for event in events:
+        if event.get("event") == "counters" and event.get("pid") is not None:
+            latest[event["pid"]] = event.get("counters") or {}
+    for per_process in latest.values():
+        for name, value in per_process.items():
+            if isinstance(value, (int, float)):
+                counters[name] = counters.get(name, 0) + value
+
+    return {
+        "phases": phases,
+        "cells": cells,
+        "counters": counters,
+        "wall_clock_s": wall_clock,
+        "accounted_s": accounted,
+        "coverage": (accounted / wall_clock) if wall_clock > 0 else 0.0,
+        "processes": len(window),
+        "events": len(events),
+        "skipped_lines": skipped,
+    }
+
+
+def _cell_label(attrs: Dict) -> str:
+    parts = [str(attrs[field]) for field in
+             ("benchmark", "opt_level", "x_limit") if field in attrs]
+    extras = [f"{field}={attrs[field]}" for field in
+              ("solver", "frequency_mode", "timing_model", "flash_ram_ratio")
+              if attrs.get(field) not in (None, "ilp", "static", "flat")]
+    label = "/".join(parts) if parts else "cell"
+    return label + (f" [{', '.join(extras)}]" if extras else "")
+
+
+def render_trace_stats(trace_dir: str, top_cells: int = 10) -> str:
+    """Human-readable report for ``repro-eval stats TRACEDIR``."""
+    stats = trace_stats(trace_dir)
+    lines: List[str] = []
+    lines.append(f"telemetry trace {os.fspath(trace_dir)}: "
+                 f"{stats['events']} events from {stats['processes']} "
+                 f"processes ({stats['skipped_lines']} torn/undecodable "
+                 f"lines skipped)")
+    lines.append(f"wall-clock {stats['wall_clock_s']:.3f} s, phase-accounted "
+                 f"{stats['accounted_s']:.3f} s "
+                 f"(coverage {100.0 * stats['coverage']:.1f}%)")
+    lines.append("")
+    lines.append(f"{'phase':<20} {'count':>8} {'total s':>10} "
+                 f"{'exclusive s':>12} {'share':>7}")
+    wall = stats["wall_clock_s"] or 1.0
+    for name in sorted(stats["phases"],
+                       key=lambda n: -stats["phases"][n]["exclusive_s"]):
+        entry = stats["phases"][name]
+        lines.append(f"{name:<20} {entry['count']:>8} "
+                     f"{entry['total_s']:>10.3f} "
+                     f"{entry['exclusive_s']:>12.3f} "
+                     f"{100.0 * entry['exclusive_s'] / wall:>6.1f}%")
+    if stats["counters"]:
+        lines.append("")
+        lines.append("counters (summed across processes):")
+        for name in sorted(stats["counters"]):
+            lines.append(f"  {name} = {stats['counters'][name]}")
+    if stats["cells"]:
+        lines.append("")
+        lines.append(f"slowest cells (top {top_cells}):")
+        for row in stats["cells"][:top_cells]:
+            phases = ", ".join(
+                f"{name} {row['phases'][name]:.3f}s"
+                for name in sorted(row["phases"],
+                                   key=lambda n: -row["phases"][n]))
+            lines.append(f"  {row['total_s']:8.3f}s  "
+                         f"{_cell_label(row['attrs'])}"
+                         + (f"  ({phases})" if phases else ""))
+    return "\n".join(lines)

@@ -63,6 +63,12 @@ ENTRY_POINTS = [
     ("repro.explore", "cell_key"),
     ("repro.distrib", "SweepCoordinator"),
     ("repro.distrib", "run_worker"),
+    ("repro.telemetry", "Telemetry"),
+    ("repro.telemetry", "configure_telemetry"),
+    ("repro.telemetry", "RateEwma"),
+    ("repro.telemetry", "render_prometheus"),
+    ("repro.telemetry", "trace_stats"),
+    ("repro.telemetry", "render_trace_stats"),
     ("repro.evaluation.exploration", "exploration_sweep"),
     ("repro.analysis", "verify_machine_program"),
 ]
