@@ -43,6 +43,23 @@ a monolithic ``explore`` run of the same axes::
 N spawned local workers); ``--progress`` prints live cells/s + ETA to
 stderr on any path.
 
+``serve`` / ``submit`` / ``status`` / ``cancel`` run the *multi-sweep
+service* (`repro.distrib.service`): one long-lived process hosts many
+named sweeps concurrently — per-sweep queues, stores and checkpoints,
+integer ``--priority`` weights under weighted-fair lease scheduling,
+adaptive lease batches that shrink as each queue drains, and graceful
+cancellation (in-flight leases drain, the partial store stays mergeable).
+The same sweep-agnostic ``work`` fleet serves every tenant::
+
+    repro-eval serve --port 7399 --output stores --progress &
+    repro-eval work --port 7399 &          # one fleet, all sweeps
+    repro-eval submit --benchmarks crc32 fdct --x-limits 1.1 1.5 \
+        --name grid-a --priority 3 --port 7399
+    repro-eval submit --benchmarks 2dfir --x-limits 2.0 \
+        --name grid-b --port 7399 --wait
+    repro-eval status --port 7399          # per-sweep counts, cells/s, ETA
+    repro-eval cancel grid-a --port 7399
+
 ``analyze`` is the static-analysis gate: it lints every requested benchmark
 × optimization level with :mod:`repro.analysis.verifier` (pristine and
 again after a placement pass rewrites the code), simulates the optimized
@@ -78,7 +95,7 @@ from repro.placement.parameters import FREQUENCY_MODES
 
 FIGURES = ["figure1", "figure2", "figure5", "figure6", "figure9", "case-study",
            "explore", "merge", "report", "coordinate", "work", "analyze",
-           "metrics", "stats"]
+           "metrics", "stats", "serve", "submit", "status", "cancel"]
 
 #: Every optimization level the compiler driver accepts, in pipeline order.
 ALL_OPT_LEVELS = ("O0", "O1", "O2", "O3", "Os")
@@ -93,7 +110,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="which figure / reported number to reproduce")
     parser.add_argument("target", nargs="?", default=None, metavar="PATH",
                         help="stats: telemetry trace directory to summarize "
-                             "(defaults to --telemetry DIR)")
+                             "(defaults to --telemetry DIR); status/cancel: "
+                             "the sweep name (status defaults to all sweeps)")
     parser.add_argument("--benchmarks", nargs="*", default=None,
                         metavar="NAME",
                         help=f"benchmark subset (default: figure-specific; "
@@ -183,6 +201,23 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="work: artificial delay per executed cell "
                              "(manufactures stragglers for tests/benchmarks)")
+    parser.add_argument("--priority", type=int, default=1, metavar="P",
+                        help="submit: integer lease-scheduling weight; a "
+                             "priority-3 sweep holds ~3x the outstanding "
+                             "cells of a priority-1 sweep (default 1)")
+    parser.add_argument("--wait", action="store_true",
+                        help="submit: block until the sweep reaches a "
+                             "terminal state and report it (non-zero exit "
+                             "on failure)")
+    parser.add_argument("--drain", action="store_true",
+                        help="serve: exit once every submitted sweep is "
+                             "terminal (workers are released with 'done'); "
+                             "default is to keep serving for later submits")
+    parser.add_argument("--fixed-batches", action="store_true",
+                        help="pin every lease to the full --batch-size cut "
+                             "instead of the adaptive shrinking tail "
+                             "(explore --distributed, coordinate, submit; "
+                             "mainly for benchmarking the adaptive policy)")
     parser.add_argument("--telemetry", default=None, metavar="DIR",
                         help="write span/counter telemetry events (JSON "
                              "lines, one file per process) into DIR; "
@@ -241,6 +276,25 @@ def _print_sweep_summary(summary: dict) -> None:
     print(line)
 
 
+def _format_sweep_line(name: str, snap: dict) -> str:
+    """One human-readable status line per hosted sweep (serve/status)."""
+    from repro.distrib.progress import format_eta
+    line = (f"{name}: {snap['status']} {snap['done']}/{snap['total']} cells "
+            f"(priority {snap['priority']}, {snap['pending']} pending, "
+            f"{snap['leased']} leased)")
+    throughput = snap.get("throughput")
+    if throughput:
+        line += f" | {throughput:.2f} cells/s"
+        eta = snap.get("eta_seconds")
+        if eta is not None:
+            line += f", ETA {format_eta(eta)}"
+    if snap.get("store_path"):
+        line += f" -> {snap['store_path']}"
+    if snap.get("failure"):
+        line += f" | FAILED: {snap['failure']}"
+    return line
+
+
 def _emit(args, name: str, records: List[dict], meta: Optional[dict] = None) -> None:
     if args.output:
         path = ResultStore(args.output).save(name, records, meta=meta)
@@ -255,8 +309,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.telemetry:
         from repro.telemetry import configure_telemetry
-        role = {"coordinate": "coordinator", "work": "worker"}.get(
-            args.figure, "main")
+        role = {"coordinate": "coordinator", "work": "worker",
+                "serve": "service"}.get(args.figure, "main")
         configure_telemetry(args.telemetry, role=role)
     if args.workers is None and args.cache_dir is None:
         engine = default_engine()
@@ -317,10 +371,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "--distributed N the fleet size is N (use "
                          "'work --workers' for per-worker pools)")
         if args.distributed is None and (args.batch_size is not None
-                                         or args.lease_timeout is not None):
-            parser.error("--batch-size/--lease-timeout tune the lease "
-                         "protocol; they require --distributed (or the "
-                         "coordinate subcommand)")
+                                         or args.lease_timeout is not None
+                                         or args.fixed_batches):
+            parser.error("--batch-size/--lease-timeout/--fixed-batches tune "
+                         "the lease protocol; they require --distributed "
+                         "(or the coordinate subcommand)")
         store = ResultStore(args.output) if args.output else None
         if args.distributed is not None:
             summary = execute_sweep(
@@ -330,7 +385,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 checkpoint_every=args.checkpoint_every,
                 batch_size=args.batch_size,
                 lease_timeout=args.lease_timeout,
-                cache_dir=args.cache_dir)
+                cache_dir=args.cache_dir,
+                adaptive=not args.fixed_batches)
         else:
             summary = execute_sweep(
                 sweep, store=store, name=args.name, shard=shard,
@@ -363,7 +419,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint_every=(DEFAULT_CHECKPOINT_EVERY
                               if args.checkpoint_every is None
                               else args.checkpoint_every),
-            progress=args.progress)
+            progress=args.progress,
+            adaptive=not args.fixed_batches)
         coordinator.start()
         print(f"coordinator listening on {args.host}:{coordinator.port} "
               f"({coordinator.stats()['pending']} cells to lease)",
@@ -386,6 +443,90 @@ def main(argv: Optional[List[str]] = None) -> int:
                            throttle=args.throttle,
                            cache_dir=args.cache_dir)
         print(format_worker_stats(stats), file=sys.stderr)
+
+    elif args.figure == "serve":
+        import time as _time
+        from repro.distrib import (DEFAULT_CHECKPOINT_EVERY,
+                                   DEFAULT_LEASE_TIMEOUT, PROTOCOL_VERSION,
+                                   SweepService)
+        store = ResultStore(args.output) if args.output else None
+        service = SweepService(
+            host=args.host, port=args.port or 0, store=store,
+            lease_timeout=(DEFAULT_LEASE_TIMEOUT if args.lease_timeout is None
+                           else args.lease_timeout),
+            checkpoint_every=(DEFAULT_CHECKPOINT_EVERY
+                              if args.checkpoint_every is None
+                              else args.checkpoint_every),
+            drain_when_idle=args.drain, progress=args.progress)
+        service.start()
+        print(f"service listening on {args.host}:{service.port} "
+              f"(protocol version {PROTOCOL_VERSION})",
+              file=sys.stderr, flush=True)
+        failed = False
+        try:
+            while not (args.drain and service.drained()):
+                _time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            for sweep_name, snap in sorted(
+                    service.status_snapshot().items()):
+                print(_format_sweep_line(sweep_name, snap),
+                      file=sys.stderr, flush=True)
+                failed = failed or snap["status"] == "failed"
+            service.shutdown()
+        return 1 if failed else 0
+
+    elif args.figure == "submit":
+        from repro.distrib import ClientError, submit_sweep, wait_for_sweep
+        if args.port is None:
+            parser.error("submit requires --port (the service's port)")
+        sweep = _sweep_from_args(args)
+        try:
+            reply = submit_sweep(
+                args.host, args.port, sweep, args.name,
+                priority=args.priority, batch_size=args.batch_size,
+                resume=args.resume, adaptive=not args.fixed_batches)
+            print(f"submitted {reply['sweep']}: {reply['cells']} cells "
+                  f"({reply['pending']} to compute, priority "
+                  f"{reply['priority']})")
+            if args.wait:
+                snap = wait_for_sweep(args.host, args.port, args.name)
+                print(_format_sweep_line(args.name, snap))
+                return 0 if snap["status"] == "completed" else 1
+        except ClientError as error:
+            print(f"submit failed: {error}", file=sys.stderr)
+            return 1
+
+    elif args.figure == "status":
+        from repro.distrib import ClientError, sweep_status
+        if args.port is None:
+            parser.error("status requires --port (the service's port)")
+        try:
+            sweeps = sweep_status(args.host, args.port, args.target)
+        except ClientError as error:
+            print(f"status failed: {error}", file=sys.stderr)
+            return 1
+        if not sweeps:
+            print("no sweeps hosted")
+        for sweep_name, snap in sorted(sweeps.items()):
+            print(_format_sweep_line(sweep_name, snap))
+
+    elif args.figure == "cancel":
+        from repro.distrib import ClientError, cancel_sweep
+        if args.port is None:
+            parser.error("cancel requires --port (the service's port)")
+        if not args.target:
+            parser.error("cancel requires the sweep name "
+                         "(repro-eval cancel NAME --port P)")
+        try:
+            snap = cancel_sweep(args.host, args.port, args.target)
+        except ClientError as error:
+            print(f"cancel failed: {error}", file=sys.stderr)
+            return 1
+        print(f"cancelled {args.target}: keeping "
+              f"{snap['done']}/{snap['total']} cells "
+              f"({snap['leased']} still draining)")
 
     elif args.figure == "merge":
         if not args.stores or not args.output:

@@ -1,36 +1,51 @@
-"""Distributed sweep execution: coordinator/worker over TCP JSON lines.
+"""Distributed sweep execution: a multi-sweep service over TCP JSON lines.
 
 PR 3 made sweeps shardable (``--shard i/N``) but the partition was static —
 a straggler shard (one branch-and-bound-heavy slice of the design space)
-idles every other machine.  This subsystem replaces static partitioning with
-**dynamic batch leasing**:
+idles every other machine.  PR 4 replaced static partitioning with
+**dynamic batch leasing** under a one-sweep-per-process coordinator; this
+subsystem now hosts that machinery as a long-lived, multi-tenant service:
 
-* :class:`SweepCoordinator` (`repro.distrib.coordinator`) — owns the cell
-  queue, leases batches of ``cell_key``\\ s on demand, tracks heartbeats,
-  re-leases batches from dead or expired workers (at-least-once, duplicate
-  completions validated bitwise), checkpoints completed records into the
-  store's O(batch) journal, and emits a live progress/ETA line;
-* :func:`run_worker` (`repro.distrib.worker`) — one engine per process,
-  stateless between batches, safe to kill at any instant;
+* :class:`SweepService` (`repro.distrib.service`) — one process serving
+  many **named sweeps** concurrently: per-sweep queues, stores and journal
+  checkpoints; integer **priorities** under weighted-fair lease scheduling
+  (:func:`schedule_score`); **adaptive lease batching** that shrinks the
+  cut as a sweep's remaining-queue/fleet ratio drops
+  (:func:`adaptive_batch`); graceful **cancellation** (in-flight leases
+  drain, journals compact, the partial store stays mergeable); heartbeats,
+  re-leasing from dead or expired workers (at-least-once, duplicate
+  completions validated bitwise), per-tenant failure isolation;
+* :class:`SweepCoordinator` (`repro.distrib.coordinator`) — the original
+  single-sweep API, now a thin drain-when-idle face over the service;
+* :func:`run_worker` (`repro.distrib.worker`) — sweep-agnostic: one engine
+  per process, stateless between batches, executing whichever sweep each
+  lease names; safe to kill at any instant;
+* :func:`submit_sweep` / :func:`sweep_status` / :func:`cancel_sweep` /
+  :func:`list_sweeps` / :func:`wait_for_sweep` (`repro.distrib.client`) —
+  one-shot wire clients for the version-2 control verbs;
 * :func:`execute_sweep_distributed` (`repro.distrib.local`) — the
   one-machine convenience path behind ``execute_sweep(..., workers=N)``;
 * `repro.distrib.protocol` / `repro.distrib.progress` — the JSON-lines
-  wire format and the shared cells/s + ETA reporter.
+  wire format (version negotiated in hello/welcome) and the shared
+  cells/s + ETA reporter.
 
 The contract inherited from the whole engine/store stack: however cells are
-leased, re-leased, duplicated or interleaved, the final store is
-**byte-identical** to a monolithic ``execute_sweep`` of the same spec.
-``repro-eval coordinate`` / ``repro-eval work`` are the CLI faces.
+leased, re-leased, duplicated or interleaved, and however many tenants
+share the fleet, every sweep's final store is **byte-identical** to a
+monolithic ``execute_sweep`` of the same spec.  ``repro-eval
+serve/submit/status/cancel`` (plus the older ``coordinate``/``work``) are
+the CLI faces.
 """
 
-from repro.distrib.coordinator import (
-    DEFAULT_BATCH_SIZE,
-    DEFAULT_CHECKPOINT_EVERY,
-    DEFAULT_LEASE_TIMEOUT,
-    CoordinatorError,
-    Lease,
-    SweepCoordinator,
+from repro.distrib.client import (
+    ClientError,
+    cancel_sweep,
+    list_sweeps,
+    submit_sweep,
+    sweep_status,
+    wait_for_sweep,
 )
+from repro.distrib.coordinator import SweepCoordinator
 from repro.distrib.local import execute_sweep_distributed
 from repro.distrib.progress import ProgressReporter, format_eta
 from repro.distrib.protocol import (
@@ -38,6 +53,18 @@ from repro.distrib.protocol import (
     MessageStream,
     ProtocolError,
     connect,
+)
+from repro.distrib.service import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_LEASE_TIMEOUT,
+    CoordinatorError,
+    Lease,
+    ServiceError,
+    SweepJob,
+    SweepService,
+    adaptive_batch,
+    schedule_score,
 )
 from repro.distrib.worker import (
     WorkerError,
@@ -50,9 +77,20 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_CHECKPOINT_EVERY",
     "DEFAULT_LEASE_TIMEOUT",
+    "ClientError",
     "CoordinatorError",
     "Lease",
+    "ServiceError",
     "SweepCoordinator",
+    "SweepJob",
+    "SweepService",
+    "adaptive_batch",
+    "schedule_score",
+    "cancel_sweep",
+    "list_sweeps",
+    "submit_sweep",
+    "sweep_status",
+    "wait_for_sweep",
     "execute_sweep_distributed",
     "ProgressReporter",
     "format_eta",

@@ -1,87 +1,56 @@
-"""The sweep coordinator: dynamic batch leasing with fault tolerance.
+"""Single-sweep compatibility face over the multi-sweep service.
 
-The coordinator owns one :class:`~repro.explore.SweepSpec` (optionally one
-shard of it) and farms its cells out to any number of worker processes over
-the JSON-lines TCP protocol (`repro.distrib.protocol`):
+PR 4 introduced :class:`SweepCoordinator` as a standalone server owning
+exactly one sweep; the multi-tenant refactor moved the listener, lease
+scheduler, journaling and fault tolerance into
+:class:`repro.distrib.service.SweepService`.  This module keeps the
+original one-sweep API — construct with a spec, ``start()``, ``run()``,
+``summary()`` — as a thin wrapper that submits its single sweep to a
+private service configured to *drain when idle* (workers are told ``done``
+once the sweep is terminal, exactly the old behavior).
 
-* **Dynamic load balancing.**  Cells are leased in *batches of cell_keys*,
-  handed out on demand: a worker that finishes early immediately gets the
-  next batch, so one straggler branch-and-bound batch never idles the rest
-  of the fleet the way a static ``--shard i/N`` partition can.  Batches are
-  cut from the sweep's enumeration order (benchmark varies slowest), so a
-  batch usually shares one compiled program — the same locality the engine's
-  process pool exploits.
-* **Fault tolerance.**  Every lease carries a deadline, extended by worker
-  heartbeats.  A dead worker (closed connection) or an expired lease puts
-  the batch back at the *front* of the queue for the next requester.
-  Execution is therefore at-least-once; a batch may legitimately complete
-  twice.  Duplicate completions are validated **bitwise** against the first
-  result (the same agreement rule as :meth:`ResultStore.merge`), and any
-  disagreement aborts the run — a fleet that cannot reproduce a cell must
-  not silently produce a store.
-* **Determinism.**  Workers compute the exact same floats a local run does
-  (engine invariant, asserted since PR 1), records cross the wire through
-  JSON (floats round-trip via ``repr``), and the final store is written
-  through the same sorted keyed-store path as a monolithic run — so the
-  distributed store is **byte-identical** to ``execute_sweep`` of the same
-  spec, no matter how batches were interleaved, re-leased, or duplicated.
-* **Checkpoints.**  Completed records stream into the store's journal
-  sidecar every ``checkpoint_every`` cells (O(batch) per checkpoint); the
-  final compaction produces the canonical sorted store.  A crashed
-  coordinator restarts with ``resume=True`` and re-runs only missing cells.
+Everything documented for the old coordinator still holds, because the
+service inherited its mechanics wholesale:
+
+* **Dynamic load balancing** — batches of ``cell_key``\\ s leased on
+  demand, cut from enumeration order so a batch usually shares one
+  compiled program.  Batch size now follows the service's *adaptive* policy
+  (:func:`repro.distrib.service.adaptive_batch`): ``batch_size`` is the
+  ceiling, and cuts shrink toward 1 as the queue drains so the tail is
+  spread across the fleet.
+* **Fault tolerance** — heartbeat-extended lease deadlines, re-queue on
+  dropped connections or expiry, at-least-once execution with duplicate
+  completions validated **bitwise**; disagreement fails the sweep.
+* **Determinism** — the final store is **byte-identical** to a monolithic
+  ``execute_sweep`` of the same spec, however batches were interleaved.
+* **Checkpoints** — completed records stream into the store's O(batch)
+  journal every ``checkpoint_every`` cells; a crashed coordinator restarts
+  with ``resume=True``.
 """
 
 from __future__ import annotations
 
-import socket
-import threading
-import time
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.distrib.progress import ProgressReporter
-from repro.distrib.protocol import (
-    PROTOCOL_VERSION,
-    MessageStream,
-    ProtocolError,
+from repro.distrib.service import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_LEASE_TIMEOUT,
+    CoordinatorError,
+    Lease,
+    SweepService,
 )
 from repro.engine.results import ResultStore
-from repro.explore.sweep import (
-    SweepCell,
-    SweepSpec,
-    load_resumable_records,
-    shard_cells,
-)
-from repro.telemetry import RateEwma, get_telemetry
-from repro.telemetry.metrics import percentile
+from repro.explore.sweep import SweepSpec
 
-#: Cells per lease.  Small enough that a straggler holds little work,
-#: large enough that a batch amortizes one compile.
-DEFAULT_BATCH_SIZE = 4
-
-#: Seconds a lease may go without a heartbeat before it is re-queued.
-DEFAULT_LEASE_TIMEOUT = 60.0
-
-#: Completed cells between journal checkpoints.
-DEFAULT_CHECKPOINT_EVERY = 32
-
-
-class CoordinatorError(RuntimeError):
-    """The distributed run cannot produce a trustworthy store."""
-
-
-@dataclass
-class Lease:
-    """One outstanding batch: who holds it and until when."""
-
-    lease_id: int
-    keys: List[str]
-    worker: str
-    deadline: float
-    #: Monotonic grant time; completion minus grant is the lease latency
-    #: sampled by the metrics plane.
-    granted: float = 0.0
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_LEASE_TIMEOUT",
+    "CoordinatorError",
+    "Lease",
+    "SweepCoordinator",
+]
 
 
 class SweepCoordinator:
@@ -89,8 +58,12 @@ class SweepCoordinator:
 
     Life cycle: construct → :meth:`start` (binds the listener, returns
     immediately) → workers connect → :meth:`wait`/:meth:`run` → summary.
-    All shared state is guarded by one lock; per-connection reader threads
-    and the lease reaper are the only writers.
+    This is the drain-when-idle single-tenant shape of
+    :class:`~repro.distrib.service.SweepService`: one named sweep is
+    submitted up front, and workers are released with ``done`` the moment
+    it reaches a terminal state.  ``adaptive=False`` pins every lease to
+    the fixed ``batch_size`` cut (the pre-refactor behavior, kept for
+    benchmarking the adaptive tail policy against).
     """
 
     def __init__(self, sweep: SweepSpec,
@@ -103,117 +76,47 @@ class SweepCoordinator:
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                  checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
-                 progress: bool = False):
-        if batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
-        if lease_timeout <= 0:
-            raise ValueError("lease_timeout must be positive")
-        if resume and store is None:
-            raise ValueError("resume requires a result store")
+                 progress: bool = False,
+                 adaptive: bool = True):
         self.sweep = sweep
         self.store = store
         self.name = name
         self.host = host
-        self._requested_port = port
         self.batch_size = batch_size
         self.lease_timeout = lease_timeout
-        self.heartbeat_interval = max(0.2, lease_timeout / 4.0)
-        self.checkpoint_every = checkpoint_every
         self.resume = resume
-
-        cells = sweep.cells()
-        if shard is not None:
-            cells = shard_cells(cells, shard[0], shard[1])
-        self._cells: List[SweepCell] = cells
-        self._by_key: Dict[str, SweepCell] = {c.key: c for c in cells}
-        if len(self._by_key) != len(cells):
-            raise ValueError("cell_key collision within one sweep "
-                             "(two distinct cells hashed identically)")
-        self._meta = sweep.meta()
-        if shard is not None:
-            self._meta["shard"] = [shard[0], shard[1]]
-
-        self._stored: Dict[str, Dict] = {}
-        if store is not None and not resume \
-                and store.journal_path(name).exists():
-            # A fresh run overwrites the store; a stale journal from some
-            # earlier crashed run must not leak into it at compaction time.
-            store.journal_path(name).unlink()
-        if resume:
-            # Shared with the in-process resume path: axes validated before
-            # any journal is folded, foreign stores/journals refused.
-            self._stored = load_resumable_records(store, name, sweep,
-                                                  self._by_key)
-        self._pending: Deque[str] = deque(
-            c.key for c in cells if c.key not in self._stored)
-        self._completed: Dict[str, Dict] = {}
-        self._journal_tail: List[Dict] = []
-        self._journaled = False
-        self._leases: Dict[int, Lease] = {}
-        self._next_lease_id = 1
-        self._active_workers: Dict[str, int] = {}   # name -> completed cells
-        self._connected = 0
-        self._workers_seen = 0
-        self._requeued = 0
-        self._duplicates = 0
-        self._failure: Optional[str] = None
-
-        # Metrics plane (served to `repro-eval metrics` via the ``metrics``
-        # protocol message; state lives here, no telemetry sink required).
-        self._started = time.monotonic()
-        self._overall_rate = RateEwma(start=self._started)
-        self._worker_rates: Dict[str, RateEwma] = {}
-        self._heartbeat_at: Dict[str, float] = {}
-        self._lease_latencies: Deque[float] = deque(maxlen=256)
-        self._reaped = 0
-
-        self._lock = threading.Lock()
-        #: Serializes journal file writes only — checkpoints fsync outside
-        #: the state lock so disk latency never stalls lease hand-out or
-        #: heartbeat processing for the rest of the fleet.
-        self._journal_lock = threading.Lock()
-        self._done = threading.Event()
-        self._stop = threading.Event()
-        self._listener: Optional[socket.socket] = None
-        self._threads: List[threading.Thread] = []
-        self._streams: List[MessageStream] = []
-        self._reporter = (ProgressReporter(len(cells), label=f"distrib:{name}")
-                          if progress else None)
-        if not self._pending:
-            self._done.set()  # everything already stored (a completed resume)
+        self.service = SweepService(
+            host=host, port=port, store=store,
+            lease_timeout=lease_timeout,
+            checkpoint_every=checkpoint_every,
+            drain_when_idle=True, progress=progress)
+        # Submitting before start() keeps the old construct-time
+        # validation: bad batch sizes, resume-without-store and cell-key
+        # collisions all raise here, not when the first worker connects.
+        self._job = self.service.submit(
+            sweep, name, store=store, shard=shard, resume=resume,
+            batch_size=batch_size, checkpoint_every=checkpoint_every,
+            adaptive=adaptive)
 
     # ------------------------------------------------------------------ #
     # Server life cycle
     # ------------------------------------------------------------------ #
     @property
     def port(self) -> int:
-        if self._listener is None:
-            raise RuntimeError("coordinator not started")
-        return self._listener.getsockname()[1]
+        return self.service.port
 
     @property
     def done(self) -> bool:
-        return self._done.is_set()
+        return self._job.done.is_set()
 
     def start(self) -> "SweepCoordinator":
         """Bind the listener and start serving; returns immediately."""
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.host, self._requested_port))
-        listener.listen(64)
-        listener.settimeout(0.2)
-        self._listener = listener
-        for target, tag in ((self._accept_loop, "accept"),
-                            (self._reaper_loop, "reaper")):
-            thread = threading.Thread(target=target, daemon=True,
-                                      name=f"coordinator-{tag}")
-            thread.start()
-            self._threads.append(thread)
+        self.service.start()
         return self
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the sweep completes (or *timeout*); True when done."""
-        return self._done.wait(timeout)
+        return self._job.done.wait(timeout)
 
     def run(self, timeout: Optional[float] = None) -> Dict:
         """Block until completion, then finalize and return the summary."""
@@ -226,401 +129,32 @@ class SweepCoordinator:
 
     def shutdown(self) -> None:
         """Stop serving (idempotent); outstanding connections get closed."""
-        self._stop.set()
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-        with self._lock:
-            streams = list(self._streams)
-        for stream in streams:
-            # Unblock client reader threads parked in recv(); each thread
-            # closes its own stream on the way out (closing the buffered
-            # reader from here would deadlock on its read lock).
-            stream.interrupt()
-        for thread in list(self._threads):
-            thread.join(timeout=5.0)
+        self.service.shutdown()
 
     def summary(self) -> Dict:
-        """Finalize the store and return an ``execute_sweep``-shaped summary."""
-        if not self._done.is_set():
+        """The finalized ``execute_sweep``-shaped summary of the sweep."""
+        if not self._job.done.is_set():
             raise RuntimeError("sweep is not complete yet")
         self.shutdown()
-        with self._lock:
-            if self._failure is not None:
-                raise CoordinatorError(self._failure)
-            combined = dict(self._stored)
-            combined.update(self._completed)
-            records = [combined[key] for key in sorted(combined)]
-            meta = dict(self._meta)
-            meta["cells"] = len(records)
-            summary = {
-                "records": records, "meta": meta, "cells": len(self._cells),
-                "computed": len(self._completed),
-                "skipped": len(self._stored), "rechecked": 0, "path": None,
-                "distrib": {
-                    "workers": self._workers_seen,
-                    "requeued_batches": self._requeued,
-                    "duplicate_records": self._duplicates,
-                    "cells_by_worker": dict(self._active_workers),
-                },
-            }
-            if self.store is not None:
-                with get_telemetry().span("store.checkpoint", kind="final",
-                                          records=len(records)):
-                    if self._journaled:
-                        # Checkpoints were written; flush the tail and fold
-                        # the journal into the canonical sorted store in one
-                        # pass.
-                        with self._journal_lock:
-                            if self._journal_tail:
-                                self.store.append_journal(
-                                    self.name, self._journal_tail,
-                                    meta=self._meta)
-                                self._journal_tail = []
-                            path = self.store.compact_journal(
-                                self.name, merge_store=self.resume)
-                    elif self.resume:
-                        path = self.store.append_keyed(
-                            self.name, list(self._completed.values()),
-                            meta=meta)
-                    else:
-                        path = self.store.save_keyed(self.name, records,
-                                                     meta=meta)
-                summary["path"] = str(path)
-        if self._reporter is not None:
-            self._reporter.update(summary["computed"] + summary["skipped"],
-                                  extra="complete", force=True)
-        return summary
+        return self.service.summary(self.name)
 
     # ------------------------------------------------------------------ #
-    # Accept / reaper threads
-    # ------------------------------------------------------------------ #
-    def _accept_loop(self) -> None:
-        while not self._stop.is_set():
-            try:
-                conn, _addr = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                return
-            conn.settimeout(None)
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            thread = threading.Thread(target=self._serve_client,
-                                      args=(MessageStream(conn),),
-                                      daemon=True, name="coordinator-client")
-            thread.start()
-            self._threads.append(thread)
-
-    def _reaper_loop(self) -> None:
-        tick = min(1.0, self.lease_timeout / 4.0)
-        while not self._stop.is_set() and not self._done.is_set():
-            self._stop.wait(tick)
-            now = time.monotonic()
-            with self._lock:
-                expired = [lease for lease in self._leases.values()
-                           if lease.deadline < now]
-                for lease in expired:
-                    self._requeue_locked(lease)
-                self._reaped += len(expired)
-            self._emit_progress()
-
-    def _requeue_locked(self, lease: Lease) -> None:
-        """Put a lease's unfinished keys back at the front of the queue."""
-        self._leases.pop(lease.lease_id, None)
-        unfinished = [key for key in lease.keys
-                      if key not in self._completed and key not in self._stored]
-        if unfinished:
-            self._pending.extendleft(reversed(unfinished))
-            self._requeued += 1
-
-    # ------------------------------------------------------------------ #
-    # Per-connection protocol
-    # ------------------------------------------------------------------ #
-    def _serve_client(self, stream: MessageStream) -> None:
-        worker: Optional[str] = None
-        with self._lock:
-            self._streams.append(stream)
-        try:
-            while not self._stop.is_set():
-                message = stream.recv()
-                if message is None:
-                    return  # worker gone; finally-block requeues its leases
-                kind = message["type"]
-                if kind == "hello":
-                    worker = self._register(message)
-                    stream.send({
-                        "type": "welcome", "version": PROTOCOL_VERSION,
-                        "sweep": self.sweep.meta(), "name": self.name,
-                        "total_cells": len(self._cells),
-                        "heartbeat_interval": self.heartbeat_interval,
-                    })
-                elif kind == "metrics":
-                    # Observer request, allowed without a hello: a metrics
-                    # scraper is not a worker and holds no leases.  The
-                    # connection stays open so a monitor can poll.
-                    stream.send({"type": "metrics",
-                                 "snapshot": self.metrics_snapshot()})
-                elif worker is None:
-                    raise ProtocolError(f"first message must be hello, "
-                                        f"got {kind!r}")
-                elif kind == "request":
-                    reply = self._assign(worker)
-                    stream.send(reply)
-                    if reply["type"] == "done":
-                        return
-                elif kind == "heartbeat":
-                    self._extend_leases(worker)
-                elif kind == "result":
-                    self._complete(worker, message)
-                elif kind == "error":
-                    raise ProtocolError(
-                        f"worker {worker} reported: {message.get('message')}")
-                else:
-                    raise ProtocolError(f"unknown message type {kind!r}")
-        except (ProtocolError, ValueError, OSError) as error:
-            try:
-                stream.send({"type": "error", "message": str(error)})
-            except OSError:
-                pass
-        finally:
-            with self._lock:
-                for lease in list(self._leases.values()):
-                    if lease.worker == worker:
-                        self._requeue_locked(lease)
-                if worker is not None:
-                    self._connected -= 1
-                if stream in self._streams:
-                    self._streams.remove(stream)
-                # Prune this handler from the join list — an elastic fleet
-                # reconnects many times over a long sweep, and the list
-                # must not grow (nor shutdown joins slow down) with every
-                # connection that ever existed.
-                try:
-                    self._threads.remove(threading.current_thread())
-                except ValueError:
-                    pass
-            stream.close()
-            self._emit_progress()
-
-    def _register(self, message: Dict) -> str:
-        if message.get("version") != PROTOCOL_VERSION:
-            raise ProtocolError(
-                f"protocol version mismatch: coordinator speaks "
-                f"{PROTOCOL_VERSION}, worker sent {message.get('version')!r}")
-        base = str(message.get("worker") or "worker")
-        with self._lock:
-            self._workers_seen += 1
-            self._connected += 1
-            worker = f"{base}#{self._workers_seen}"
-            self._active_workers.setdefault(worker, 0)
-        return worker
-
-    def _assign(self, worker: str) -> Dict:
-        with self._lock:
-            if self._failure is not None:
-                return {"type": "error", "message": self._failure}
-            if self._done.is_set():
-                return {"type": "done"}
-            # Skip keys that were re-queued (expired lease) but completed
-            # anyway before being re-leased — at-least-once execution means
-            # a late result may beat its replacement to the queue, and
-            # re-simulating a cell whose record is already held is waste.
-            keys: List[str] = []
-            while self._pending and len(keys) < self.batch_size:
-                key = self._pending.popleft()
-                if key not in self._completed and key not in self._stored:
-                    keys.append(key)
-            if not keys:
-                return {"type": "wait", "seconds": 0.5}
-            now = time.monotonic()
-            lease = Lease(lease_id=self._next_lease_id, keys=keys,
-                          worker=worker, deadline=now + self.lease_timeout,
-                          granted=now)
-            self._next_lease_id += 1
-            self._leases[lease.lease_id] = lease
-            return {"type": "lease", "lease_id": lease.lease_id, "keys": keys}
-
-    def _extend_leases(self, worker: str) -> None:
-        now = time.monotonic()
-        deadline = now + self.lease_timeout
-        with self._lock:
-            self._heartbeat_at[worker] = now
-            for lease in self._leases.values():
-                if lease.worker == worker:
-                    lease.deadline = deadline
-
-    def _complete(self, worker: str, message: Dict) -> None:
-        records = message.get("records")
-        if not isinstance(records, list):
-            raise ProtocolError("result message must carry a records list")
-        now = time.monotonic()
-        new_cells = 0
-        with self._lock:
-            # The lease may already be gone (expired and re-leased) — the
-            # records are still valid work and go through the same duplicate
-            # validation as any other completion (at-least-once execution).
-            lease = self._leases.pop(message.get("lease_id"), None)
-            if lease is not None:
-                self._lease_latencies.append(now - lease.granted)
-            self._heartbeat_at[worker] = now
-            for record in records:
-                key = record.get("cell_key") if isinstance(record, dict) else None
-                if key not in self._by_key:
-                    # Put the batch's unfinished cells back before dropping
-                    # this connection: a bad result must not strand a lease.
-                    if lease is not None:
-                        self._requeue_locked(lease)
-                    raise ProtocolError(
-                        f"result for unknown cell {key!r} (not in this sweep)")
-                existing = self._completed.get(key, self._stored.get(key))
-                if existing is not None:
-                    self._duplicates += 1
-                    if existing != record:
-                        self._failure = (
-                            f"cell {key} completed twice with DIFFERENT "
-                            f"records (worker {worker}); the fleet is not "
-                            f"bitwise-reproducible — refusing to write a "
-                            f"store")
-                        self._done.set()
-                        return
-                    continue
-                self._completed[key] = record
-                self._journal_tail.append(record)
-                self._active_workers[worker] = \
-                    self._active_workers.get(worker, 0) + 1
-                new_cells += 1
-            if new_cells:
-                self._overall_rate.observe(new_cells, now)
-                self._worker_rates.setdefault(
-                    worker, RateEwma(start=self._started)
-                ).observe(new_cells, now)
-            to_journal: Optional[List[Dict]] = None
-            if (self.store is not None and self.checkpoint_every
-                    and len(self._journal_tail) >= self.checkpoint_every):
-                to_journal = self._journal_tail
-                self._journal_tail = []
-                self._journaled = True
-            if len(self._completed) + len(self._stored) >= len(self._cells):
-                self._done.set()
-        if to_journal:
-            try:
-                with self._journal_lock, \
-                        get_telemetry().span("store.checkpoint",
-                                             kind="journal",
-                                             records=len(to_journal)):
-                    self.store.append_journal(self.name, to_journal,
-                                              meta=self._meta)
-            except Exception as error:
-                # The records were already popped from the tail; losing the
-                # write silently would finalize a store missing cells while
-                # claiming success.  Abort the run loudly instead.
-                with self._lock:
-                    self._failure = (
-                        f"journal checkpoint failed ({error}); aborting "
-                        f"rather than finalize a store with missing cells")
-                    self._done.set()
-        self._emit_progress()
-
-    # ------------------------------------------------------------------ #
-    # Introspection / progress
+    # Introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict:
         """Point-in-time counters (for tests, monitoring, and progress)."""
-        with self._lock:
-            return {
-                "total": len(self._cells),
-                "done": len(self._completed) + len(self._stored),
-                "computed": len(self._completed),
-                "skipped": len(self._stored),
-                "pending": len(self._pending),
-                "leased": sum(len(l.keys) for l in self._leases.values()),
-                "leases": len(self._leases),
-                "workers": self._connected,
-                "workers_seen": self._workers_seen,
-                "requeued_batches": self._requeued,
-                "duplicate_records": self._duplicates,
-                "cells_by_worker": dict(self._active_workers),
-                "failure": self._failure,
-            }
+        return self.service.job_stats(self.name)
 
     def metrics_snapshot(self) -> Dict:
-        """The JSON payload served for a ``metrics`` protocol request.
+        """The service metrics payload (single tenant: one ``sweep`` label).
 
-        Everything :func:`repro.telemetry.render_prometheus` knows how to
-        render: queue depth, lease/worker counts, the overall and per-worker
-        throughput EWMAs, lease latency p50/p95 over the last 256 leases,
-        per-worker heartbeat ages, and the EWMA-based ETA.  All state lives
-        on the coordinator, so the metrics plane works with or without a
-        ``--telemetry`` sink.
+        See :meth:`repro.distrib.service.SweepService.metrics_snapshot` —
+        top-level aggregates plus the per-sweep block, all rendered by
+        :func:`repro.telemetry.render_prometheus`.
         """
-        now = time.monotonic()
-        with self._lock:
-            total = len(self._cells)
-            done = len(self._completed) + len(self._stored)
-            throughput = self._overall_rate.rate
-            remaining = total - done
-            if remaining <= 0:
-                eta: Optional[float] = 0.0
-            elif throughput:
-                eta = remaining / throughput
-            else:
-                eta = None
-            snapshot: Dict = {
-                "total": total,
-                "done": done,
-                "pending": len(self._pending),
-                "leased": sum(len(l.keys) for l in self._leases.values()),
-                "leases": len(self._leases),
-                "workers": self._connected,
-                "workers_seen": self._workers_seen,
-                "requeued_batches": self._requeued,
-                "reaped_leases": self._reaped,
-                "duplicate_records": self._duplicates,
-                "throughput": throughput,
-                "eta_seconds": eta,
-                "worker_cells": dict(self._active_workers),
-                "worker_throughput": {
-                    name: rate.rate
-                    for name, rate in self._worker_rates.items()
-                    if rate.rate is not None},
-                "heartbeat_age_seconds": {
-                    name: now - at
-                    for name, at in self._heartbeat_at.items()},
-                "lease_latency_seconds": {},
-            }
-            latencies = list(self._lease_latencies)
-        p50 = percentile(latencies, 0.5)
-        if p50 is not None:
-            snapshot["lease_latency_seconds"] = {
-                "0.5": p50, "0.95": percentile(latencies, 0.95)}
-        hub = get_telemetry()
-        if hub.enabled:
-            hub.set_gauge("coordinator.queue_depth", snapshot["pending"])
-            hub.set_gauge("coordinator.outstanding_leases",
-                          snapshot["leases"])
-            hub.set_gauge("coordinator.workers_connected",
-                          snapshot["workers"])
-        return snapshot
+        return self.service.metrics_snapshot()
 
     def _progress_snapshot(self) -> str:
         stats = self.stats()
         return (f"{stats['done']}/{stats['total']} cells, "
                 f"{stats['workers']} workers, {stats['leases']} leases")
-
-    def _emit_progress(self) -> None:
-        hub = get_telemetry()
-        if hub.enabled:
-            with self._lock:
-                hub.set_gauge("coordinator.queue_depth", len(self._pending))
-                hub.set_gauge("coordinator.outstanding_leases",
-                              len(self._leases))
-                hub.set_gauge("coordinator.workers_connected", self._connected)
-        if self._reporter is None or self._done.is_set():
-            return  # the final line is emitted once, by summary()
-        stats = self.stats()
-        self._reporter.update(
-            stats["done"],
-            extra=(f"{stats['workers']} workers, {stats['leased']} leased, "
-                   f"{stats['requeued_batches']} requeued"))

@@ -38,7 +38,8 @@ def execute_sweep_distributed(sweep: SweepSpec,
                               checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
                               worker_options: Optional[Sequence[Dict]] = None,
                               timeout: Optional[float] = None,
-                              cache_dir: Optional[str] = None) -> Dict:
+                              cache_dir: Optional[str] = None,
+                              adaptive: bool = True) -> Dict:
     """Run *sweep* with a local coordinator and *workers* spawned processes.
 
     ``worker_options`` optionally carries one kwargs dict per worker
@@ -46,8 +47,11 @@ def execute_sweep_distributed(sweep: SweepSpec,
     :func:`repro.distrib.worker.run_worker`); tests and benchmarks use it to
     manufacture deterministic stragglers.  ``cache_dir`` is handed to every
     worker (unless its options dict overrides it) so the whole fleet shares
-    one persistent program cache.  The resulting store is byte-identical to
-    a monolithic ``execute_sweep`` of the same spec.
+    one persistent program cache.  ``adaptive=False`` pins every lease to
+    the fixed ``batch_size`` cut instead of the service's shrinking-tail
+    policy (``benchmarks/bench_service.py`` measures one against the
+    other).  The resulting store is byte-identical to a monolithic
+    ``execute_sweep`` of the same spec.
     """
     if workers < 1:
         raise ValueError("a distributed run needs at least 1 worker")
@@ -59,7 +63,8 @@ def execute_sweep_distributed(sweep: SweepSpec,
     coordinator = SweepCoordinator(
         sweep, store=store, name=name, port=0, shard=shard, resume=resume,
         batch_size=batch_size, lease_timeout=lease_timeout,
-        checkpoint_every=checkpoint_every, progress=progress)
+        checkpoint_every=checkpoint_every, progress=progress,
+        adaptive=adaptive)
     coordinator.start()
 
     # Spawn (not fork): the coordinator already runs server threads, and

@@ -1,4 +1,4 @@
-"""JSON-lines wire protocol between the sweep coordinator and its workers.
+"""JSON-lines wire protocol between the sweep service and its peers.
 
 Every message is one JSON object on one ``\\n``-terminated line over a plain
 TCP connection — trivially debuggable with ``nc`` and exactly as portable as
@@ -6,31 +6,54 @@ the result stores themselves (floats serialize via ``repr``/``json`` and
 round-trip bitwise, so a record that crosses the wire is byte-for-byte the
 record a local run would have produced).
 
-Message vocabulary (``type`` field):
+Version 2 (the multi-sweep service protocol).  Version 1 was the
+single-sweep coordinator protocol, whose ``welcome`` embedded the one
+sweep's axes meta; a v2 ``welcome`` carries no sweep — each ``lease`` names
+its sweep and ships the axes meta instead, which is what makes workers
+sweep-agnostic.  ``hello``/``welcome`` negotiate the version: a mismatch is
+answered with a versioned ``error`` message (not a decode crash), so an old
+worker against a new service — or vice versa — fails loudly and legibly.
+
+Message vocabulary (``type`` field); *w* = worker, *s* = service,
+*c* = client (submitter/observer):
 
 =============  =========  ==================================================
 type           direction  payload
 =============  =========  ==================================================
-``hello``      w → c      ``version``, ``worker`` (display name)
-``welcome``    c → w      ``version``, ``sweep`` (axes meta — the worker
-                          rebuilds the `SweepSpec` and indexes cells by
-                          key), ``heartbeat_interval``, ``total_cells``
-``request``    w → c      ask for work
-``lease``      c → w      ``lease_id``, ``keys`` (batch of cell_keys)
-``wait``       c → w      ``seconds`` — nothing leasable right now, retry
-``done``       c → w      sweep complete, disconnect
-``result``     w → c      ``lease_id``, ``records`` (one per leased cell)
-``heartbeat``  w → c      extends the worker's lease deadlines (no reply)
-``metrics``    any → c    observer request (no ``hello`` needed); replied
+``hello``      w/c → s    ``version``, ``worker`` (display name),
+                          ``role`` (``"worker"`` or ``"client"``; absent
+                          means worker)
+``welcome``    s → w/c    ``version``, ``heartbeat_interval``
+``request``    w → s      ask for work (any sweep)
+``lease``      s → w      ``lease_id``, ``sweep`` (name), ``keys`` (batch
+                          of cell_keys), ``spec`` (axes meta — the worker
+                          rebuilds the `SweepSpec` and indexes cells by key)
+``wait``       s → w      ``seconds`` — nothing leasable right now, retry
+``done``       s → w      nothing left to serve, disconnect
+``result``     w → s      ``lease_id``, ``sweep``, ``records`` (one per
+                          leased cell)
+``heartbeat``  w → s      extends the worker's lease deadlines (no reply)
+``submit``     c → s      ``sweep`` (axes meta), ``name``, ``priority``,
+                          optional ``batch_size``/``checkpoint_every``/
+                          ``resume``/``adaptive``/``store`` (directory on
+                          the service host); replied with ``submitted``
+                          carrying the admission ``snapshot``
+``status``     any → s    optional ``sweep`` — replied with a ``status``
+                          message carrying per-sweep ``snapshot``\\ s
+                          (counts, EWMA throughput, ETA)
+``cancel``     c → s      ``sweep`` — replied with ``cancelled`` + snapshot
+``list``       any → s    replied with ``sweeps`` (name → status)
+``metrics``    any → s    observer request (no ``hello`` needed); replied
                           with a ``metrics`` message carrying ``snapshot``
                           (queue depth, throughput, lease latency — see
-                          ``SweepCoordinator.metrics_snapshot``)
-``error``      both       ``message`` — fatal, close the connection
+                          ``SweepService.metrics_snapshot``)
+``error``      both       ``message``, ``version`` — fatal for this
+                          connection only; other tenants are unaffected
 =============  =========  ==================================================
 
-The coordinator only ever *replies* (one response per ``request``); workers
-may interleave write-only ``heartbeat`` lines from a background thread, so
-:class:`MessageStream` serializes writes with a lock.
+The service only ever *replies* (one response per request-shaped message);
+workers may interleave write-only ``heartbeat`` lines from a background
+thread, so :class:`MessageStream` serializes writes with a lock.
 """
 
 from __future__ import annotations
@@ -40,8 +63,9 @@ import socket
 import threading
 from typing import Dict, Optional
 
-#: Protocol version; hello/welcome must agree exactly.
-PROTOCOL_VERSION = 1
+#: Protocol version; hello/welcome must agree exactly.  2 = multi-sweep
+#: service verbs (submit/status/cancel/list, per-lease sweep meta).
+PROTOCOL_VERSION = 2
 
 #: Maximum accepted line length (a result batch of a few hundred cells is
 #: well under this; anything bigger is a framing error, not a message).

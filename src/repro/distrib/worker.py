@@ -1,25 +1,31 @@
-"""The sweep worker: lease batches, execute them, stream records back.
+"""The sweep-agnostic worker: lease batches, execute them, stream records.
 
-A worker is one process with one engine.  It connects to a coordinator,
-rebuilds the sweep's cell set from the axes in the ``welcome`` message
-(cells are content-addressed, so a list of ``cell_key``\\ s identifies a
-batch unambiguously), and then loops: request → execute → result.  Axes
-round-trip through ``SweepSpec.meta()`` / ``from_meta``; axes with an
-all-default value (e.g. ``timing_models == ("flat",)``) are omitted from the
-meta block and restored to the default on rebuild, so old coordinators and
-new workers (and vice versa) agree on the cell set byte-for-byte.  A
-background thread heartbeats while a batch is executing so the coordinator
+A worker is one process with one engine, and — since the multi-sweep
+service refactor — no sweep of its own.  It connects, negotiates the
+protocol version in hello/welcome, and then loops request → execute →
+result.  Each ``lease`` carries its sweep's name plus the sweep's axes
+meta (``SweepSpec.meta()``), so one worker serves every tenant the service
+hosts and rebalances automatically when sweeps are submitted or cancelled
+mid-run: the worker rebuilds each sweep's cell set once per distinct axes
+payload (content-addressed cache) and executes whatever batch the
+scheduler hands it next.  Axes with an all-default value (e.g.
+``timing_models == ("flat",)``) are omitted from the meta block and
+restored to the default on rebuild, so the service and its workers agree
+on every cell set byte-for-byte.
+
+A background thread heartbeats while a batch is executing so the service
 does not re-lease work from a slow-but-alive worker; a *dead* worker stops
 heartbeating and drops its connection, which is exactly what triggers the
-coordinator's re-lease path.
-
-Workers are deliberately stateless between batches — all coordination state
-(leases, completions, checkpoints) lives in the coordinator, so a worker can
-be killed at any instant without corrupting anything.
+service's re-lease path.  Workers are deliberately stateless between
+batches — all coordination state (leases, completions, checkpoints) lives
+in the service, so a worker can be killed at any instant without
+corrupting anything.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import socket
 import sys
@@ -34,19 +40,19 @@ from repro.distrib.protocol import (
     connect,
 )
 from repro.engine import ExperimentEngine
-from repro.explore.sweep import SweepSpec, cell_record, run_sweep_cells
+from repro.explore.sweep import SweepCell, SweepSpec, cell_record, run_sweep_cells
 from repro.telemetry import get_telemetry
 
 
 class WorkerError(RuntimeError):
-    """The coordinator rejected this worker or reported a fatal error."""
+    """The service rejected this worker or reported a fatal error."""
 
 
 def connect_with_retry(host: str, port: int,
                        timeout: float = 30.0) -> MessageStream:
-    """Connect to the coordinator, retrying until *timeout* elapses.
+    """Connect to the service, retrying until *timeout* elapses.
 
-    Workers routinely start before the coordinator has bound its port (CI
+    Workers routinely start before the service has bound its port (CI
     launches both as background jobs), so refusal is retried, not fatal.
     """
     deadline = time.monotonic() + timeout
@@ -56,7 +62,7 @@ def connect_with_retry(host: str, port: int,
         except OSError as error:
             if time.monotonic() >= deadline:
                 raise WorkerError(
-                    f"could not reach coordinator at {host}:{port} "
+                    f"could not reach the sweep service at {host}:{port} "
                     f"within {timeout} s: {error}") from error
             time.sleep(0.2)
 
@@ -84,13 +90,37 @@ class _Heartbeat:
         self._thread.join(timeout=2.0)
 
 
+class _SweepCellCache:
+    """Cell sets rebuilt from lease ``spec`` payloads, one per distinct axes.
+
+    The cache key is a digest of the canonical JSON of the axes meta — not
+    the sweep's display name — so a service that retires one sweep and
+    later hosts a different sweep under a reused name can never hand this
+    worker stale cells.
+    """
+
+    def __init__(self):
+        self._by_digest: Dict[str, Dict[str, SweepCell]] = {}
+
+    def cells_for(self, spec_meta: Dict) -> Dict[str, SweepCell]:
+        digest = hashlib.sha256(json.dumps(
+            spec_meta, sort_keys=True, separators=(",", ":"),
+            default=str).encode("utf-8")).hexdigest()
+        cells = self._by_digest.get(digest)
+        if cells is None:
+            sweep = SweepSpec.from_meta(spec_meta)
+            cells = {cell.key: cell for cell in sweep.cells()}
+            self._by_digest[digest] = cells
+        return cells
+
+
 def run_worker(host: str, port: int,
                name: Optional[str] = None,
                max_workers: int = 1,
                throttle: float = 0.0,
                connect_timeout: float = 30.0,
                cache_dir: Optional[str] = None) -> Dict:
-    """Serve one coordinator until its sweep is done; returns worker stats.
+    """Serve one sweep service until it releases this worker; return stats.
 
     ``max_workers`` is the engine's in-process fan-out *within* this worker
     (normally 1 — the fleet is the parallelism).  ``throttle`` injects an
@@ -99,26 +129,35 @@ def run_worker(host: str, port: int,
     stragglers, and is harmless in production use.  ``cache_dir`` points the
     worker's engine at a persistent on-disk program cache, so a fleet
     sharing one directory compiles each program once per machine; the
-    returned stats carry the engine's cache counters under ``"cache"``.
+    returned stats carry the engine's cache counters under ``"cache"`` and
+    per-sweep cell counts under ``"sweeps"``.
     """
     worker_name = name or f"{socket.gethostname()}:{os.getpid()}"
     stream = connect_with_retry(host, port, timeout=connect_timeout)
-    stats = {"worker": worker_name, "batches": 0, "cells": 0, "waits": 0}
+    stats: Dict = {"worker": worker_name, "batches": 0, "cells": 0,
+                   "waits": 0, "sweeps": {}}
     heartbeat: Optional[_Heartbeat] = None
     try:
         stream.send({"type": "hello", "version": PROTOCOL_VERSION,
-                     "worker": worker_name})
+                     "worker": worker_name, "role": "worker"})
         welcome = stream.recv()
-        if welcome is None or welcome.get("type") != "welcome":
+        if welcome is None:
+            raise WorkerError("service closed the connection during hello")
+        if welcome.get("type") == "error":
+            # A version-aware service rejects an incompatible hello with a
+            # versioned error message; surface it verbatim instead of a
+            # decode crash.
+            raise WorkerError(
+                f"service rejected this worker: {welcome.get('message')}")
+        if welcome.get("type") != "welcome":
             raise WorkerError(f"expected welcome, got {welcome!r}")
         if welcome.get("version") != PROTOCOL_VERSION:
             raise WorkerError(
                 f"protocol version mismatch: worker speaks "
-                f"{PROTOCOL_VERSION}, coordinator sent "
-                f"{welcome.get('version')!r}")
+                f"{PROTOCOL_VERSION}, service sent "
+                f"{welcome.get('version')!r}; upgrade the older side")
 
-        sweep = SweepSpec.from_meta(welcome["sweep"])
-        cells_by_key = {cell.key: cell for cell in sweep.cells()}
+        cell_cache = _SweepCellCache()
         engine = ExperimentEngine(max_workers=max_workers,
                                   cache_dir=cache_dir)
         heartbeat = _Heartbeat(stream, float(welcome["heartbeat_interval"]))
@@ -126,40 +165,48 @@ def run_worker(host: str, port: int,
         hub = get_telemetry()
         while True:
             try:
-                # The roundtrip span covers queueing at the coordinator plus
+                # The roundtrip span covers queueing at the service plus
                 # the wire time — the worker-side view of lease latency.
                 with hub.span("lease.roundtrip", worker=worker_name):
                     stream.send({"type": "request"})
                     message = stream.recv()
             except OSError:
-                break  # coordinator gone mid-exchange; same as clean EOF
+                break  # service gone mid-exchange; same as clean EOF
             if message is None:
-                break  # coordinator gone; nothing left to do safely
+                break  # service gone; nothing left to do safely
             kind = message["type"]
             if kind == "lease":
+                sweep_name = message.get("sweep", "sweep")
                 try:
+                    cells_by_key = cell_cache.cells_for(message["spec"])
                     batch = [cells_by_key[key] for key in message["keys"]]
-                except KeyError as error:
+                except (KeyError, ValueError) as error:
                     raise ProtocolError(
-                        f"leased unknown cell {error}; coordinator and "
-                        f"worker disagree about the sweep") from error
-                runs = run_sweep_cells(batch, engine,
-                                       max_workers=max_workers)
-                if throttle:
-                    time.sleep(throttle * len(batch))
+                        f"unusable lease for sweep {sweep_name!r} "
+                        f"({error}); service and worker disagree about "
+                        f"the sweep") from error
+                with hub.span("lease.execute", sweep=sweep_name,
+                              cells=len(batch)):
+                    runs = run_sweep_cells(batch, engine,
+                                           max_workers=max_workers)
+                    if throttle:
+                        time.sleep(throttle * len(batch))
                 records = [cell_record(cell, run)
                            for cell, run in zip(batch, runs)]
                 try:
                     stream.send({"type": "result",
                                  "lease_id": message["lease_id"],
+                                 "sweep": sweep_name,
                                  "records": records})
                 except OSError:
                     # The sweep finished without this batch (it expired and
-                    # was re-leased) and the coordinator shut down — a
+                    # was re-leased) and the service shut down — a
                     # legitimate at-least-once outcome, not a failure.
                     break
                 stats["batches"] += 1
                 stats["cells"] += len(records)
+                stats["sweeps"][sweep_name] = \
+                    stats["sweeps"].get(sweep_name, 0) + len(records)
                 hub.add("worker.batches")
                 hub.add("worker.cells", len(records))
                 hub.flush()  # a SIGKILL now loses at most this batch's tail
@@ -170,7 +217,7 @@ def run_worker(host: str, port: int,
                 break
             elif kind == "error":
                 raise WorkerError(
-                    f"coordinator error: {message.get('message')}")
+                    f"service error: {message.get('message')}")
             else:
                 raise ProtocolError(f"unknown message type {kind!r}")
         stats["cache"] = engine.merged_cache_stats()
@@ -196,6 +243,11 @@ def format_worker_stats(stats: Dict) -> str:
     """
     line = (f"worker {stats['worker']} done: {stats['cells']} cells in "
             f"{stats['batches']} batches")
+    sweeps = stats.get("sweeps")
+    if sweeps and len(sweeps) > 1:
+        detail = ", ".join(f"{name}={count}"
+                           for name, count in sorted(sweeps.items()))
+        line += f" across sweeps {detail}"
     cache = stats.get("cache")
     if cache is not None:
         line += (f" | cache compiles={cache['compiles']} "

@@ -415,7 +415,8 @@ def execute_sweep(sweep: SweepSpec,
                   checkpoint_every: Optional[int] = None,
                   batch_size: Optional[int] = None,
                   lease_timeout: Optional[float] = None,
-                  cache_dir: Optional[str] = None) -> Dict:
+                  cache_dir: Optional[str] = None,
+                  adaptive: bool = True) -> Dict:
     """Run *sweep* — optionally one shard of it — with store-backed resume.
 
     * ``shard=(i, N)`` restricts execution to the cells whose key hashes to
@@ -440,6 +441,8 @@ def execute_sweep(sweep: SweepSpec,
       means off in-process and the coordinator default when distributed;
     * ``batch_size`` / ``lease_timeout`` tune the distributed lease
       granularity and failure detection; they require ``workers``;
+      ``adaptive=False`` additionally pins every lease to the fixed
+      ``batch_size`` cut instead of the service's shrinking-tail policy;
     * ``cache_dir`` enables the persistent on-disk program cache: the
       in-process engine (and, distributed, every spawned worker) loads
       compiled programs from that directory instead of recompiling, so a
@@ -469,14 +472,15 @@ def execute_sweep(sweep: SweepSpec,
             kwargs["lease_timeout"] = lease_timeout
         return execute_sweep_distributed(
             sweep, store=store, name=name, workers=workers, shard=shard,
-            resume=resume, progress=progress, cache_dir=cache_dir, **kwargs)
+            resume=resume, progress=progress, cache_dir=cache_dir,
+            adaptive=adaptive, **kwargs)
     if engine is not None and cache_dir is not None:
         raise ValueError("cache_dir configures a fresh engine; give the "
                          "explicit engine a disk cache instead "
                          "(ExperimentEngine(cache_dir=...))")
-    if batch_size is not None or lease_timeout is not None:
-        raise ValueError("batch_size/lease_timeout configure the distributed "
-                         "lease protocol; they require workers=N")
+    if batch_size is not None or lease_timeout is not None or not adaptive:
+        raise ValueError("batch_size/lease_timeout/adaptive configure the "
+                         "distributed lease protocol; they require workers=N")
 
     cells = sweep.cells()
     if shard is not None:

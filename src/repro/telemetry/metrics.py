@@ -112,12 +112,17 @@ def _escape_label(value: str) -> str:
 
 
 def render_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
-    """Prometheus text exposition of a coordinator ``metrics`` snapshot.
+    """Prometheus text exposition of a service ``metrics`` snapshot.
 
-    The snapshot is the JSON payload the coordinator returns for a
-    ``metrics`` protocol request (:meth:`SweepCoordinator.metrics_snapshot`):
+    The snapshot is the JSON payload the sweep service returns for a
+    ``metrics`` protocol request (:meth:`SweepService.metrics_snapshot`):
     queue depth, lease/worker counts, per-worker throughput EWMAs, lease
-    latency quantiles, heartbeat ages and the ETA.  Unknown or ``None``
+    latency quantiles, heartbeat ages and the ETA — aggregated over every
+    hosted sweep at the top level, and repeated per tenant under the
+    snapshot's ``sweeps`` object, which renders as ``<prefix>_sweep_*``
+    samples carrying a ``sweep`` label (plus a ``priority`` gauge and a
+    ``status`` info-style gauge), so one scrape graphs each tenant's
+    queue depth, throughput and ETA separately.  Unknown or ``None``
     fields are simply omitted, so old coordinators and new CLIs coexist.
     """
     lines: List[str] = []
@@ -155,4 +160,27 @@ def render_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
     for quantile in sorted(latency):
         emit("lease_latency_seconds", latency[quantile],
              labels=f'{{quantile="{_escape_label(quantile)}"}}')
+    for sweep in sorted(snapshot.get("sweeps") or {}):
+        per = snapshot["sweeps"][sweep]
+        label = f'{{sweep="{_escape_label(sweep)}"}}'
+        emit("sweep_cells_total", per.get("total"), labels=label)
+        emit("sweep_cells_done", per.get("done"), labels=label,
+             kind="counter")
+        emit("sweep_queue_depth", per.get("pending"), labels=label)
+        emit("sweep_cells_leased", per.get("leased"), labels=label)
+        emit("sweep_priority", per.get("priority"), labels=label)
+        emit("sweep_requeued_batches", per.get("requeued_batches"),
+             labels=label, kind="counter")
+        emit("sweep_duplicate_records", per.get("duplicate_records"),
+             labels=label, kind="counter")
+        emit("sweep_throughput_cells_per_second", per.get("throughput"),
+             labels=label)
+        emit("sweep_eta_seconds", per.get("eta_seconds"), labels=label)
+        status = per.get("status")
+        if status is not None:
+            # Info-style: one sample per (sweep, status), value 1 for the
+            # current state — the standard way to expose an enum.
+            emit("sweep_status", 1,
+                 labels=f'{{sweep="{_escape_label(sweep)}",'
+                        f'status="{_escape_label(status)}"}}')
     return "\n".join(lines) + "\n" if lines else ""

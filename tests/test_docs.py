@@ -62,7 +62,13 @@ ENTRY_POINTS = [
     ("repro.explore", "mark_pareto"),
     ("repro.explore", "cell_key"),
     ("repro.distrib", "SweepCoordinator"),
+    ("repro.distrib", "SweepService"),
     ("repro.distrib", "run_worker"),
+    ("repro.distrib", "adaptive_batch"),
+    ("repro.distrib", "schedule_score"),
+    ("repro.distrib", "submit_sweep"),
+    ("repro.distrib", "sweep_status"),
+    ("repro.distrib", "cancel_sweep"),
     ("repro.telemetry", "Telemetry"),
     ("repro.telemetry", "configure_telemetry"),
     ("repro.telemetry", "RateEwma"),
