@@ -153,7 +153,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=None,
                         help="process fan-out for grids (default: cpu count)")
     parser.add_argument("--output", default=None, metavar="DIR",
-                        help="directory to persist JSON records into")
+                        help="directory to persist JSON records into "
+                             "(submit: on the service host; defaults to "
+                             "the service's own store root)")
     parser.add_argument("--shard", default=None, metavar="I/N",
                         help="explore: run only shard I of N (cells are "
                              "partitioned by key hash; every cell lands in "
@@ -486,7 +488,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             reply = submit_sweep(
                 args.host, args.port, sweep, args.name,
                 priority=args.priority, batch_size=args.batch_size,
-                resume=args.resume, adaptive=not args.fixed_batches)
+                resume=args.resume, adaptive=not args.fixed_batches,
+                checkpoint_every=args.checkpoint_every,
+                store=str(args.output) if args.output else None)
             print(f"submitted {reply['sweep']}: {reply['cells']} cells "
                   f"({reply['pending']} to compute, priority "
                   f"{reply['priority']})")

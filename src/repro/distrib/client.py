@@ -67,19 +67,28 @@ def submit_sweep(host: str, port: int, sweep: SweepSpec, name: str,
                  priority: int = 1,
                  batch_size: Optional[int] = None,
                  resume: bool = False,
-                 adaptive: bool = True) -> Dict:
+                 adaptive: bool = True,
+                 checkpoint_every: Optional[int] = None,
+                 store: Optional[str] = None) -> Dict:
     """Submit *sweep* to a running service under *name*; admission stats.
 
     The sweep travels as its axes meta (``SweepSpec.meta()``) — the same
     payload leases carry to workers — so the service rebuilds an identical
     cell set and the eventual store stays byte-identical to a local
-    ``execute_sweep`` of the same spec.
+    ``execute_sweep`` of the same spec.  ``store`` is a directory path *on
+    the service host* where this sweep's store and journal land (defaults
+    to the service-wide store root); ``checkpoint_every`` overrides the
+    service's journal cadence for this sweep.
     """
     message: Dict = {"type": "submit", "sweep": sweep.meta(), "name": name,
                      "priority": priority, "resume": resume,
                      "adaptive": adaptive}
     if batch_size is not None:
         message["batch_size"] = batch_size
+    if checkpoint_every is not None:
+        message["checkpoint_every"] = checkpoint_every
+    if store is not None:
+        message["store"] = store
     return _roundtrip(host, port, message, "submitted", negotiate=True)
 
 

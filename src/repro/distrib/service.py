@@ -378,11 +378,6 @@ class SweepService:
             meta["shard"] = [shard[0], shard[1]]
 
         stored: Dict[str, Dict] = {}
-        if store is not None and not resume \
-                and store.journal_path(name).exists():
-            # A fresh run overwrites the store; a stale journal from some
-            # earlier crashed run must not leak into it at compaction time.
-            store.journal_path(name).unlink()
         if resume:
             # Shared with the in-process resume path: axes validated before
             # any journal is folded, foreign stores/journals refused.
@@ -393,6 +388,15 @@ class SweepService:
                 raise ServiceError(
                     f"sweep name {name!r} is already taken in this service "
                     f"(status {self._jobs[name].status}); pick another name")
+            if store is not None and not resume \
+                    and store.journal_path(name).exists():
+                # A fresh run overwrites the store; a stale journal from some
+                # earlier crashed run must not leak into it at compaction
+                # time.  Unlinked only after the name check above — a
+                # rejected duplicate submit (e.g. a wire client retrying
+                # after a lost reply) must never delete the live sweep's
+                # journal checkpoints.
+                store.journal_path(name).unlink()
             job = SweepJob(
                 name=name, sweep=sweep, store=store, priority=priority,
                 order=self._job_order, max_batch=batch_size,
@@ -486,7 +490,7 @@ class SweepService:
                     "workers": self._workers_seen,
                     "requeued_batches": job.requeued,
                     "duplicate_records": job.duplicates,
-                    "cells_by_worker": dict(self._active_workers),
+                    "cells_by_worker": dict(job.cells_by_worker),
                 },
             }
 
@@ -691,14 +695,23 @@ class SweepService:
         if not isinstance(meta, dict) or not isinstance(name, str) or not name:
             raise ProtocolError("submit requires a 'sweep' axes object "
                                 "and a non-empty 'name'")
+        store_dir = message.get("store")
+        if store_dir is not None and (not isinstance(store_dir, str)
+                                      or not store_dir):
+            raise ProtocolError("submit 'store' must be a non-empty "
+                                "directory path on the service host")
+        checkpoint_every = message.get("checkpoint_every")
         try:
             sweep = SweepSpec.from_meta(meta)
             job = self.submit(
                 sweep, name,
+                store=ResultStore(store_dir) if store_dir else None,
                 priority=int(message.get("priority", 1)),
                 resume=bool(message.get("resume", False)),
                 batch_size=int(message.get("batch_size",
                                            DEFAULT_BATCH_SIZE)),
+                checkpoint_every=(None if checkpoint_every is None
+                                  else int(checkpoint_every)),
                 adaptive=bool(message.get("adaptive", True)))
         except (ServiceError, ValueError, TypeError) as error:
             raise ProtocolError(f"submit rejected: {error}") from error
@@ -758,6 +771,10 @@ class SweepService:
             self._next_lease_id += 1
             self._leases[lease.lease_id] = lease
             job.leased_cells += len(keys)
+            # Every worker that ever held a lease on this sweep appears in
+            # its per-sweep counters — a SIGKILLed worker shows up with 0
+            # completed cells rather than vanishing from the summary.
+            job.cells_by_worker.setdefault(worker, 0)
             return {"type": "lease", "lease_id": lease.lease_id,
                     "sweep": job.name, "keys": keys, "spec": job.meta}
 
@@ -773,15 +790,15 @@ class SweepService:
     # ------------------------------------------------------------------ #
     # Completion, journaling, finalization
     # ------------------------------------------------------------------ #
-    def _route_locked(self, message: Dict,
-                      lease: Optional[Lease]) -> Optional[SweepJob]:
-        """The job a ``result`` message belongs to (sweep field, lease,
-        or — for late results whose lease already expired — the cell key)."""
+    def _route_locked(self, message: Dict) -> Optional[SweepJob]:
+        """The job a lease-less ``result`` message belongs to (its sweep
+        field, or — for late results whose lease already expired — the cell
+        key).  Results that still hold a live lease are routed by the lease
+        itself in :meth:`_complete`; a worker is not trusted to relabel
+        leased work across tenants."""
         name = message.get("sweep")
         if isinstance(name, str) and name in self._jobs:
             return self._jobs[name]
-        if lease is not None:
-            return self._jobs.get(lease.sweep)
         records = message.get("records")
         if isinstance(records, list):
             for record in records:
@@ -809,14 +826,39 @@ class SweepService:
             if lease is not None:
                 self._lease_latencies.append(now - lease.granted)
             self._heartbeat_at[worker] = now
-            job = self._route_locked(message, lease)
+            if lease is not None:
+                # The lease is authoritative: route by its sweep and settle
+                # its leased-cell count on that job, whatever the message
+                # claims — otherwise a mislabelled result would decrement
+                # the wrong tenant and leave the leased sweep hung forever
+                # (the lease is already popped, so the reaper cannot
+                # recover it).
+                job = self._jobs.get(lease.sweep)
+                if job is not None:
+                    job.leased_cells = max(0, job.leased_cells
+                                           - len(lease.keys))
+                claimed = message.get("sweep")
+                if isinstance(claimed, str) and claimed != lease.sweep:
+                    # Return the batch's unfinished cells to their own
+                    # queue before dropping the connection: the mismatch
+                    # must not strand the lease's work.
+                    if job is not None and job.status == JOB_RUNNING:
+                        unfinished = [k for k in lease.keys
+                                      if k not in job.completed
+                                      and k not in job.stored]
+                        if unfinished:
+                            job.pending.extendleft(reversed(unfinished))
+                            job.requeued += 1
+                    raise ProtocolError(
+                        f"result claims sweep {claimed!r} but lease "
+                        f"{lease.lease_id} belongs to sweep "
+                        f"{lease.sweep!r}")
+            else:
+                job = self._route_locked(message)
             if job is None:
                 raise ProtocolError(
                     f"result for unknown sweep "
                     f"{message.get('sweep')!r} (no live sweep owns it)")
-            if lease is not None:
-                job.leased_cells = max(0, job.leased_cells
-                                       - len(lease.keys))
             if job.terminal:
                 # A straggler's results arriving after the sweep was
                 # cancelled/failed: legitimate at-least-once residue, not
@@ -1083,7 +1125,7 @@ class SweepService:
                 "workers_seen": self._workers_seen,
                 "requeued_batches": job.requeued,
                 "duplicate_records": job.duplicates,
-                "cells_by_worker": dict(self._active_workers),
+                "cells_by_worker": dict(job.cells_by_worker),
                 "status": job.status,
                 "failure": job.failure,
             }

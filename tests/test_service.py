@@ -335,6 +335,81 @@ def test_submit_validates_names_priorities_and_batches(tmp_path):
         service.shutdown()
 
 
+def test_rejected_duplicate_submit_leaves_live_journal_intact(tmp_path):
+    """A duplicate-name submit must not unlink the live sweep's journal.
+
+    Regression: the stale-journal cleanup used to run *before* the
+    name-uniqueness check, so a retrying wire client (lost 'submitted'
+    reply) deleted the live sweep's checkpoints and the compacted final
+    store silently lost every record journaled before the retry.
+    """
+    reference = ResultStore(tmp_path / "ref")
+    execute_sweep(ALPHA, store=reference, name="alpha",
+                  engine=ExperimentEngine(cache=ProgramCache()),
+                  max_workers=1)
+    full = reference.load_keyed("alpha")
+
+    store = ResultStore(tmp_path / "svc")
+    service = start_service(store=store, checkpoint_every=1)
+    stream = None
+    try:
+        service.submit(ALPHA, "alpha", batch_size=1)
+        stream = fake_worker(service, "w")
+        first = request(stream)
+        stream.send({"type": "result", "lease_id": first["lease_id"],
+                     "sweep": "alpha",
+                     "records": [full[first["keys"][0]]]})
+        wait_until(lambda: store.journal_path("alpha").exists(),
+                   message="the first journal checkpoint")
+        with pytest.raises(ServiceError, match="already taken"):
+            service.submit(ALPHA, "alpha")
+        assert store.journal_path("alpha").exists()
+        second = request(stream)
+        stream.send({"type": "result", "lease_id": second["lease_id"],
+                     "sweep": "alpha",
+                     "records": [full[key] for key in second["keys"]]})
+        assert service.wait("alpha", 30.0)
+        assert service.summary("alpha")["computed"] == ALPHA.size
+    finally:
+        if stream is not None:
+            stream.close()
+        service.shutdown()
+    assert store.path_for("alpha").read_bytes() == \
+        reference.path_for("alpha").read_bytes()
+
+
+def test_cells_by_worker_counters_are_per_sweep():
+    """summary/job_stats report the sweep's own worker counters, not the
+    service-wide aggregate — tenants must not observe each other."""
+    service = start_service()
+    streams = []
+    try:
+        for spec, name, worker in ((ALPHA, "alpha", "miner"),
+                                   (BETA, "beta", "smith")):
+            service.submit(spec, name, batch_size=spec.size,
+                           adaptive=False)
+            stream = fake_worker(service, worker)
+            streams.append(stream)
+            lease = request(stream)
+            assert lease["sweep"] == name
+            stream.send({"type": "result", "lease_id": lease["lease_id"],
+                         "sweep": name,
+                         "records": [{"cell_key": key, "energy": 1.0}
+                                     for key in lease["keys"]]})
+            assert service.wait(name, 30.0)
+        for name, spec, worker in (("alpha", ALPHA, "miner"),
+                                   ("beta", BETA, "smith")):
+            stats = service.job_stats(name)["cells_by_worker"]
+            summary = service.summary(name)["distrib"]["cells_by_worker"]
+            assert stats == summary
+            assert sum(stats.values()) == spec.size
+            assert all(peer.startswith(worker) for peer in stats)
+    finally:
+        for stream in streams:
+            stream.close()
+        service.shutdown()
+
+
 def test_wire_client_submit_status_list_cancel_roundtrip():
     service = start_service()
     try:
@@ -361,6 +436,43 @@ def test_wire_client_submit_status_list_cancel_roundtrip():
                                timeout=10.0)
         assert final["status"] == "cancelled"
     finally:
+        service.shutdown()
+
+
+def test_wire_submit_honors_store_and_checkpoint_every(tmp_path):
+    """The documented optional submit fields are applied, not ignored."""
+    service = start_service()  # no service-wide store at all
+    stream = None
+    try:
+        store = ResultStore(tmp_path / "wire")
+        submit_sweep(service.host, service.port, ALPHA, "wired",
+                     batch_size=1, checkpoint_every=1,
+                     store=str(tmp_path / "wire"))
+        stream = fake_worker(service, "w")
+        first = request(stream)
+        stream.send({"type": "result", "lease_id": first["lease_id"],
+                     "sweep": "wired",
+                     "records": [{"cell_key": first["keys"][0],
+                                  "energy": 1.0}]})
+        # checkpoint_every=1 into the submitted store directory — a journal
+        # appears there after the very first result.
+        wait_until(lambda: store.journal_path("wired").exists(),
+                   message="a checkpoint in the wire-submitted store")
+        second = request(stream)
+        stream.send({"type": "result", "lease_id": second["lease_id"],
+                     "sweep": "wired",
+                     "records": [{"cell_key": key, "energy": 1.0}
+                                 for key in second["keys"]]})
+        assert service.wait("wired", 30.0)
+        assert store.path_for("wired").exists()
+        assert not store.journal_path("wired").exists()  # compacted
+        # A malformed store path is rejected with the service's own message.
+        with pytest.raises(ClientError, match="'store' must be"):
+            submit_sweep(service.host, service.port, BETA, "bad-store",
+                         store="")
+    finally:
+        if stream is not None:
+            stream.close()
         service.shutdown()
 
 
@@ -397,6 +509,44 @@ def test_version_mismatch_fails_loudly_with_versioned_error():
             assert "version-negotiated" in reply["message"]
         assert service.status_snapshot() == {}  # nothing was admitted
     finally:
+        service.shutdown()
+
+
+def test_result_relabelled_across_sweeps_is_rejected_and_requeued():
+    """A leased result is routed by its lease, not the worker's say-so.
+
+    Regression: routing preferred the message's 'sweep' field, so a
+    mislabelled result decremented the *wrong* tenant's leased count and
+    left the true owner's lease stranded forever (already popped, invisible
+    to the reaper) — the owning sweep could hang at 'cancelling' or never
+    finish.
+    """
+    service = start_service()
+    stream = None
+    try:
+        service.submit(ALPHA, "hot", batch_size=1)
+        service.submit(BETA, "cold", batch_size=1)
+        stream = fake_worker(service, "liar")
+        lease = request(stream)
+        assert lease["sweep"] == "hot"  # earlier submission wins the tie
+        stream.send({"type": "result", "lease_id": lease["lease_id"],
+                     "sweep": "cold",
+                     "records": [{"cell_key": lease["keys"][0],
+                                  "energy": 1.0}]})
+        reply = stream.recv()
+        assert reply["type"] == "error"
+        assert "belongs to sweep 'hot'" in reply["message"]
+        # The lease settled on its own sweep: cells back in hot's queue,
+        # nothing leaked into cold's counters.
+        hot = service.job_stats("hot")
+        assert hot["pending"] == ALPHA.size and hot["leased"] == 0
+        assert hot["requeued_batches"] == 1 and hot["done"] == 0
+        cold = service.job_stats("cold")
+        assert cold["pending"] == BETA.size and cold["leased"] == 0
+        assert cold["done"] == 0
+    finally:
+        if stream is not None:
+            stream.close()
         service.shutdown()
 
 
